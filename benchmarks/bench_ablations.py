@@ -1,0 +1,68 @@
+"""Ablations of the methodology's design choices (Sections 3, 4.3, 4.4).
+
+* D-optimal vs random vs Latin-hypercube designs at equal budget;
+* RBF kernel choice (the paper found multiquadric best);
+* regression-tree centers vs one-neuron-per-sample (overfitting).
+"""
+
+import numpy as np
+
+from repro.harness.experiments import run_design_ablation, run_rbf_ablation
+from repro.harness.report import table
+
+
+def test_design_ablation(corpus, engine, report_sink, benchmark):
+    rows = benchmark.pedantic(
+        run_design_ablation,
+        args=(corpus,),
+        kwargs={"engine": engine},
+        rounds=1,
+        iterations=1,
+    )
+    body = [
+        [r.workload, r.strategy, r.n_train, f"{r.test_error_pct:.2f}"]
+        for r in rows
+    ]
+    report_sink(
+        "ablation_designs",
+        "Design-strategy ablation (RBF test error at equal budget)\n"
+        + table(["workload", "design", "n", "error %"], body),
+    )
+
+    # D-optimal must be competitive: for each workload, not the worst
+    # strategy by a large margin.
+    by_workload = {}
+    for r in rows:
+        by_workload.setdefault(r.workload, {})[r.strategy] = r.test_error_pct
+    for name, errs in by_workload.items():
+        worst = max(errs.values())
+        assert errs["d-optimal"] <= worst + 1e-9, (name, errs)
+
+
+def test_rbf_ablation(corpus, report_sink, benchmark):
+    rows = benchmark.pedantic(
+        run_rbf_ablation, args=(corpus,), rounds=1, iterations=1
+    )
+    body = [
+        [r.workload, r.variant, r.n_neurons, f"{r.test_error_pct:.2f}"]
+        for r in rows
+    ]
+    report_sink(
+        "ablation_rbf",
+        "RBF kernel / center-selection ablation\n"
+        + table(["workload", "variant", "neurons", "error %"], body),
+    )
+
+    by_variant = {}
+    for r in rows:
+        by_variant.setdefault(r.variant, []).append(r.test_error_pct)
+    means = {v: float(np.mean(errs)) for v, errs in by_variant.items()}
+
+    # Tree-based centers must beat the every-point network on average
+    # (Section 4.4's overfitting argument).
+    assert means["multiquadric+tree"] <= means["multiquadric+all-points"]
+    # The multiquadric kernel should be competitive with the others
+    # (paper: "models based on the multi-quadratic kernel [were] the
+    # most accurate").
+    best = min(means.values())
+    assert means["multiquadric+tree"] <= best + 2.0

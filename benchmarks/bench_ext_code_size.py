@@ -1,0 +1,66 @@
+"""Extension: modeling a second response (code size).
+
+Section 2.2: "models can also be built for other metrics such as power
+consumption or code size."  Code size depends only on the compiler
+settings (plus issue width through the machine description) and is
+noise-free, so the same pipeline should model it *more* accurately than
+cycles -- a useful self-check of the methodology.
+"""
+
+import numpy as np
+
+from repro.harness.measure import default_engine
+from repro.harness.report import table
+from repro.models import MarsModel, RbfModel
+from repro.pipeline import evaluate_model
+from repro.space import full_space
+
+
+def test_ext_code_size_models(corpus, engine, report_sink, benchmark):
+    space = corpus.space
+
+    def run():
+        rows = []
+        for name, data in corpus.data.items():
+            # Re-read measurements (cached) for their code_size field.
+            y_train = np.array(
+                [
+                    engine.measure(name, space.decode(r)).code_size
+                    for r in data.x_train
+                ],
+                dtype=float,
+            )
+            y_test = np.array(
+                [
+                    engine.measure(name, space.decode(r)).code_size
+                    for r in data.x_test
+                ],
+                dtype=float,
+            )
+            # Code size varies multiplicatively (unroll/inline growth
+            # compound), so model its log.
+            model = RbfModel(variable_names=space.names)
+            model.fit(data.x_train, np.log(y_train))
+            pred = np.exp(model.predict(data.x_test))
+            err = float(np.mean(np.abs(pred - y_test) / y_test) * 100.0)
+            rows.append((name, err, y_train.min(), y_train.max()))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    body = [
+        [name, f"{err:.2f}", f"{lo:.0f}", f"{hi:.0f}"]
+        for name, err, lo, hi in rows
+    ]
+    report_sink(
+        "ext_code_size",
+        "Extension -- RBF model of code size (second response)\n"
+        + table(["workload", "error %", "min size", "max size"], body),
+    )
+
+    errors = [err for _name, err, _lo, _hi in rows]
+    # Deterministic response spanning a 10x range: the log-scale model
+    # should keep the average relative error moderate.
+    assert np.mean(errors) < 20.0
+    # Code size must actually vary across the design (flags matter).
+    for name, _err, lo, hi in rows:
+        assert hi > lo * 1.2, name

@@ -1,0 +1,59 @@
+"""Extension: model-driven hardware/software co-design.
+
+Not a paper table -- this exercises the conclusion's claim that the
+models "enable efficient searches over parts of the design space" in the
+inverse direction: freeze the compiler at -O2 and search the Table 2
+subspace for each program's best machine, plus a joint 25-variable
+search.  Pure model evaluations; no extra simulation.
+"""
+
+import numpy as np
+
+from repro.harness.experiments.codesign import (
+    run_joint_search,
+    run_microarch_search,
+)
+from repro.harness.report import table
+
+
+def test_ext_microarch_search(corpus, report_sink, benchmark):
+    outcomes = benchmark.pedantic(
+        run_microarch_search, args=(corpus,), rounds=1, iterations=1
+    )
+    headers = ["workload", "issue", "ruu", "dl1KB", "l2KB", "memlat",
+               "pred cycles"]
+    rows = []
+    for name, o in outcomes.items():
+        m = o.best_microarch
+        rows.append(
+            [
+                name,
+                m.issue_width,
+                m.ruu_size,
+                m.dcache_size // 1024,
+                m.l2_size // 1024,
+                m.memory_latency,
+                f"{o.predicted_cycles:.0f}",
+            ]
+        )
+    report_sink(
+        "ext_codesign",
+        "Extension -- model-predicted best machine per program (-O2)\n"
+        + table(headers, rows),
+    )
+
+    for o in outcomes.values():
+        assert np.isfinite(o.predicted_cycles)
+        # A sane search never proposes the highest memory latency.
+        assert o.best_microarch.memory_latency < 150
+
+
+def test_ext_joint_search_at_least_matches(corpus, benchmark):
+    name = next(iter(corpus.data))
+    joint = benchmark.pedantic(
+        run_joint_search, args=(corpus, name), rounds=1, iterations=1
+    )
+    micro = run_microarch_search(
+        corpus, seed=17
+    )[name]
+    assert joint.best_value <= micro.predicted_cycles * 1.05

@@ -1,0 +1,50 @@
+"""Figure 3: art's runtime vs max-unroll-factor and I-cache size.
+
+Paper shape: runtime first falls with the unroll factor, flattens, then
+*rises* (register pressure); a global linear fit cannot follow this --
+its sign can even suggest unrolling always hurts.  The non-monotone
+response is the motivating example for non-parametric models
+(Section 4.1).
+"""
+
+import numpy as np
+
+from repro.harness.experiments import run_fig3_unroll_icache
+from repro.harness.report import table
+
+
+def test_fig3_unroll_icache(engine, report_sink, benchmark):
+    result = benchmark.pedantic(
+        run_fig3_unroll_icache,
+        kwargs={"engine": engine},
+        rounds=1,
+        iterations=1,
+    )
+
+    headers = ["unroll"] + [
+        f"icache {kb // 1024}KB" for kb in result.icache_sizes
+    ] + ["linear fit (8KB)"]
+    rows = []
+    for u in result.unroll_factors:
+        rows.append(
+            [u]
+            + [f"{result.cycles[(u, s)]:.0f}" for s in result.icache_sizes]
+            + [f"{result.linear_prediction[u]:.0f}"]
+        )
+    report_sink(
+        "fig3_unroll_icache",
+        "Figure 3 -- art cycles vs unroll factor x icache size\n"
+        + table(headers, rows),
+    )
+
+    # The response must vary with the unroll factor at all...
+    smallest = result.icache_sizes[0]
+    col = result.column(smallest)
+    assert max(col) > min(col)
+    # ...and a straight line must not explain it well everywhere
+    # (non-zero residuals of the 1-D linear fit).
+    residuals = [
+        abs(result.cycles[(u, smallest)] - result.linear_prediction[u])
+        for u in result.unroll_factors
+    ]
+    assert max(residuals) > 0.002 * max(col)

@@ -1,0 +1,27 @@
+"""Figure 5: RBF model error vs training-set size, per program.
+
+Paper shape: average error and its variance fall as the design grows,
+with diminishing returns once the program's error stabilizes; most
+programs need 100-200 simulations to cross the 5% threshold at the
+paper's scale.
+"""
+
+from repro.harness.experiments import run_fig5_learning_curves
+from repro.harness.report import render_learning_curves
+
+
+def test_fig5_learning_curves(corpus, report_sink, benchmark):
+    curves = benchmark.pedantic(
+        run_fig5_learning_curves, args=(corpus,), rounds=1, iterations=1
+    )
+    report_sink("fig5_learning_curves", render_learning_curves(curves))
+
+    improved = 0
+    for name, points in curves.items():
+        assert len(points) >= 2, name
+        first, last = points[0], points[-1]
+        if last.mean_error <= first.mean_error + 0.5:
+            improved += 1
+    # The growing design must help for the clear majority of programs
+    # (sampling noise can leave one or two flat at small scales).
+    assert improved >= len(curves) - 2

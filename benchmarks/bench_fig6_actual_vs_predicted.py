@@ -1,0 +1,23 @@
+"""Figure 6: actual vs RBF-predicted execution times (art, vortex, mcf).
+
+Paper shape: predictions track the measured times across the test set --
+"all models capture high level trends in performance and no outliers are
+observed".
+"""
+
+from repro.harness.experiments import run_fig6_scatter
+from repro.harness.report import render_scatter
+
+
+def test_fig6_actual_vs_predicted(corpus, report_sink, benchmark):
+    results = benchmark.pedantic(
+        run_fig6_scatter, args=(corpus,), rounds=1, iterations=1
+    )
+    report_sink("fig6_actual_vs_predicted", render_scatter(results))
+
+    for r in results:
+        # "Captures high-level trends": strong positive correlation.
+        assert r.r2 > 0.5, (r.workload, r.r2)
+        # "No outliers": no prediction wildly off (loose at reduced
+        # training scale; tightens as REPRO_SCALE grows).
+        assert r.max_abs_pct_error < 80.0, (r.workload, r.max_abs_pct_error)

@@ -1,0 +1,25 @@
+"""Table 3: average % prediction error of linear vs MARS vs RBF models.
+
+Paper values (400 training points): linear 12.07%, MARS 6.35%, RBF-RT
+4.13% on average; RBF best for every program.  The reproduction target is
+the *ranking* (rbf <= mars <= linear on average) and errors that shrink
+toward the paper's as REPRO_SCALE grows.
+"""
+
+from repro.harness.experiments import run_table3
+from repro.harness.report import render_table3
+
+
+def test_table3_prediction_error(corpus, report_sink, benchmark):
+    result = benchmark.pedantic(
+        run_table3, args=(corpus,), rounds=1, iterations=1
+    )
+    report_sink("table3_prediction_error", render_table3(result))
+
+    # Headline shape: non-parametric models beat the global linear fit.
+    assert result.averages["rbf-rt"] <= result.averages["linear"]
+    assert result.averages["mars"] <= result.averages["linear"] * 1.1
+    # Errors must be finite and sane.
+    for workload, errs in result.errors.items():
+        for model, err in errs.items():
+            assert 0.0 <= err < 60.0, (workload, model, err)

@@ -1,0 +1,44 @@
+"""Table 6: model-prescribed flag/heuristic settings per configuration.
+
+Paper shape: "the optimal settings are highly program and micro-
+architecture dependent" and "significantly different from the default O3
+settings."
+"""
+
+from repro.harness.report import render_search_settings
+from repro.opt import O3
+
+
+def test_table6_optimal_settings(searches, report_sink, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report_sink("table6_optimal_settings", render_search_settings(searches))
+
+    # Settings differ across programs.
+    per_program = {
+        workload: tuple(
+            per_config[c].best_settings.cache_key()
+            for c in sorted(per_config)
+        )
+        for workload, per_config in searches.items()
+    }
+    assert len(set(per_program.values())) > 1
+
+    # Settings differ from default O3 for most (program, config) pairs.
+    o3_key = O3.cache_key()
+    total = 0
+    different = 0
+    for per_config in searches.values():
+        for outcome in per_config.values():
+            total += 1
+            if outcome.best_settings.cache_key() != o3_key:
+                different += 1
+    assert different >= total * 0.8
+
+    # The GA must predict improvement over O2 in most cases.
+    improved = sum(
+        1
+        for per_config in searches.values()
+        for outcome in per_config.values()
+        if outcome.predicted_speedup_pct > 0
+    )
+    assert improved >= total * 0.6

@@ -1,0 +1,48 @@
+"""Shared fixtures for the paper-reproduction benchmark suite.
+
+The measurement corpus (D-optimal train designs + random test designs,
+measured through the compile+simulate oracle) is built once per session
+and persisted in ``.repro_cache``, so re-running the suite is cheap.
+
+Scale: set ``REPRO_SCALE`` (default 1.0) to grow/shrink every experiment;
+``REPRO_SCALE=3.5`` approximates the paper's 400-train/100-test corpus.
+Reports are printed and also written to ``results/``.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.corpus import build_corpus
+from repro.harness.experiments import run_model_search
+from repro.harness.measure import default_engine
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def engine():
+    return default_engine()
+
+
+@pytest.fixture(scope="session")
+def corpus(engine):
+    return build_corpus(engine=engine, progress=True)
+
+
+@pytest.fixture(scope="session")
+def searches(corpus):
+    """GA-prescribed settings per workload per Table 5 configuration."""
+    return run_model_search(corpus)
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def sink(name: str, text: str) -> None:
+        print("\n" + text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return sink

@@ -1,0 +1,65 @@
+"""Quickstart: build an empirical performance model and use it.
+
+Walks the paper's Figure 1 loop end to end on one workload:
+
+1. define the joint compiler x microarchitecture parameter space
+   (Tables 1 and 2),
+2. pick design points with a D-optimal design,
+3. measure them (compile + out-of-order simulation with SMARTS sampling),
+4. fit an RBF-network model,
+5. predict performance at unseen design points.
+
+Runs in a couple of minutes on one core; scale N_TRAIN up for accuracy.
+"""
+
+import numpy as np
+
+from repro.harness.measure import MeasurementEngine
+from repro.models import RbfModel
+from repro.pipeline import build_model
+from repro.space import full_space
+
+N_TRAIN = 60
+WORKLOAD = "gzip"
+
+
+def main() -> None:
+    space = full_space()
+    print("The design space (Tables 1 and 2 of the paper):")
+    print(space.describe())
+    print(f"total grid points: {space.size():.2e}\n")
+
+    engine = MeasurementEngine()  # compile + simulate oracle
+    rng = np.random.default_rng(42)
+
+    print(f"Building an RBF model for {WORKLOAD!r} "
+          f"({N_TRAIN} simulations)...")
+    result = build_model(
+        oracle=engine.oracle(WORKLOAD),
+        space=space,
+        model_factory=lambda: RbfModel(variable_names=space.names),
+        rng=rng,
+        initial_size=N_TRAIN // 2,
+        batch_size=N_TRAIN // 4,
+        max_samples=N_TRAIN,
+        target_error=5.0,
+        n_candidates=400,
+        test_size=20,
+    )
+    for n, err, std in result.error_history:
+        print(f"  {n:4d} samples -> test error {err:5.2f}% (±{std:.2f})")
+
+    print("\nPredicting at three fresh random design points:")
+    for _ in range(3):
+        point = space.random_point(rng)
+        predicted = result.model.predict_one(space.encode(point))
+        actual = engine.cycles(WORKLOAD, point)
+        print(
+            f"  predicted {predicted:12.0f} cycles | "
+            f"actual {actual:12.0f} | "
+            f"error {abs(predicted - actual) / actual * 100:.1f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

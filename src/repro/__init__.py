@@ -1,0 +1,40 @@
+"""Reproduction of "Microarchitecture Sensitive Empirical Models for Compiler
+Optimizations" (Vaswani et al., CGO 2007).
+
+The package contains two halves:
+
+* the *measurement substrate* -- a MiniC optimizing compiler
+  (:mod:`repro.minic`, :mod:`repro.ir`, :mod:`repro.opt`,
+  :mod:`repro.codegen`), a SimpleScalar-style out-of-order simulator
+  (:mod:`repro.sim`) and synthetic SPEC-like workloads
+  (:mod:`repro.workloads`); and
+
+* the *empirical modeling core* -- parameter spaces (:mod:`repro.space`),
+  D-optimal experimental designs (:mod:`repro.doe`), linear/MARS/RBF
+  regression models (:mod:`repro.models`), genetic-algorithm search
+  (:mod:`repro.search`) and the iterative model-building pipeline
+  (:mod:`repro.pipeline`).
+
+:mod:`repro.harness` glues the halves together and regenerates every table
+and figure in the paper's evaluation.
+"""
+
+from repro.space import (
+    ParameterSpace,
+    Variable,
+    VariableKind,
+    compiler_space,
+    full_space,
+    microarch_space,
+)
+
+__all__ = [
+    "Variable",
+    "VariableKind",
+    "ParameterSpace",
+    "compiler_space",
+    "microarch_space",
+    "full_space",
+]
+
+__version__ = "1.0.0"

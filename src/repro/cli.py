@@ -1,0 +1,259 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``spaces``
+    Print the Table 1 / Table 2 parameter spaces.
+``workloads``
+    List the synthetic SPEC-like workloads.
+``measure``
+    Compile + simulate one workload at given flag/microarch settings and
+    print the run statistics.
+``disasm``
+    Disassemble a workload's binary at given compiler settings.
+``model``
+    Build an empirical model for a workload (the Figure 1 loop) and
+    report its accuracy.
+``tune``
+    Model-based GA search of the compiler flags for a Table 5 machine,
+    verified by actual simulation (the paper's Section 6.3 use case).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _add_flag_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--opt",
+        choices=["O0", "O2", "O3"],
+        default="O2",
+        help="optimization preset (default O2)",
+    )
+    parser.add_argument(
+        "--flag",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="override a Table 1 flag/heuristic, e.g. "
+        "--flag unroll_loops=1 --flag max_unroll_times=8",
+    )
+    parser.add_argument(
+        "--machine",
+        choices=["constrained", "typical", "aggressive"],
+        default="typical",
+        help="Table 5 microarchitecture (default typical)",
+    )
+
+
+def _compiler_config(args):
+    from repro.opt import O0, O2, O3
+
+    base = {"O0": O0, "O2": O2, "O3": O3}[args.opt]
+    overrides = {}
+    for item in args.flag:
+        if "=" not in item:
+            raise SystemExit(f"bad --flag {item!r}; expected NAME=VALUE")
+        name, value = item.split("=", 1)
+        overrides[name] = int(value)
+    if not overrides:
+        return base
+    point = base.to_point()
+    for name, value in overrides.items():
+        if name not in point:
+            raise SystemExit(f"unknown compiler parameter {name!r}")
+        point[name] = float(value)
+    from repro.opt import CompilerConfig
+
+    return CompilerConfig.from_point(point)
+
+
+def _microarch(args):
+    from repro.harness.configs import TABLE5_CONFIGS
+
+    return TABLE5_CONFIGS[args.machine]
+
+
+def cmd_spaces(_args) -> int:
+    from repro.space import compiler_space, microarch_space
+
+    print("Table 1 -- compiler flags and heuristics")
+    print(compiler_space().describe())
+    print()
+    print("Table 2 -- microarchitectural parameters")
+    print(microarch_space().describe())
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    from repro.workloads import WORKLOADS
+
+    for name, w in WORKLOADS.items():
+        inputs = ", ".join(w.input_names())
+        print(f"{name:8s} [{inputs}]  {w.description}")
+    return 0
+
+
+def cmd_measure(args) -> int:
+    from repro.codegen import compile_module
+    from repro.sim.func import execute
+    from repro.sim.stats import detailed_statistics
+    from repro.workloads import get_workload
+
+    compiler = _compiler_config(args)
+    microarch = _microarch(args)
+    module = get_workload(args.workload).module(args.input)
+    exe = compile_module(module, compiler, issue_width=microarch.issue_width)
+    functional = execute(exe)
+    stats = detailed_statistics(exe, microarch, functional.trace)
+    print(f"workload  {args.workload} ({args.input})")
+    print(f"compiler  {compiler.describe()}")
+    print(f"machine   {args.machine}")
+    print(f"checksum  {functional.return_value}")
+    print(stats.summary())
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    from repro.codegen import compile_module
+    from repro.workloads import get_workload
+
+    compiler = _compiler_config(args)
+    microarch = _microarch(args)
+    module = get_workload(args.workload).module(args.input)
+    exe = compile_module(module, compiler, issue_width=microarch.issue_width)
+    print(exe.disassemble())
+    return 0
+
+
+def cmd_model(args) -> int:
+    from repro.harness.measure import default_engine
+    from repro.models import RbfModel
+    from repro.pipeline import build_model
+    from repro.space import full_space
+
+    space = full_space()
+    engine = default_engine()
+    result = build_model(
+        oracle=engine.oracle(args.workload, args.input),
+        space=space,
+        model_factory=lambda: RbfModel(variable_names=space.names),
+        rng=np.random.default_rng(args.seed),
+        initial_size=args.samples // 2,
+        batch_size=max(10, args.samples // 4),
+        max_samples=args.samples,
+        target_error=args.target_error,
+        n_candidates=max(300, 4 * args.samples),
+        test_size=max(15, args.samples // 4),
+    )
+    engine.save()
+    for n, err, std in result.error_history:
+        print(f"{n:5d} samples -> {err:6.2f}% (±{std:.2f}) test error")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from repro.harness.experiments.search import frozen_microarch_objective
+    from repro.harness.measure import default_engine
+    from repro.models import RbfModel
+    from repro.opt import O2, O3, CompilerConfig
+    from repro.pipeline import build_model
+    from repro.search import GeneticSearch
+    from repro.space import COMPILER_VARIABLE_NAMES, full_space
+
+    space = full_space()
+    engine = default_engine()
+    microarch = _microarch(args)
+    rng = np.random.default_rng(args.seed)
+
+    print(f"Building a model for {args.workload} ({args.samples} sims)...")
+    built = build_model(
+        oracle=engine.oracle(args.workload, args.input),
+        space=space,
+        model_factory=lambda: RbfModel(variable_names=space.names),
+        rng=rng,
+        initial_size=args.samples,
+        batch_size=args.samples,
+        max_samples=args.samples,
+        n_candidates=max(300, 4 * args.samples),
+        test_size=max(15, args.samples // 5),
+    )
+    print(f"  model test error {built.test_error:.2f}%")
+
+    compiler_space = space.subspace(COMPILER_VARIABLE_NAMES)
+    objective = frozen_microarch_objective(
+        built.model, space, compiler_space, microarch
+    )
+    ga = GeneticSearch(compiler_space, population=60, generations=40)
+    result = ga.run(objective, rng)
+    settings = CompilerConfig.from_point(result.best_point)
+    print(f"prescribed settings: {settings.describe()}")
+
+    o2 = engine.measure_configs(args.workload, O2, microarch, args.input)
+    o3 = engine.measure_configs(args.workload, O3, microarch, args.input)
+    best = engine.measure_configs(
+        args.workload, settings, microarch, args.input
+    )
+    engine.save()
+    print(f"-O2      {o2.cycles:12.0f} cycles")
+    print(f"-O3      {o3.cycles:12.0f} cycles ({(o2.cycles/o3.cycles-1)*100:+.2f}%)")
+    print(f"searched {best.cycles:12.0f} cycles ({(o2.cycles/best.cycles-1)*100:+.2f}%)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CGO'07 empirical compiler/microarchitecture models",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("spaces", help="print the parameter tables")
+    sub.add_parser("workloads", help="list workloads")
+
+    for name, fn in (("measure", cmd_measure), ("disasm", cmd_disasm)):
+        p = sub.add_parser(name, help=f"{name} a workload binary")
+        p.add_argument("workload")
+        p.add_argument("--input", default="train", choices=["train", "ref"])
+        _add_flag_arguments(p)
+
+    p = sub.add_parser("model", help="build an empirical model")
+    p.add_argument("workload")
+    p.add_argument("--input", default="train", choices=["train", "ref"])
+    p.add_argument("--samples", type=int, default=100)
+    p.add_argument("--target-error", type=float, default=5.0)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("tune", help="model-based flag search")
+    p.add_argument("workload")
+    p.add_argument("--input", default="train", choices=["train", "ref"])
+    p.add_argument("--samples", type=int, default=80)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--machine",
+        choices=["constrained", "typical", "aggressive"],
+        default="typical",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "spaces": cmd_spaces,
+        "workloads": cmd_workloads,
+        "measure": cmd_measure,
+        "disasm": cmd_disasm,
+        "model": cmd_model,
+        "tune": cmd_tune,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

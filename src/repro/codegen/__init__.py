@@ -1,0 +1,43 @@
+"""Code generation for SimpleRISC, the Alpha-flavoured target ISA.
+
+Pipeline: instruction selection (:mod:`repro.codegen.isel`) produces
+machine code over virtual registers; linear-scan register allocation
+(:mod:`repro.codegen.regalloc`) assigns physical registers and spill
+slots; frame lowering (:mod:`repro.codegen.frame`) expands prologues and
+epilogues (honouring ``-fomit-frame-pointer``); the post-RA list
+scheduler (:mod:`repro.codegen.scheduler`) implements
+``-fschedule-insns2`` against the machine description derived from the
+target's issue width; and the linker (:mod:`repro.codegen.linker`) lays
+out code and data into an :class:`Executable`.
+
+:func:`compile_module` runs IR optimization plus the whole backend.
+"""
+
+#: Bumped whenever code generation or optimization behaviour changes, so
+#: persistent measurement caches keyed on it can never go stale.
+COMPILER_VERSION = 3
+
+from repro.codegen.isa import (
+    MachineInstr,
+    OpClass,
+    Reg,
+    INT_REG_NAMES,
+    FP_REG_NAMES,
+    format_instr,
+)
+from repro.codegen.machine_desc import MachineDescription
+from repro.codegen.linker import Executable, link_module
+from repro.codegen.compile import compile_module
+
+__all__ = [
+    "MachineInstr",
+    "OpClass",
+    "Reg",
+    "INT_REG_NAMES",
+    "FP_REG_NAMES",
+    "format_instr",
+    "MachineDescription",
+    "Executable",
+    "link_module",
+    "compile_module",
+]

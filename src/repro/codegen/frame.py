@@ -1,0 +1,109 @@
+"""Frame lowering: prologues, epilogues and -fomit-frame-pointer.
+
+Frame layout after the prologue (stack grows down)::
+
+    sp + 0 .. spill_slots*8-1        spill slots
+    sp + spill_base .. frame_size-1  save area (callee-saved, ra, fp)
+
+With the frame pointer enabled, every function additionally saves the old
+``fp``, establishes ``fp = sp + frame_size`` and addresses spill slots
+fp-relative; with ``-fomit-frame-pointer`` the save/establish/restore
+instructions disappear, slots are sp-relative, and ``r29`` becomes
+allocatable -- the two effects (less prologue work, lower register
+pressure) that make the flag one of the paper's strongest compiler
+parameters (Table 4).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.codegen.isa import FP_REG, MachineInstr, OpClass, RA, SP, Reg, is_fp_reg
+from repro.codegen.isel import MachineFunction
+
+WORD = 8
+
+
+def lower_frame(mf: MachineFunction, omit_frame_pointer: bool) -> MachineFunction:
+    """Expand prologue/epilogue and patch spill addressing in place."""
+    saves: List[Reg] = []
+    if mf.makes_calls:
+        saves.append(RA)
+    if omit_frame_pointer:
+        # r29 is an ordinary callee-saved register here: if the
+        # allocator used it, it must be saved like any other.
+        saves.extend(mf.used_callee_saved)
+    else:
+        # r29 is the frame pointer: saved unconditionally (and the
+        # allocator never hands it out).
+        saves.append(FP_REG)
+        saves.extend(r for r in mf.used_callee_saved if r != FP_REG)
+
+    spill_bytes = mf.spill_slots * WORD
+    frame_size = spill_bytes + len(saves) * WORD
+    if frame_size == 0:
+        _patch_spills(mf, omit_frame_pointer, frame_size)
+        return mf
+
+    save_offset = {reg: spill_bytes + i * WORD for i, reg in enumerate(saves)}
+
+    prologue: List[MachineInstr] = [
+        MachineInstr("addi", dst=SP, srcs=(SP,), imm=-frame_size)
+    ]
+    for reg in saves:
+        opcode = "fst" if is_fp_reg(reg) else "st"
+        prologue.append(
+            MachineInstr(opcode, srcs=(SP, reg), imm=save_offset[reg])
+        )
+    if not omit_frame_pointer:
+        prologue.append(
+            MachineInstr("addi", dst=FP_REG, srcs=(SP,), imm=frame_size)
+        )
+
+    epilogue: List[MachineInstr] = []
+    for reg in saves:
+        opcode = "fld" if is_fp_reg(reg) else "ld"
+        epilogue.append(
+            MachineInstr(opcode, dst=reg, srcs=(SP,), imm=save_offset[reg])
+        )
+    epilogue.append(MachineInstr("addi", dst=SP, srcs=(SP,), imm=frame_size))
+
+    # Insert the prologue at function entry.
+    entry = mf.blocks[0]
+    entry.instrs = prologue + entry.instrs
+
+    # Expand every return into restore + deallocate + jr.
+    for block in mf.blocks:
+        new_instrs: List[MachineInstr] = []
+        for instr in block.instrs:
+            if instr.op_class is OpClass.RET:
+                new_instrs.extend(
+                    MachineInstr(e.op, dst=e.dst, srcs=e.srcs, imm=e.imm)
+                    for e in epilogue
+                )
+            new_instrs.append(instr)
+        block.instrs = new_instrs
+
+    _patch_spills(mf, omit_frame_pointer, frame_size)
+    return mf
+
+
+def _patch_spills(
+    mf: MachineFunction, omit_frame_pointer: bool, frame_size: int
+) -> None:
+    """Rewrite ``__spill__`` placeholders into real addressing."""
+    for block in mf.blocks:
+        for instr in block.instrs:
+            if instr.target != "__spill__":
+                continue
+            slot = instr.imm
+            if omit_frame_pointer:
+                base, offset = SP, slot * WORD
+            else:
+                base, offset = FP_REG, slot * WORD - frame_size
+            instr.imm = offset
+            instr.target = None
+            if instr.op_class is OpClass.LOAD:
+                instr.srcs = (base,)
+            else:
+                instr.srcs = (base, instr.srcs[1])

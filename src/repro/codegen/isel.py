@@ -1,0 +1,292 @@
+"""Instruction selection: IR -> SimpleRISC over virtual registers.
+
+Virtual register ids start at 64 (physical ids are 0-63).  Constants are
+materialized with ``li``/``lif`` except where an immediate form exists
+(``addi``, load/store offsets).  Calls expand into argument moves, the
+``jal``, and a result move, following the register conventions in
+:mod:`repro.codegen.isa`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.codegen.isa import (
+    ARG_REGS,
+    FARG_REGS,
+    FRV,
+    MachineInstr,
+    RV,
+    Reg,
+)
+from repro.ir import (
+    Addr,
+    BinOp,
+    Branch,
+    Call,
+    Cmp,
+    Copy,
+    Function,
+    Jump,
+    Load,
+    Module,
+    Prefetch,
+    Return,
+    Store,
+    Temp,
+    UnOp,
+)
+from repro.ir.types import Type
+from repro.ir.values import Const, Value
+
+#: First virtual register id.
+FIRST_VREG = 64
+
+
+@dataclass
+class MachineBlock:
+    label: str
+    instrs: List[MachineInstr] = field(default_factory=list)
+
+
+@dataclass
+class MachineFunction:
+    """A function in machine form (pre- or post-register-allocation)."""
+
+    name: str
+    blocks: List[MachineBlock]
+    #: vreg id -> True when it is a float register.
+    vreg_is_fp: Dict[int, bool]
+    makes_calls: bool
+    #: Filled by the register allocator.
+    spill_slots: int = 0
+    used_callee_saved: Tuple[Reg, ...] = ()
+
+    def instruction_count(self) -> int:
+        return sum(len(b.instrs) for b in self.blocks)
+
+
+_CMP_OPCODES = {"eq": "cmpeq", "ne": "cmpne", "lt": "cmplt", "le": "cmple", "gt": "cmpgt", "ge": "cmpge"}
+
+
+class _Selector:
+    def __init__(self, func: Function):
+        self.func = func
+        self.vreg_counter = itertools.count(FIRST_VREG)
+        self.temp_vreg: Dict[Temp, int] = {}
+        self.vreg_is_fp: Dict[int, bool] = {}
+        self.out: List[MachineInstr] = []
+        self.makes_calls = False
+
+    # ------------------------------------------------------------------
+    def new_vreg(self, is_fp: bool) -> int:
+        vreg = next(self.vreg_counter)
+        self.vreg_is_fp[vreg] = is_fp
+        return vreg
+
+    def vreg_of(self, temp: Temp) -> int:
+        if temp not in self.temp_vreg:
+            self.temp_vreg[temp] = self.new_vreg(temp.type is Type.FLOAT)
+        return self.temp_vreg[temp]
+
+    def emit(self, instr: MachineInstr) -> None:
+        self.out.append(instr)
+
+    def reg_of(self, value: Value) -> int:
+        """Register holding a value, materializing constants."""
+        if isinstance(value, Temp):
+            return self.vreg_of(value)
+        if value.type is Type.FLOAT:
+            vreg = self.new_vreg(True)
+            self.emit(MachineInstr("lif", dst=vreg, imm=float(value.value)))
+            return vreg
+        vreg = self.new_vreg(False)
+        self.emit(MachineInstr("li", dst=vreg, imm=int(value.value)))
+        return vreg
+
+    # ------------------------------------------------------------------
+    def select_function(self) -> MachineFunction:
+        blocks: List[MachineBlock] = []
+        for i, block in enumerate(self.func.blocks):
+            self.out = []
+            if i == 0:
+                self._emit_param_moves()
+            for instr in block.instrs:
+                self.select_instr(instr)
+            self.select_terminator(block.terminator)
+            blocks.append(MachineBlock(block.label, self.out))
+        return MachineFunction(
+            name=self.func.name,
+            blocks=blocks,
+            vreg_is_fp=self.vreg_is_fp,
+            makes_calls=self.makes_calls,
+        )
+
+    def _emit_param_moves(self) -> None:
+        int_args = iter(ARG_REGS)
+        fp_args = iter(FARG_REGS)
+        for param in self.func.params:
+            vreg = self.vreg_of(param)
+            if param.type is Type.FLOAT:
+                phys = next(fp_args, None)
+                opcode = "fmov"
+            else:
+                phys = next(int_args, None)
+                opcode = "mov"
+            if phys is None:
+                raise NotImplementedError(
+                    f"{self.func.name}: more arguments than argument registers"
+                )
+            self.emit(MachineInstr(opcode, dst=vreg, srcs=(phys,)))
+
+    # ------------------------------------------------------------------
+    def select_instr(self, instr) -> None:
+        if isinstance(instr, BinOp):
+            self.select_binop(instr)
+        elif isinstance(instr, UnOp):
+            a = self.reg_of(instr.a)
+            self.emit(
+                MachineInstr(instr.op, dst=self.vreg_of(instr.dst), srcs=(a,))
+            )
+        elif isinstance(instr, Cmp):
+            is_fp = (
+                instr.a.type is Type.FLOAT or instr.b.type is Type.FLOAT
+            )
+            opcode = _CMP_OPCODES[instr.op]
+            if is_fp:
+                opcode = "f" + opcode
+            a = self.reg_of(instr.a)
+            b = self.reg_of(instr.b)
+            self.emit(
+                MachineInstr(opcode, dst=self.vreg_of(instr.dst), srcs=(a, b))
+            )
+        elif isinstance(instr, Copy):
+            self.select_copy(instr)
+        elif isinstance(instr, Addr):
+            self.emit(
+                MachineInstr(
+                    "la", dst=self.vreg_of(instr.dst), target=instr.symbol
+                )
+            )
+        elif isinstance(instr, Load):
+            base, imm = self.select_address(instr.base, instr.offset)
+            opcode = "fld" if instr.dst.type is Type.FLOAT else "ld"
+            self.emit(
+                MachineInstr(
+                    opcode, dst=self.vreg_of(instr.dst), srcs=(base,), imm=imm
+                )
+            )
+        elif isinstance(instr, Store):
+            base, imm = self.select_address(instr.base, instr.offset)
+            src = self.reg_of(instr.src)
+            opcode = "fst" if instr.src.type is Type.FLOAT else "st"
+            self.emit(MachineInstr(opcode, srcs=(base, src), imm=imm))
+        elif isinstance(instr, Prefetch):
+            base, imm = self.select_address(instr.base, instr.offset)
+            self.emit(MachineInstr("pf", srcs=(base,), imm=imm))
+        elif isinstance(instr, Call):
+            self.select_call(instr)
+        else:
+            raise TypeError(f"cannot select {instr!r}")
+
+    def select_binop(self, instr: BinOp) -> None:
+        dst = self.vreg_of(instr.dst)
+        # Immediate add/sub forms.
+        if instr.op == "add" and isinstance(instr.b, Const):
+            a = self.reg_of(instr.a)
+            self.emit(MachineInstr("addi", dst=dst, srcs=(a,), imm=int(instr.b.value)))
+            return
+        if instr.op == "add" and isinstance(instr.a, Const):
+            b = self.reg_of(instr.b)
+            self.emit(MachineInstr("addi", dst=dst, srcs=(b,), imm=int(instr.a.value)))
+            return
+        if instr.op == "sub" and isinstance(instr.b, Const):
+            a = self.reg_of(instr.a)
+            self.emit(MachineInstr("addi", dst=dst, srcs=(a,), imm=-int(instr.b.value)))
+            return
+        a = self.reg_of(instr.a)
+        b = self.reg_of(instr.b)
+        self.emit(MachineInstr(instr.op, dst=dst, srcs=(a, b)))
+
+    def select_copy(self, instr: Copy) -> None:
+        dst = self.vreg_of(instr.dst)
+        if isinstance(instr.src, Const):
+            if instr.src.type is Type.FLOAT:
+                self.emit(MachineInstr("lif", dst=dst, imm=float(instr.src.value)))
+            else:
+                self.emit(MachineInstr("li", dst=dst, imm=int(instr.src.value)))
+            return
+        src = self.vreg_of(instr.src)
+        opcode = "fmov" if instr.dst.type is Type.FLOAT else "mov"
+        self.emit(MachineInstr(opcode, dst=dst, srcs=(src,)))
+
+    def select_address(self, base: Value, offset: Value) -> Tuple[int, int]:
+        """(base register, immediate) addressing for memory operations."""
+        base_reg = self.reg_of(base)
+        if isinstance(offset, Const):
+            return base_reg, int(offset.value)
+        offset_reg = self.reg_of(offset)
+        addr = self.new_vreg(False)
+        self.emit(MachineInstr("add", dst=addr, srcs=(base_reg, offset_reg)))
+        return addr, 0
+
+    def select_call(self, instr: Call) -> None:
+        self.makes_calls = True
+        int_args = iter(ARG_REGS)
+        fp_args = iter(FARG_REGS)
+        for arg in instr.args:
+            reg = self.reg_of(arg)
+            if arg.type is Type.FLOAT:
+                phys = next(fp_args, None)
+                opcode = "fmov"
+            else:
+                phys = next(int_args, None)
+                opcode = "mov"
+            if phys is None:
+                raise NotImplementedError(
+                    f"call to {instr.callee}: too many arguments"
+                )
+            self.emit(MachineInstr(opcode, dst=phys, srcs=(reg,)))
+        self.emit(MachineInstr("jal", target=instr.callee))
+        if instr.dst is not None:
+            if instr.dst.type is Type.FLOAT:
+                self.emit(
+                    MachineInstr("fmov", dst=self.vreg_of(instr.dst), srcs=(FRV,))
+                )
+            else:
+                self.emit(
+                    MachineInstr("mov", dst=self.vreg_of(instr.dst), srcs=(RV,))
+                )
+
+    def select_terminator(self, term) -> None:
+        if isinstance(term, Jump):
+            self.emit(MachineInstr("j", target=term.target))
+        elif isinstance(term, Branch):
+            cond = self.reg_of(term.cond)
+            self.emit(MachineInstr("bnez", srcs=(cond,), target=term.then_target))
+            self.emit(MachineInstr("j", target=term.else_target))
+        elif isinstance(term, Return):
+            if term.value is not None:
+                if term.value.type is Type.FLOAT:
+                    reg = self.reg_of(term.value)
+                    self.emit(MachineInstr("fmov", dst=FRV, srcs=(reg,)))
+                else:
+                    reg = self.reg_of(term.value)
+                    self.emit(MachineInstr("mov", dst=RV, srcs=(reg,)))
+            self.emit(MachineInstr("jr"))
+        else:
+            raise TypeError(f"cannot select terminator {term!r}")
+
+
+def select_function(func: Function) -> MachineFunction:
+    """Lower one IR function to machine code over virtual registers."""
+    return _Selector(func).select_function()
+
+
+def select_module(module: Module) -> Dict[str, MachineFunction]:
+    return {
+        name: select_function(func)
+        for name, func in module.functions.items()
+    }

@@ -1,0 +1,167 @@
+"""Linking: machine functions -> a runnable executable image.
+
+Lays out code (a startup stub, then ``main``, then the other functions),
+drops fall-through jumps, resolves branch/call targets to instruction
+addresses, places globals in the data segment and records their initial
+values.  Instructions occupy 4 bytes of I-cache address space each; data
+is word (8-byte) addressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.codegen.isa import MachineInstr, OpClass
+from repro.codegen.isel import MachineFunction
+from repro.ir import Module
+from repro.ir.types import Type, WORD_SIZE
+
+#: Base address of the data segment.
+DATA_BASE = 0x100000
+#: Base byte address of the text segment (for I-cache indexing).
+TEXT_BASE = 0x1000
+#: Bytes per instruction.
+INSTR_BYTES = 4
+#: Initial stack pointer (stack grows down).
+STACK_BASE = 0x7FFF0000
+
+
+@dataclass
+class GlobalSymbol:
+    name: str
+    address: int
+    count: int
+    is_float: bool
+    init: Optional[List[Union[int, float]]]
+
+
+@dataclass
+class Executable:
+    """A linked program image."""
+
+    instrs: List[MachineInstr]
+    entry_pc: int
+    symbols: Dict[str, GlobalSymbol]
+    function_entries: Dict[str, int]
+    data_base: int = DATA_BASE
+    data_size: int = 0
+    stack_base: int = STACK_BASE
+
+    @property
+    def text_size_bytes(self) -> int:
+        return len(self.instrs) * INSTR_BYTES
+
+    def pc_to_byte_addr(self, pc: int) -> int:
+        return TEXT_BASE + pc * INSTR_BYTES
+
+    def global_addr(self, name: str) -> int:
+        return self.symbols[name].address
+
+    def disassemble(self) -> str:
+        pc_to_func = {pc: name for name, pc in self.function_entries.items()}
+        lines = []
+        for pc, instr in enumerate(self.instrs):
+            if pc in pc_to_func:
+                lines.append(f"{pc_to_func[pc]}:")
+            lines.append(f"  {pc:5d}: {instr!r}")
+        return "\n".join(lines)
+
+
+def link_module(
+    module: Module, machine_funcs: Dict[str, MachineFunction]
+) -> Executable:
+    """Link machine functions against the module's global layout."""
+    if "main" not in machine_funcs:
+        raise ValueError("program has no main function")
+
+    # ------------------------------------------------------------------
+    # Data segment layout.
+    symbols: Dict[str, GlobalSymbol] = {}
+    addr = DATA_BASE
+    for g in module.globals.values():
+        symbols[g.name] = GlobalSymbol(
+            name=g.name,
+            address=addr,
+            count=g.count,
+            is_float=g.type is Type.FLOAT,
+            init=list(g.init) if g.init else None,
+        )
+        addr += g.count * WORD_SIZE
+    data_size = addr - DATA_BASE
+
+    # ------------------------------------------------------------------
+    # Code layout: startup stub, then main, then everything else.
+    order = ["main"] + sorted(n for n in machine_funcs if n != "main")
+    instrs: List[MachineInstr] = [
+        MachineInstr("jal", target="main"),
+        MachineInstr("halt"),
+    ]
+    function_entries: Dict[str, int] = {}
+    block_pcs: Dict[Tuple[str, str], int] = {}
+
+    # First pass: drop fall-through jumps, then assign pcs.
+    laid_out: List[Tuple[str, MachineInstr]] = []  # (function, instr)
+    for fname in order:
+        mf = machine_funcs[fname]
+        block_labels = [b.label for b in mf.blocks]
+        next_label = {
+            block_labels[i]: block_labels[i + 1]
+            for i in range(len(block_labels) - 1)
+        }
+        pending_blocks = []
+        for b in mf.blocks:
+            body = list(b.instrs)
+            if (
+                body
+                and body[-1].op_class is OpClass.JUMP
+                and body[-1].target == next_label.get(b.label)
+            ):
+                body = body[:-1]
+            pending_blocks.append((b.label, body))
+        function_entries[fname] = len(instrs)
+        for label, body in pending_blocks:
+            block_pcs[(fname, label)] = len(instrs)
+            for instr in body:
+                instrs.append(instr)
+                laid_out.append((fname, instr))
+
+    # ------------------------------------------------------------------
+    # Resolve targets and addresses.
+    for pc, instr in enumerate(instrs):
+        cls = instr.op_class
+        if instr.op == "la":
+            instr.imm = symbols[instr.target].address
+            instr.target_pc = None
+        elif cls is OpClass.CALL:
+            instr.target_pc = function_entries[instr.target]
+        elif cls in (OpClass.BRANCH, OpClass.JUMP):
+            fname = _owner_function(pc, function_entries, order, len(instrs))
+            instr.target_pc = block_pcs[(fname, instr.target)]
+
+    return Executable(
+        instrs=instrs,
+        entry_pc=0,
+        symbols=symbols,
+        function_entries=function_entries,
+        data_size=data_size,
+    )
+
+
+def _owner_function(
+    pc: int,
+    entries: Dict[str, int],
+    order: List[str],
+    total: int,
+) -> str:
+    """Which function the instruction at ``pc`` belongs to."""
+    owner = None
+    best = -1
+    for fname in order:
+        start = entries[fname]
+        if start <= pc and start > best:
+            best = start
+            owner = fname
+    if owner is None:
+        raise ValueError(f"pc {pc} precedes all functions")
+    return owner

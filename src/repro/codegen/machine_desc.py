@@ -1,0 +1,84 @@
+"""Machine description: functional units and latencies.
+
+The paper ties the functional-unit configuration to the issue width
+("Since the number of functional units is usually dependent on the issue
+width, we use the issue width parameter to determine the functional unit
+configuration") and compiles one gcc per FU configuration.  We do the
+same: :func:`MachineDescription.for_issue_width` derives the FU counts,
+and the instruction scheduler consumes the same description the timing
+simulator uses, so scheduling is consistent with the hardware by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.codegen.isa import OpClass
+
+#: Execution latency (cycles) per functional-unit class; memory-class
+#: latencies model address generation only -- the cache hierarchy adds
+#: its own latency in the simulator.
+DEFAULT_LATENCIES: Dict[OpClass, int] = {
+    OpClass.IALU: 1,
+    OpClass.IMULT: 3,
+    OpClass.FPALU: 2,
+    OpClass.FPMULT: 4,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.PREFETCH: 1,
+    OpClass.BRANCH: 1,
+    OpClass.JUMP: 1,
+    OpClass.CALL: 1,
+    OpClass.RET: 1,
+    OpClass.NOP: 1,
+}
+
+
+@dataclass(frozen=True)
+class MachineDescription:
+    """Functional-unit counts and latencies for one configuration."""
+
+    issue_width: int
+    #: Units per class that can *start* an operation each cycle.
+    fu_counts: Dict[OpClass, int] = field(hash=False, default=None)
+    latencies: Dict[OpClass, int] = field(hash=False, default=None)
+
+    @classmethod
+    def for_issue_width(cls, issue_width: int) -> "MachineDescription":
+        """The FU configuration implied by an issue width.
+
+        A 2-wide machine gets 2 integer ALUs, 1 multiplier, 1 FP adder,
+        1 FP multiplier and 1 memory port; a 4-wide machine doubles all
+        of that (SimpleScalar's default scaling).
+        """
+        if issue_width < 1:
+            raise ValueError("issue width must be positive")
+        scale = max(1, issue_width // 2)
+        fu_counts = {
+            OpClass.IALU: 2 * scale,
+            OpClass.IMULT: 1 * scale,
+            OpClass.FPALU: 1 * scale,
+            OpClass.FPMULT: 1 * scale,
+            OpClass.LOAD: 1 * scale,
+            OpClass.STORE: 1 * scale,
+            OpClass.PREFETCH: 1 * scale,
+            # Control ops contend only for issue bandwidth.
+            OpClass.BRANCH: issue_width,
+            OpClass.JUMP: issue_width,
+            OpClass.CALL: issue_width,
+            OpClass.RET: issue_width,
+            OpClass.NOP: issue_width,
+        }
+        return cls(
+            issue_width=issue_width,
+            fu_counts=fu_counts,
+            latencies=dict(DEFAULT_LATENCIES),
+        )
+
+    def latency(self, op_class: OpClass) -> int:
+        return self.latencies[op_class]
+
+    def units(self, op_class: OpClass) -> int:
+        return self.fu_counts[op_class]

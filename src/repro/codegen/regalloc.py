@@ -1,0 +1,302 @@
+"""Linear-scan register allocation.
+
+Live intervals are computed from block-level liveness (an interval spans
+from its first definition to its last use, extended across any block
+where the vreg is live-out, which covers loop-carried values).  Intervals
+that cross a call site must live in callee-saved registers; others prefer
+caller-saved.  When no register is free the interval with the furthest
+end point is spilled to a stack slot; spill code uses the reserved
+scratch registers, and the stack-slot addressing is patched later by
+frame lowering (spill memory ops carry ``target="__spill__"`` and the
+slot index in ``imm`` until then).
+
+Register pressure is a first-class modelling concern: unrolling and
+strength reduction lengthen live ranges, and whether that turns into
+spill traffic depends on ``-fomit-frame-pointer`` freeing ``r29`` --
+exactly the interaction structure the paper's models are built to learn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.codegen.isa import (
+    CALLEE_SAVED_FP,
+    CALLEE_SAVED_INT,
+    CALLER_SAVED_FP,
+    CALLER_SAVED_INT,
+    FP_REG,
+    MachineInstr,
+    OpClass,
+    Reg,
+    SCRATCH_FP,
+    SCRATCH_INT,
+)
+from repro.codegen.isel import FIRST_VREG, MachineBlock, MachineFunction
+
+
+def _is_vreg(reg: Reg) -> bool:
+    return reg >= FIRST_VREG
+
+
+@dataclass
+class _Interval:
+    vreg: int
+    start: int
+    end: int
+    is_fp: bool
+    crosses_call: bool = False
+    phys: Optional[Reg] = None
+    slot: Optional[int] = None
+
+
+def _block_liveness(mf: MachineFunction) -> Dict[str, Set[int]]:
+    """Live-in vreg sets per machine block label."""
+    index = {b.label: b for b in mf.blocks}
+    # Successors: targets of branches/jumps that are block labels; a
+    # block falls through to nothing (isel always ends with explicit
+    # control flow).
+    succs: Dict[str, List[str]] = {}
+    for block in mf.blocks:
+        out: List[str] = []
+        for instr in block.instrs:
+            if instr.target is not None and instr.target in index:
+                if instr.op_class in (OpClass.BRANCH, OpClass.JUMP):
+                    out.append(instr.target)
+        succs[block.label] = out
+
+    use: Dict[str, Set[int]] = {}
+    define: Dict[str, Set[int]] = {}
+    for block in mf.blocks:
+        u: Set[int] = set()
+        d: Set[int] = set()
+        for instr in block.instrs:
+            for r in instr.regs_read():
+                if _is_vreg(r) and r not in d:
+                    u.add(r)
+            for r in instr.regs_written():
+                if _is_vreg(r):
+                    d.add(r)
+        use[block.label] = u
+        define[block.label] = d
+
+    live_in: Dict[str, Set[int]] = {b.label: set() for b in mf.blocks}
+    live_out: Dict[str, Set[int]] = {b.label: set() for b in mf.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(mf.blocks):
+            label = block.label
+            out: Set[int] = set()
+            for s in succs[label]:
+                out |= live_in[s]
+            inn = use[label] | (out - define[label])
+            if out != live_out[label] or inn != live_in[label]:
+                live_out[label] = out
+                live_in[label] = inn
+                changed = True
+    return live_in, live_out
+
+
+def _build_intervals(mf: MachineFunction) -> Tuple[List[_Interval], List[int]]:
+    live_in, live_out = _block_liveness(mf)
+    pos = 0
+    starts: Dict[int, int] = {}
+    ends: Dict[int, int] = {}
+    call_positions: List[int] = []
+
+    def touch(vreg: int, p: int) -> None:
+        if vreg not in starts:
+            starts[vreg] = p
+        ends[vreg] = max(ends.get(vreg, p), p)
+
+    for block in mf.blocks:
+        block_start = pos
+        block_end = pos + len(block.instrs) - 1 if block.instrs else pos
+        for instr in block.instrs:
+            for r in instr.regs_read():
+                if _is_vreg(r):
+                    touch(r, pos)
+            for r in instr.regs_written():
+                if _is_vreg(r):
+                    touch(r, pos)
+            if instr.op_class is OpClass.CALL:
+                call_positions.append(pos)
+            pos += 1
+        for vreg in live_in[block.label]:
+            touch(vreg, block_start)
+        for vreg in live_out[block.label]:
+            touch(vreg, block_end)
+
+    intervals = [
+        _Interval(
+            vreg=v,
+            start=starts[v],
+            end=ends[v],
+            is_fp=mf.vreg_is_fp.get(v, False),
+        )
+        for v in starts
+    ]
+    for iv in intervals:
+        iv.crosses_call = any(
+            iv.start <= c <= iv.end for c in call_positions
+        )
+    intervals.sort(key=lambda iv: (iv.start, iv.end))
+    return intervals, call_positions
+
+
+class _Pools:
+    """Free physical registers, split by bank and save class."""
+
+    def __init__(self, omit_frame_pointer: bool):
+        callee_int = list(CALLEE_SAVED_INT)
+        if omit_frame_pointer:
+            callee_int.append(FP_REG)
+        self.free = {
+            (False, "caller"): list(CALLER_SAVED_INT),
+            (False, "callee"): callee_int,
+            (True, "caller"): list(CALLER_SAVED_FP),
+            (True, "callee"): list(CALLEE_SAVED_FP),
+        }
+
+    def take(self, is_fp: bool, crosses_call: bool) -> Optional[Tuple[Reg, str]]:
+        if crosses_call:
+            order = ["callee"]
+        else:
+            order = ["caller", "callee"]
+        for kind in order:
+            pool = self.free[(is_fp, kind)]
+            if pool:
+                return pool.pop(0), kind
+        return None
+
+    def release(self, reg: Reg, is_fp: bool, kind: str) -> None:
+        self.free[(is_fp, kind)].append(reg)
+
+
+def allocate_registers(
+    mf: MachineFunction, omit_frame_pointer: bool
+) -> MachineFunction:
+    """Allocate physical registers in place; returns ``mf``."""
+    intervals, _calls = _build_intervals(mf)
+    pools = _Pools(omit_frame_pointer)
+    active: List[Tuple[_Interval, str]] = []  # (interval, pool kind)
+    next_slot = 0
+    assignment: Dict[int, _Interval] = {}
+
+    for iv in intervals:
+        # Expire finished intervals.
+        still_active = []
+        for act, kind in active:
+            if act.end < iv.start:
+                pools.release(act.phys, act.is_fp, kind)
+            else:
+                still_active.append((act, kind))
+        active = still_active
+
+        got = pools.take(iv.is_fp, iv.crosses_call)
+        if got is None:
+            # Spill: evict the compatible active interval ending furthest
+            # in the future, or spill this one.
+            candidates = [
+                (act, kind)
+                for act, kind in active
+                if act.is_fp == iv.is_fp
+                and (not iv.crosses_call or kind == "callee")
+                and (not act.crosses_call or kind == "callee")
+            ]
+            victim = None
+            if candidates:
+                victim = max(candidates, key=lambda ak: ak[0].end)
+            if victim is not None and victim[0].end > iv.end:
+                act, kind = victim
+                iv.phys = act.phys
+                act.phys = None
+                act.slot = next_slot
+                next_slot += 1
+                active.remove(victim)
+                active.append((iv, kind))
+            else:
+                iv.slot = next_slot
+                next_slot += 1
+        else:
+            reg, kind = got
+            iv.phys = reg
+            active.append((iv, kind))
+        assignment[iv.vreg] = iv
+
+    mf.spill_slots = next_slot
+    used_callee: Set[Reg] = set()
+    callee_set = set(CALLEE_SAVED_INT) | set(CALLEE_SAVED_FP) | {FP_REG}
+    for iv in intervals:
+        if iv.phys is not None and iv.phys in callee_set:
+            used_callee.add(iv.phys)
+    mf.used_callee_saved = tuple(sorted(used_callee))
+
+    _rewrite(mf, assignment)
+    return mf
+
+
+def _spill_load(slot: int, scratch: Reg, is_fp: bool) -> MachineInstr:
+    return MachineInstr(
+        "fld" if is_fp else "ld",
+        dst=scratch,
+        srcs=(0,),  # base patched by frame lowering
+        imm=slot,
+        target="__spill__",
+    )
+
+
+def _spill_store(slot: int, scratch: Reg, is_fp: bool) -> MachineInstr:
+    return MachineInstr(
+        "fst" if is_fp else "st",
+        srcs=(0, scratch),  # base patched by frame lowering
+        imm=slot,
+        target="__spill__",
+    )
+
+
+def _rewrite(mf: MachineFunction, assignment: Dict[int, _Interval]) -> None:
+    """Substitute physical registers and insert spill code."""
+    for block in mf.blocks:
+        new_instrs: List[MachineInstr] = []
+        for instr in block.instrs:
+            pre: List[MachineInstr] = []
+            post: List[MachineInstr] = []
+            scratch_int = list(SCRATCH_INT)
+            scratch_fp = list(SCRATCH_FP)
+
+            def resolve(reg: Reg, for_write: bool) -> Reg:
+                if not _is_vreg(reg):
+                    return reg
+                iv = assignment[reg]
+                if iv.phys is not None:
+                    return iv.phys
+                scratch_pool = scratch_fp if iv.is_fp else scratch_int
+                if not scratch_pool:
+                    raise RuntimeError(
+                        "out of scratch registers for spill code"
+                    )
+                scratch = scratch_pool.pop(0)
+                if for_write:
+                    post.append(_spill_store(iv.slot, scratch, iv.is_fp))
+                else:
+                    pre.append(_spill_load(iv.slot, scratch, iv.is_fp))
+                return scratch
+
+            new_srcs = tuple(resolve(r, False) for r in instr.srcs)
+            # The destination may reuse a source scratch register: reset
+            # pools so a spilled dst gets the first scratch again (the
+            # source reloads have already been emitted).
+            scratch_int = list(SCRATCH_INT)
+            scratch_fp = list(SCRATCH_FP)
+            new_dst = (
+                resolve(instr.dst, True) if instr.dst is not None else None
+            )
+            instr.srcs = new_srcs
+            instr.dst = new_dst
+            new_instrs.extend(pre)
+            new_instrs.append(instr)
+            new_instrs.extend(post)
+        block.instrs = new_instrs

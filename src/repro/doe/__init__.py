@@ -1,0 +1,33 @@
+"""Design of experiments (paper Section 3).
+
+The domain is far too large to sample exhaustively (the full Table 1 +
+Table 2 grid has ~3.5e15 points), so design points are chosen by a
+**D-optimal design**: from a candidate set Z, pick the n-point subset X
+whose information matrix ``det(F'F)`` (F = model-matrix expansion of X) is
+maximal.  We implement the classical Fedorov exchange algorithm with
+rank-one determinant updates, candidate generation by random grid sampling
+and Latin hypercube sampling, and design augmentation (D-optimal designs
+are extensible -- Section 3).
+"""
+
+from repro.doe.candidates import random_candidates, latin_hypercube_candidates
+from repro.doe.model_matrix import ModelMatrixBuilder, TermSpec
+from repro.doe.doptimal import (
+    DOptimalResult,
+    d_optimal_design,
+    augment_design,
+    log_det_information,
+    d_efficiency,
+)
+
+__all__ = [
+    "random_candidates",
+    "latin_hypercube_candidates",
+    "ModelMatrixBuilder",
+    "TermSpec",
+    "DOptimalResult",
+    "d_optimal_design",
+    "augment_design",
+    "log_det_information",
+    "d_efficiency",
+]

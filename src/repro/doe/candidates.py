@@ -1,0 +1,51 @@
+"""Candidate design-point generation.
+
+A D-optimal design is selected from a finite candidate set (Section 3:
+"first generating a set of candidate design points (either randomly or
+through methods such as latin hypercube sampling)").  Both generators below
+return *coded* candidate matrices whose rows are legal grid points of the
+parameter space.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.space import ParameterSpace
+
+
+def random_candidates(
+    space: ParameterSpace, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``n`` uniformly random grid points, coded, as an ``(n, dim)`` matrix.
+
+    Duplicates are allowed (the exchange algorithm handles them) but are
+    unlikely in large spaces.
+    """
+    rows = np.empty((n, space.dim))
+    for j, var in enumerate(space.variables):
+        coded_levels = np.array(var.coded_levels())
+        rows[:, j] = coded_levels[rng.integers(var.levels, size=n)]
+    return rows
+
+
+def latin_hypercube_candidates(
+    space: ParameterSpace, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``n`` Latin-hypercube-sampled grid points, coded.
+
+    Each variable's levels are visited in a stratified fashion: the n
+    samples are spread evenly over the variable's level range and then
+    randomly permuted, which guarantees good one-dimensional coverage.
+    """
+    rows = np.empty((n, space.dim))
+    for j, var in enumerate(space.variables):
+        coded_levels = np.array(var.coded_levels())
+        # Stratify the n samples across levels: level index of sample i is
+        # floor(perm[i] * levels / n), covering all levels nearly evenly.
+        perm = rng.permutation(n)
+        idx = (perm * var.levels) // n
+        rows[:, j] = coded_levels[idx]
+    return rows

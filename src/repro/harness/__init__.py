@@ -1,0 +1,31 @@
+"""Experiment harness: glue between the substrate and the modeling core.
+
+:mod:`repro.harness.measure` is the oracle -- "compile the workload at
+these Table 1 settings, simulate it at these Table 2 settings, return
+cycles" -- with trace and measurement caches (plus an optional on-disk
+cache so the benchmark suite can share measurements across runs).
+
+:mod:`repro.harness.experiments` implements one driver per table/figure
+of the paper's evaluation; :mod:`repro.harness.report` renders
+paper-vs-measured text tables.
+"""
+
+from repro.harness.measure import (
+    Measurement,
+    MeasurementEngine,
+    default_engine,
+)
+from repro.harness.configs import (
+    TABLE5_CONFIGS,
+    microarch_point,
+    split_point,
+)
+
+__all__ = [
+    "Measurement",
+    "MeasurementEngine",
+    "default_engine",
+    "TABLE5_CONFIGS",
+    "microarch_point",
+    "split_point",
+]

@@ -1,0 +1,37 @@
+"""Named configurations and design-point plumbing."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.opt.flags import CompilerConfig, O2, O3
+from repro.sim.config import AGGRESSIVE, CONSTRAINED, MicroarchConfig, TYPICAL
+from repro.space import COMPILER_VARIABLE_NAMES, MICROARCH_VARIABLE_NAMES
+
+#: The paper's Table 5 microarchitectural configurations.
+TABLE5_CONFIGS: Dict[str, MicroarchConfig] = {
+    "constrained": CONSTRAINED,
+    "typical": TYPICAL,
+    "aggressive": AGGRESSIVE,
+}
+
+
+def split_point(
+    point: Mapping[str, float],
+) -> Tuple[CompilerConfig, MicroarchConfig]:
+    """Split a 25-variable design point into the two config objects."""
+    return CompilerConfig.from_point(point), MicroarchConfig.from_point(point)
+
+
+def microarch_point(config: MicroarchConfig) -> Dict[str, float]:
+    """The Table 2 part of a design point for a given configuration."""
+    return config.to_point()
+
+
+def joint_point(
+    compiler: CompilerConfig, microarch: MicroarchConfig
+) -> Dict[str, float]:
+    """Full 25-variable point from the two config objects."""
+    point = compiler.to_point()
+    point.update(microarch.to_point())
+    return point

@@ -1,0 +1,111 @@
+"""Measurement corpus: the shared train/test data behind the experiments.
+
+The corpus holds, per workload, a D-optimal training design (grown by
+successive augmentation so its prefixes are themselves D-optimal-ish --
+which is what the Figure 5 learning curves slice) and an independent
+random test design, with measured execution times for both.
+
+Experiment scale follows the ``REPRO_SCALE`` environment variable
+(default 1.0): the paper's 400/100 train/test corresponds roughly to
+``REPRO_SCALE=3.5``; the default keeps a full benchmark run tractable on
+one core.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.doe import augment_design, d_optimal_design, random_candidates
+from repro.harness.measure import MeasurementEngine, default_engine
+from repro.space import ParameterSpace, full_space
+from repro.workloads import workload_names
+
+
+def scale_factor() -> float:
+    try:
+        return float(os.environ.get("REPRO_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+
+
+def scaled(n: int, minimum: int = 8) -> int:
+    return max(minimum, int(round(n * scale_factor())))
+
+
+@dataclass
+class WorkloadData:
+    """Measured design data for one workload."""
+
+    workload: str
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+
+
+@dataclass
+class Corpus:
+    space: ParameterSpace
+    data: Dict[str, WorkloadData]
+    #: Sizes at which the training design was augmented (nested prefixes).
+    growth_steps: List[int]
+
+
+def build_design(
+    space: ParameterSpace,
+    n_train: int,
+    rng: np.random.Generator,
+    n_candidates: int = 600,
+    initial: int = 30,
+    step: int = 25,
+) -> "tuple[np.ndarray, List[int]]":
+    """A D-optimal design grown by augmentation (nested prefixes)."""
+    candidates = random_candidates(space, n_candidates, rng)
+    first = min(initial, n_train)
+    design = d_optimal_design(candidates, first, rng).design
+    steps = [first]
+    while design.shape[0] < n_train:
+        add = min(step, n_train - design.shape[0])
+        extra = augment_design(design, candidates, add, rng)
+        design = np.vstack([design, extra.design])
+        steps.append(design.shape[0])
+    return design, steps
+
+
+def build_corpus(
+    workloads: Optional[Sequence[str]] = None,
+    n_train: Optional[int] = None,
+    n_test: Optional[int] = None,
+    seed: int = 20070313,
+    engine: Optional[MeasurementEngine] = None,
+    input_name: str = "train",
+    progress: bool = False,
+) -> Corpus:
+    """Measure the experiment corpus (heavily cached across calls)."""
+    engine = engine or default_engine()
+    space = full_space()
+    rng = np.random.default_rng(seed)
+    names = list(workloads) if workloads else workload_names()
+    n_train = n_train if n_train is not None else scaled(110)
+    n_test = n_test if n_test is not None else scaled(35)
+
+    x_train, steps = build_design(space, n_train, rng)
+    x_test = random_candidates(space, n_test, rng)
+
+    data: Dict[str, WorkloadData] = {}
+    for name in names:
+        y_train = np.empty(x_train.shape[0])
+        for i, row in enumerate(x_train):
+            y_train[i] = engine.cycles(name, space.decode(row), input_name)
+            if progress and (i + 1) % 20 == 0:
+                print(f"  {name}: measured {i + 1}/{x_train.shape[0]} train")
+        y_test = np.empty(x_test.shape[0])
+        for i, row in enumerate(x_test):
+            y_test[i] = engine.cycles(name, space.decode(row), input_name)
+        data[name] = WorkloadData(name, x_train, y_train, x_test, y_test)
+        engine.save()
+    return Corpus(space=space, data=data, growth_steps=steps)

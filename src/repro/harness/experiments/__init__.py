@@ -1,0 +1,45 @@
+"""One driver per table/figure of the paper's evaluation section."""
+
+from repro.harness.experiments.accuracy import (
+    Table3Result,
+    run_table3,
+    run_fig5_learning_curves,
+    run_fig6_scatter,
+)
+from repro.harness.experiments.interpret import (
+    run_table4_mars_effects,
+    run_fig3_unroll_icache,
+)
+from repro.harness.experiments.search import (
+    SearchOutcome,
+    run_model_search,
+    run_fig7_speedups,
+    run_table7_pgo,
+)
+from repro.harness.experiments.sampling import run_smarts_accuracy
+from repro.harness.experiments.ablations import (
+    run_design_ablation,
+    run_rbf_ablation,
+)
+from repro.harness.experiments.codesign import (
+    run_joint_search,
+    run_microarch_search,
+)
+
+__all__ = [
+    "Table3Result",
+    "run_table3",
+    "run_fig5_learning_curves",
+    "run_fig6_scatter",
+    "run_table4_mars_effects",
+    "run_fig3_unroll_icache",
+    "SearchOutcome",
+    "run_model_search",
+    "run_fig7_speedups",
+    "run_table7_pgo",
+    "run_smarts_accuracy",
+    "run_design_ablation",
+    "run_rbf_ablation",
+    "run_joint_search",
+    "run_microarch_search",
+]

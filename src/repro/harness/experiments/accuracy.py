@@ -1,0 +1,115 @@
+"""Model-accuracy experiments: Table 3, Figure 5, Figure 6."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.harness.corpus import Corpus, WorkloadData
+from repro.harness.model_zoo import standard_factories
+from repro.models.metrics import r_squared
+from repro.pipeline import LearningCurvePoint, evaluate_model, learning_curve
+
+
+@dataclass
+class Table3Result:
+    """Average % prediction error per workload and model family."""
+
+    errors: Dict[str, Dict[str, float]]
+    averages: Dict[str, float]
+
+    def ranking_ok(self) -> bool:
+        """Paper's headline ordering: rbf <= mars <= linear on average."""
+        avg = self.averages
+        return avg["rbf-rt"] <= avg["mars"] <= avg["linear"]
+
+
+def run_table3(corpus: Corpus) -> Table3Result:
+    """Fit the three model families per workload; test-set MAPE."""
+    errors: Dict[str, Dict[str, float]] = {}
+    for name, data in corpus.data.items():
+        factories = standard_factories(
+            corpus.space.names, data.x_train.shape[0]
+        )
+        errors[name] = {}
+        for model_name, factory in factories.items():
+            model = factory()
+            model.fit(data.x_train, data.y_train)
+            mean_err, _std = evaluate_model(model, data.x_test, data.y_test)
+            errors[name][model_name] = mean_err
+    model_names = ["linear", "mars", "rbf-rt"]
+    averages = {
+        m: float(np.mean([errors[w][m] for w in errors])) for m in model_names
+    }
+    return Table3Result(errors=errors, averages=averages)
+
+
+def run_fig5_learning_curves(
+    corpus: Corpus,
+    sizes: Optional[Sequence[int]] = None,
+    model: str = "rbf-rt",
+) -> Dict[str, List[LearningCurvePoint]]:
+    """RBF accuracy (mean±std % error) vs training-set size, per workload.
+
+    Uses nested prefixes of the augmented D-optimal design, mirroring the
+    paper's iteratively grown designs.
+    """
+    curves: Dict[str, List[LearningCurvePoint]] = {}
+    for name, data in corpus.data.items():
+        use_sizes = list(sizes) if sizes else corpus.growth_steps
+        factory = standard_factories(
+            corpus.space.names, data.x_train.shape[0]
+        )[model]
+        curves[name] = learning_curve(
+            data.x_train,
+            data.y_train,
+            data.x_test,
+            data.y_test,
+            factory,
+            use_sizes,
+        )
+    return curves
+
+
+@dataclass
+class ScatterResult:
+    """Actual-vs-predicted pairs for one workload (Figure 6)."""
+
+    workload: str
+    actual: np.ndarray
+    predicted: np.ndarray
+
+    @property
+    def r2(self) -> float:
+        return r_squared(self.actual, self.predicted)
+
+    @property
+    def max_abs_pct_error(self) -> float:
+        return float(
+            np.max(np.abs(self.predicted - self.actual) / self.actual) * 100
+        )
+
+
+def run_fig6_scatter(
+    corpus: Corpus,
+    workloads: Sequence[str] = ("art", "vortex", "mcf"),
+) -> List[ScatterResult]:
+    """Test-set actual vs RBF-predicted execution times."""
+    results = []
+    for name in workloads:
+        data = corpus.data[name]
+        factory = standard_factories(
+            corpus.space.names, data.x_train.shape[0]
+        )["rbf-rt"]
+        model = factory()
+        model.fit(data.x_train, data.y_train)
+        results.append(
+            ScatterResult(
+                workload=name,
+                actual=data.y_test.copy(),
+                predicted=model.predict(data.x_test),
+            )
+        )
+    return results

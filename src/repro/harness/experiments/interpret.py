@@ -1,0 +1,134 @@
+"""Interpretability experiments: Table 4 (MARS effects) and Figure 3."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.harness.configs import joint_point
+from repro.harness.corpus import Corpus
+from repro.harness.measure import MeasurementEngine, default_engine
+from repro.harness.model_zoo import standard_factories
+from repro.models import LinearModel
+from repro.opt.flags import O2, CompilerConfig
+from repro.sim.config import TYPICAL, MicroarchConfig
+from repro.space import (
+    COMPILER_VARIABLE_NAMES,
+    MICROARCH_VARIABLE_NAMES,
+    full_space,
+)
+
+
+@dataclass
+class MarsEffects:
+    """Named MARS effect coefficients for one workload (Table 4 style)."""
+
+    workload: str
+    #: term name -> coefficient (coded scale: half the low->high change).
+    effects: Dict[str, float]
+
+    def top(self, k: int = 12) -> List[Tuple[str, float]]:
+        items = [
+            (name, value)
+            for name, value in self.effects.items()
+            if name != "(intercept)"
+        ]
+        items.sort(key=lambda kv: -abs(kv[1]))
+        return items[:k]
+
+    def _group_magnitude(self, wanted: Sequence[str]) -> float:
+        total = 0.0
+        for name, value in self.effects.items():
+            if name == "(intercept)":
+                continue
+            vars_in = name.split(" * ")
+            if all(v in wanted for v in vars_in):
+                total += abs(value)
+        return total
+
+    @property
+    def microarch_magnitude(self) -> float:
+        return self._group_magnitude(MICROARCH_VARIABLE_NAMES)
+
+    @property
+    def compiler_magnitude(self) -> float:
+        return self._group_magnitude(COMPILER_VARIABLE_NAMES)
+
+
+def run_table4_mars_effects(corpus: Corpus) -> Dict[str, MarsEffects]:
+    """Fit MARS per workload and extract effect coefficients."""
+    results: Dict[str, MarsEffects] = {}
+    for name, data in corpus.data.items():
+        factory = standard_factories(
+            corpus.space.names, data.x_train.shape[0]
+        )["mars"]
+        model = factory()
+        model.fit(data.x_train, data.y_train)
+        results[name] = MarsEffects(name, model.named_effects())
+    return results
+
+
+@dataclass
+class Fig3Result:
+    """art runtime over the unroll-factor x icache-size grid."""
+
+    unroll_factors: List[int]
+    icache_sizes: List[int]
+    #: cycles[(factor, size)] measured.
+    cycles: Dict[Tuple[int, int], float]
+    #: Linear-model fit over the unroll axis for the smallest icache.
+    linear_prediction: Dict[int, float]
+
+    def column(self, icache: int) -> List[float]:
+        return [self.cycles[(u, icache)] for u in self.unroll_factors]
+
+
+def run_fig3_unroll_icache(
+    engine: Optional[MeasurementEngine] = None,
+    workload: str = "art",
+    unroll_factors: Sequence[int] = (4, 6, 8, 10, 12),
+    icache_sizes_kb: Sequence[int] = (8, 32, 128),
+) -> Fig3Result:
+    """Measure the Figure 3 response surface.
+
+    Unrolling is enabled on top of -O2 with ``max_unroll_times`` swept;
+    the linear-model overlay shows why a global linear fit cannot follow
+    the dip-then-rise response (Section 4.1's motivating example).
+    """
+    engine = engine or default_engine()
+    cycles: Dict[Tuple[int, int], float] = {}
+    import dataclasses
+
+    # A narrow, small-window machine: unrolling's benefit (fetch/issue
+    # overhead removal) and its cost (register pressure spills) are both
+    # largest there, which is where the paper's dip-then-rise response
+    # is clearest.
+    base = dataclasses.replace(TYPICAL, issue_width=2, ruu_size=16)
+    for kb in icache_sizes_kb:
+        microarch = dataclasses.replace(base, icache_size=kb * 1024)
+        for unroll in unroll_factors:
+            compiler = dataclasses.replace(
+                O2,
+                unroll_loops=True,
+                max_unroll_times=unroll,
+                max_unrolled_insns=300,
+            )
+            m = engine.measure_configs(workload, compiler, microarch)
+            cycles[(unroll, kb * 1024)] = m.cycles
+    engine.save()
+
+    # Simple 1-D linear fit of cycles vs unroll factor at the smallest
+    # icache, showing the inadequacy of the global linear form.
+    smallest = min(icache_sizes_kb) * 1024
+    xs = np.array(unroll_factors, dtype=float)
+    ys = np.array([cycles[(u, smallest)] for u in unroll_factors])
+    slope, intercept = np.polyfit(xs, ys, 1)
+    prediction = {u: float(slope * u + intercept) for u in unroll_factors}
+    return Fig3Result(
+        unroll_factors=list(unroll_factors),
+        icache_sizes=[kb * 1024 for kb in icache_sizes_kb],
+        cycles=cycles,
+        linear_prediction=prediction,
+    )

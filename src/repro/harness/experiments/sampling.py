@@ -1,0 +1,67 @@
+"""SMARTS validation (paper Section 5's sampling-accuracy claim)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.codegen import compile_module
+from repro.opt.flags import O2
+from repro.sim import simulate
+from repro.sim.config import TYPICAL, MicroarchConfig
+from repro.sim.func import execute
+from repro.workloads import get_workload, workload_names
+
+
+@dataclass
+class SmartsAccuracyRow:
+    workload: str
+    detailed_cycles: float
+    smarts_cycles: float
+    claimed_ci_pct: float
+    sampled_units: int
+
+    @property
+    def actual_error_pct(self) -> float:
+        return (
+            abs(self.smarts_cycles - self.detailed_cycles)
+            / self.detailed_cycles
+            * 100.0
+        )
+
+
+def run_smarts_accuracy(
+    workloads: Optional[Sequence[str]] = None,
+    microarch: MicroarchConfig = TYPICAL,
+    interval: int = 10,
+    unit_size: int = 1000,
+) -> List[SmartsAccuracyRow]:
+    """Compare SMARTS estimates against exhaustive detailed simulation."""
+    rows = []
+    for name in workloads or workload_names():
+        module = get_workload(name).module("train")
+        exe = compile_module(module, O2, issue_width=microarch.issue_width)
+        functional = execute(exe, collect_trace=True)
+        detailed = simulate(
+            exe, microarch, mode="detailed", functional=functional
+        )
+        sampled = simulate(
+            exe,
+            microarch,
+            mode="smarts",
+            interval=interval,
+            unit_size=unit_size,
+            functional=functional,
+        )
+        rows.append(
+            SmartsAccuracyRow(
+                workload=name,
+                detailed_cycles=detailed.cycles,
+                smarts_cycles=sampled.cycles,
+                claimed_ci_pct=sampled.sampling_error * 100.0,
+                sampled_units=max(
+                    1, functional.instruction_count // (unit_size * interval)
+                ),
+            )
+        )
+    return rows

@@ -1,0 +1,261 @@
+"""The measurement oracle: design point -> execution time in cycles.
+
+Measuring a design point means: build the workload's binary for the
+point's compiler settings (and issue width -- the machine description
+depends on it, as in the paper's per-FU-configuration gcc builds), run
+it functionally once to get the dynamic trace and checksum, and estimate
+execution time with SMARTS sampling (or exhaustive detailed simulation).
+
+Caching layers:
+
+* binaries + traces are memoized on (workload, input, compiler key,
+  issue width), since the trace does not depend on the rest of the
+  microarchitecture;
+* (cycles, checksum) results are memoized on the full point, optionally
+  persisted to ``.repro_cache/measurements.json`` so the benchmark suite
+  reuses measurements across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.codegen import COMPILER_VERSION, compile_module
+from repro.harness.configs import split_point
+from repro.opt.flags import CompilerConfig
+from repro.sim import simulate
+from repro.sim.config import MicroarchConfig
+from repro.sim.func import execute
+from repro.workloads import get_workload
+
+
+@dataclass
+class Measurement:
+    """One measured design point."""
+
+    cycles: float
+    checksum: int
+    instructions: int
+    sampling_error: float
+    #: Static code size of the binary, in instructions (a secondary
+    #: response the paper mentions models can be built for).
+    code_size: int = 0
+
+
+class MeasurementEngine:
+    """Compiles, simulates and caches measurements.
+
+    Parameters
+    ----------
+    mode:
+        ``"smarts"`` (default, the paper's methodology) or ``"detailed"``.
+    smarts_interval:
+        Sampling interval for SMARTS (1 unit in every N measured).
+    cache_dir:
+        Directory for the persistent measurement cache; None disables
+        persistence (in-memory caching still applies).
+    max_cached_traces:
+        Traces are large; only this many binaries+traces stay resident.
+    """
+
+    def __init__(
+        self,
+        mode: str = "smarts",
+        smarts_interval: int = 3,
+        cache_dir: Optional[str] = None,
+        max_cached_traces: int = 6,
+    ):
+        self.mode = mode
+        self.smarts_interval = smarts_interval
+        self.max_cached_traces = max_cached_traces
+        self._trace_cache: "dict[tuple, tuple]" = {}
+        self._result_cache: Dict[str, Measurement] = {}
+        self._dirty = False
+        self.simulations = 0
+        self.compilations = 0
+        self._cache_path: Optional[Path] = None
+        if cache_dir is not None:
+            self._cache_path = Path(cache_dir) / "measurements.json"
+            self._load_disk_cache()
+
+    # ------------------------------------------------------------------
+    # Persistent cache
+    # ------------------------------------------------------------------
+    def _load_disk_cache(self) -> None:
+        if self._cache_path is None or not self._cache_path.exists():
+            return
+        try:
+            raw = json.loads(self._cache_path.read_text())
+        except (json.JSONDecodeError, OSError):
+            return
+        for key, value in raw.items():
+            value.setdefault("code_size", 0)
+            self._result_cache[key] = Measurement(**value)
+
+    def save(self) -> None:
+        """Flush the measurement cache to disk (no-op without cache_dir)."""
+        if self._cache_path is None or not self._dirty:
+            return
+        self._cache_path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            key: {
+                "cycles": m.cycles,
+                "checksum": m.checksum,
+                "instructions": m.instructions,
+                "sampling_error": m.sampling_error,
+                "code_size": m.code_size,
+            }
+            for key, m in self._result_cache.items()
+        }
+        self._cache_path.write_text(json.dumps(payload))
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    _fingerprints: Dict[Tuple[str, str], str] = {}
+
+    @classmethod
+    def _workload_fingerprint(cls, workload: str, input_name: str) -> str:
+        """Short hash of the workload's source so stale cache entries
+        from an edited workload can never be served."""
+        key = (workload, input_name)
+        if key not in cls._fingerprints:
+            source = get_workload(workload).source(input_name)
+            cls._fingerprints[key] = hashlib.md5(
+                source.encode()
+            ).hexdigest()[:10]
+        return cls._fingerprints[key]
+
+    @classmethod
+    def _result_key(
+        cls,
+        workload: str,
+        input_name: str,
+        compiler: CompilerConfig,
+        microarch: MicroarchConfig,
+        mode: str,
+        interval: int,
+    ) -> str:
+        parts = (
+            [
+                workload,
+                input_name,
+                cls._workload_fingerprint(workload, input_name),
+                f"cc{COMPILER_VERSION}",
+                mode,
+                str(interval),
+            ]
+            + [str(v) for v in compiler.cache_key()]
+            + [str(v) for v in microarch.cache_key()]
+        )
+        return "|".join(parts)
+
+    def _binary_and_trace(
+        self, workload: str, input_name: str, compiler: CompilerConfig, issue_width: int
+    ):
+        key = (workload, input_name, compiler.cache_key(), issue_width)
+        if key in self._trace_cache:
+            return self._trace_cache[key]
+        module = get_workload(workload).module(input_name)
+        exe = compile_module(module, compiler, issue_width=issue_width)
+        self.compilations += 1
+        functional = execute(exe, collect_trace=True)
+        if len(self._trace_cache) >= self.max_cached_traces:
+            # Evict the oldest entry (insertion order).
+            oldest = next(iter(self._trace_cache))
+            del self._trace_cache[oldest]
+        self._trace_cache[key] = (exe, functional)
+        return exe, functional
+
+    # ------------------------------------------------------------------
+    def measure(
+        self,
+        workload: str,
+        point: Mapping[str, float],
+        input_name: str = "train",
+    ) -> Measurement:
+        """Measure one full (compiler x microarch) design point."""
+        compiler, microarch = split_point(point)
+        return self.measure_configs(workload, compiler, microarch, input_name)
+
+    def measure_configs(
+        self,
+        workload: str,
+        compiler: CompilerConfig,
+        microarch: MicroarchConfig,
+        input_name: str = "train",
+    ) -> Measurement:
+        key = self._result_key(
+            workload, input_name, compiler, microarch, self.mode, self.smarts_interval
+        )
+        cached = self._result_cache.get(key)
+        if cached is not None:
+            return cached
+        exe, functional = self._binary_and_trace(
+            workload, input_name, compiler, microarch.issue_width
+        )
+        outcome = simulate(
+            exe,
+            microarch,
+            mode=self.mode,
+            interval=self.smarts_interval,
+            functional=functional,
+        )
+        self.simulations += 1
+        result = Measurement(
+            cycles=outcome.cycles,
+            checksum=outcome.return_value,
+            instructions=outcome.instructions,
+            sampling_error=outcome.sampling_error,
+            code_size=len(exe.instrs),
+        )
+        self._result_cache[key] = result
+        self._dirty = True
+        return result
+
+    def cycles(
+        self,
+        workload: str,
+        point: Mapping[str, float],
+        input_name: str = "train",
+    ) -> float:
+        return self.measure(workload, point, input_name).cycles
+
+    def oracle(self, workload: str, input_name: str = "train"):
+        """An oracle callable for :func:`repro.pipeline.build_model`."""
+
+        def _oracle(point: Mapping[str, float]) -> float:
+            return self.cycles(workload, point, input_name)
+
+        return _oracle
+
+    def code_size_oracle(self, workload: str, input_name: str = "train"):
+        """Oracle for the secondary code-size response (Section 2.2
+        notes models can be built for metrics beyond execution time)."""
+
+        def _oracle(point: Mapping[str, float]) -> float:
+            return float(self.measure(workload, point, input_name).code_size)
+
+        return _oracle
+
+
+_DEFAULT: Optional[MeasurementEngine] = None
+
+
+def default_engine() -> MeasurementEngine:
+    """Shared engine with the on-disk cache in ``.repro_cache``.
+
+    The cache directory can be overridden with ``REPRO_CACHE_DIR``;
+    setting it to ``0`` or ``off`` disables persistence.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+        if cache_dir.lower() in ("0", "off", "none", ""):
+            cache_dir = None
+        _DEFAULT = MeasurementEngine(cache_dir=cache_dir)
+    return _DEFAULT

@@ -1,0 +1,172 @@
+"""Text-table rendering for paper-vs-measured reporting."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.harness import paper_values
+from repro.harness.experiments.accuracy import ScatterResult, Table3Result
+from repro.harness.experiments.search import SearchOutcome, SpeedupRow
+from repro.pipeline import LearningCurvePoint
+
+
+def table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_table3(result: Table3Result) -> str:
+    """Table 3: measured errors side by side with the paper's."""
+    headers = [
+        "benchmark",
+        "linear",
+        "mars",
+        "rbf-rt",
+        "| paper:linear",
+        "mars",
+        "rbf-rt",
+    ]
+    rows = []
+    for name in result.errors:
+        ours = result.errors[name]
+        paper = paper_values.TABLE3.get(name, {})
+        rows.append(
+            [
+                name,
+                f"{ours['linear']:.2f}",
+                f"{ours['mars']:.2f}",
+                f"{ours['rbf-rt']:.2f}",
+                f"| {paper.get('linear', float('nan')):.2f}",
+                f"{paper.get('mars', float('nan')):.2f}",
+                f"{paper.get('rbf-rt', float('nan')):.2f}",
+            ]
+        )
+    avg = result.averages
+    pavg = paper_values.TABLE3_AVERAGE
+    rows.append(
+        [
+            "Average",
+            f"{avg['linear']:.2f}",
+            f"{avg['mars']:.2f}",
+            f"{avg['rbf-rt']:.2f}",
+            f"| {pavg['linear']:.2f}",
+            f"{pavg['mars']:.2f}",
+            f"{pavg['rbf-rt']:.2f}",
+        ]
+    )
+    note = (
+        "model ranking (rbf <= mars <= linear): "
+        + ("REPRODUCED" if result.ranking_ok() else "NOT reproduced")
+    )
+    return (
+        "Table 3 -- average % prediction error (ours | paper)\n"
+        + table(headers, rows)
+        + "\n"
+        + note
+    )
+
+
+def render_learning_curves(
+    curves: Mapping[str, List[LearningCurvePoint]]
+) -> str:
+    """Figure 5 as text: error (mean±std) per training size per program."""
+    lines = ["Figure 5 -- RBF test error vs training-set size"]
+    for name, points in curves.items():
+        series = "  ".join(
+            f"{p.n_samples}:{p.mean_error:.1f}±{p.std_error:.1f}"
+            for p in points
+        )
+        monotone = (
+            points[-1].mean_error <= points[0].mean_error
+            if len(points) >= 2
+            else True
+        )
+        tag = "(improves with samples)" if monotone else "(NON-monotone)"
+        lines.append(f"  {name:8s} {series}  {tag}")
+    return "\n".join(lines)
+
+
+def render_scatter(results: Sequence[ScatterResult]) -> str:
+    lines = ["Figure 6 -- actual vs predicted execution time (RBF)"]
+    for r in results:
+        lines.append(
+            f"  {r.workload:8s} r2={r.r2:.3f}  "
+            f"max |error|={r.max_abs_pct_error:.1f}%  n={len(r.actual)}"
+        )
+    return "\n".join(lines)
+
+
+def render_mars_effects(effects_by_workload, top: int = 10) -> str:
+    lines = [
+        "Table 4 -- key MARS effect coefficients "
+        "(coded scale; negative = bigger/on is faster)"
+    ]
+    for name, eff in effects_by_workload.items():
+        micro = eff.microarch_magnitude
+        comp = eff.compiler_magnitude
+        lines.append(
+            f"  {name}: |microarch effects|={micro:,.0f} "
+            f"|compiler effects|={comp:,.0f}"
+        )
+        for term, value in eff.top(top):
+            lines.append(f"      {value:+14,.0f}  {term}")
+    return "\n".join(lines)
+
+
+def render_search_settings(
+    searches: Mapping[str, Mapping[str, SearchOutcome]]
+) -> str:
+    """Table 6: flag/heuristic settings per program and configuration."""
+    headers = ["benchmark", "config", "flags(1-9)", "heuristics(10-14)"]
+    rows = []
+    for workload, per_config in searches.items():
+        for config_name, outcome in per_config.items():
+            s = outcome.best_settings
+            flags = "".join(
+                str(int(getattr(s, n))) for n in s._FLAG_NAMES
+            )
+            heur = "/".join(
+                str(getattr(s, n)) for n in s._HEURISTIC_NAMES
+            )
+            rows.append([workload, config_name, flags, heur])
+    return "Table 6 -- model-prescribed settings\n" + table(headers, rows)
+
+
+def render_speedups(rows: Sequence[SpeedupRow], title: str) -> str:
+    headers = [
+        "benchmark",
+        "config",
+        "O3 vs O2 %",
+        "pred %",
+        "actual %",
+    ]
+    body = []
+    for r in rows:
+        body.append(
+            [
+                r.workload,
+                r.config_name,
+                f"{r.o3_speedup_pct:+.2f}",
+                f"{r.predicted_speedup_pct:+.2f}",
+                f"{r.actual_speedup_pct:+.2f}",
+            ]
+        )
+    actuals = [r.actual_speedup_pct for r in rows]
+    avg = sum(actuals) / len(actuals) if actuals else 0.0
+    best = max(actuals) if actuals else 0.0
+    note = (
+        f"average actual speedup {avg:+.2f}% (paper: "
+        f"{paper_values.FIG7_AVERAGE_SPEEDUP:+.1f}%), max {best:+.2f}% "
+        f"(paper: {paper_values.FIG7_MAX_SPEEDUP:+.1f}%)"
+    )
+    return f"{title}\n" + table(headers, body) + "\n" + note

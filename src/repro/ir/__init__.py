@@ -1,0 +1,91 @@
+"""Three-address intermediate representation for the MiniC compiler.
+
+The IR is a conventional CFG-of-basic-blocks form: each
+:class:`Function` holds an ordered list of :class:`BasicBlock` (the order
+*is* the code layout, which the block-reordering pass permutes), each
+block holds straight-line :class:`Instr` objects and one terminator.
+Operands are virtual registers (:class:`Temp`) or constants
+(:class:`Const`); memory is only touched through explicit ``Load`` /
+``Store`` against global symbols or computed addresses.
+
+Analyses: dominators, natural loops, liveness, reaching definitions,
+and the call graph; plus a reference IR interpreter (:mod:`repro.ir.interp`).
+"""
+
+from repro.ir.types import Type
+from repro.ir.values import Temp, Const, Value
+from repro.ir.instructions import (
+    Instr,
+    BinOp,
+    UnOp,
+    Cmp,
+    Copy,
+    Load,
+    Store,
+    Addr,
+    Call,
+    Prefetch,
+    Jump,
+    Branch,
+    Return,
+    Terminator,
+    INT_BIN_OPS,
+    FLOAT_BIN_OPS,
+    CMP_OPS,
+)
+from repro.ir.function import BasicBlock, Function, GlobalVar, Module
+from repro.ir.builder import IRBuilder
+from repro.ir.cfg import successors, predecessors, reverse_postorder
+from repro.ir.dominators import dominator_tree, dominates, immediate_dominators
+from repro.ir.loops import Loop, natural_loops, ensure_preheader
+from repro.ir.dataflow import liveness, reaching_definitions
+from repro.ir.callgraph import CallGraph, build_callgraph
+from repro.ir.verify import verify_function, verify_module, IRVerificationError
+from repro.ir.printer import format_function, format_module
+
+__all__ = [
+    "Type",
+    "Temp",
+    "Const",
+    "Value",
+    "Instr",
+    "BinOp",
+    "UnOp",
+    "Cmp",
+    "Copy",
+    "Load",
+    "Store",
+    "Addr",
+    "Call",
+    "Prefetch",
+    "Jump",
+    "Branch",
+    "Return",
+    "Terminator",
+    "INT_BIN_OPS",
+    "FLOAT_BIN_OPS",
+    "CMP_OPS",
+    "BasicBlock",
+    "Function",
+    "GlobalVar",
+    "Module",
+    "IRBuilder",
+    "successors",
+    "predecessors",
+    "reverse_postorder",
+    "dominator_tree",
+    "immediate_dominators",
+    "dominates",
+    "Loop",
+    "natural_loops",
+    "ensure_preheader",
+    "liveness",
+    "reaching_definitions",
+    "CallGraph",
+    "build_callgraph",
+    "verify_function",
+    "verify_module",
+    "IRVerificationError",
+    "format_function",
+    "format_module",
+]

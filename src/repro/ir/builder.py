@@ -1,0 +1,117 @@
+"""Convenience builder for constructing IR imperatively.
+
+Used by the MiniC lowering pass and by tests that construct IR directly.
+The builder tracks a current insertion block and allocates fresh temps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    Addr,
+    BinOp,
+    Branch,
+    Call,
+    Cmp,
+    Copy,
+    Jump,
+    Load,
+    Prefetch,
+    Return,
+    Store,
+    UnOp,
+)
+from repro.ir.types import Type
+from repro.ir.values import Const, Temp, Value
+
+
+class IRBuilder:
+    """Appends instructions to a current block of a function."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        self.block: Optional[BasicBlock] = None
+
+    # ------------------------------------------------------------------
+    def set_block(self, block: BasicBlock) -> None:
+        self.block = block
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        return self.func.new_block(hint)
+
+    def _emit(self, instr) -> None:
+        if self.block is None:
+            raise RuntimeError("no insertion block set")
+        if self.block.is_terminated:
+            raise RuntimeError(
+                f"block {self.block.label} already terminated"
+            )
+        self.block.append(instr)
+
+    # ------------------------------------------------------------------
+    def binop(self, op: str, a: Value, b: Value, type_: Type) -> Temp:
+        dst = self.func.new_temp(type_)
+        self._emit(BinOp(dst, op, a, b))
+        return dst
+
+    def unop(self, op: str, a: Value, type_: Type) -> Temp:
+        dst = self.func.new_temp(type_)
+        self._emit(UnOp(dst, op, a))
+        return dst
+
+    def cmp(self, op: str, a: Value, b: Value) -> Temp:
+        dst = self.func.new_temp(Type.INT)
+        self._emit(Cmp(dst, op, a, b))
+        return dst
+
+    def copy(self, src: Value, type_: Optional[Type] = None) -> Temp:
+        dst = self.func.new_temp(type_ or src.type)
+        self._emit(Copy(dst, src))
+        return dst
+
+    def copy_to(self, dst: Temp, src: Value) -> None:
+        self._emit(Copy(dst, src))
+
+    def addr(self, symbol: str) -> Temp:
+        dst = self.func.new_temp(Type.INT, hint="addr")
+        self._emit(Addr(dst, symbol))
+        return dst
+
+    def load(self, base: Value, offset: Value, type_: Type) -> Temp:
+        dst = self.func.new_temp(type_)
+        self._emit(Load(dst, base, offset))
+        return dst
+
+    def store(self, base: Value, offset: Value, src: Value) -> None:
+        self._emit(Store(base, offset, src))
+
+    def prefetch(self, base: Value, offset: Value) -> None:
+        self._emit(Prefetch(base, offset))
+
+    def call(
+        self, callee: str, args: List[Value], return_type: Type
+    ) -> Optional[Temp]:
+        if return_type is Type.VOID:
+            self._emit(Call(None, callee, args))
+            return None
+        dst = self.func.new_temp(return_type)
+        self._emit(Call(dst, callee, args))
+        return dst
+
+    # ------------------------------------------------------------------
+    def jump(self, target: str) -> None:
+        if self.block.is_terminated:
+            raise RuntimeError(f"block {self.block.label} already terminated")
+        self.block.set_terminator(Jump(target))
+
+    def branch(self, cond: Value, then_target: str, else_target: str) -> None:
+        if self.block.is_terminated:
+            raise RuntimeError(f"block {self.block.label} already terminated")
+        self.block.set_terminator(Branch(cond, then_target, else_target))
+
+    def ret(self, value: Optional[Value] = None) -> None:
+        if self.block.is_terminated:
+            raise RuntimeError(f"block {self.block.label} already terminated")
+        self.block.set_terminator(Return(value))

@@ -1,0 +1,69 @@
+"""Call graph construction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Call
+
+
+@dataclass
+class CallGraph:
+    """Static call graph with call-site counts."""
+
+    #: caller -> {callee: number of call sites}
+    edges: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def callees(self, name: str) -> Dict[str, int]:
+        return self.edges.get(name, {})
+
+    def callers(self, name: str) -> List[str]:
+        return [c for c, kids in self.edges.items() if name in kids]
+
+    def is_recursive(self, name: str) -> bool:
+        """Whether ``name`` participates in a call cycle."""
+        visited: Set[str] = set()
+        stack = [name]
+        while stack:
+            node = stack.pop()
+            for callee in self.edges.get(node, {}):
+                if callee == name:
+                    return True
+                if callee not in visited:
+                    visited.add(callee)
+                    stack.append(callee)
+        return False
+
+    def topo_order(self) -> List[str]:
+        """Callees-before-callers order (cycles broken arbitrarily)."""
+        names = set(self.edges)
+        for kids in self.edges.values():
+            names.update(kids)
+        visited: Set[str] = set()
+        order: List[str] = []
+
+        def dfs(node: str, path: Set[str]) -> None:
+            visited.add(node)
+            for callee in self.edges.get(node, {}):
+                if callee not in visited and callee not in path:
+                    dfs(callee, path | {node})
+            order.append(node)
+
+        for name in sorted(names):
+            if name not in visited:
+                dfs(name, set())
+        return order
+
+
+def build_callgraph(module: Module) -> CallGraph:
+    graph = CallGraph()
+    for func in module.functions.values():
+        counts: Dict[str, int] = {}
+        for block in func.blocks:
+            for instr in block.instrs:
+                if isinstance(instr, Call):
+                    counts[instr.callee] = counts.get(instr.callee, 0) + 1
+        graph.edges[func.name] = counts
+    return graph

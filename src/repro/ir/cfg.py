@@ -1,0 +1,64 @@
+"""Control-flow graph utilities."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.function import BasicBlock, Function
+
+
+def successors(func: Function) -> Dict[str, List[str]]:
+    """Block label -> successor labels (in terminator order)."""
+    succ: Dict[str, List[str]] = {}
+    for block in func.blocks:
+        if block.terminator is None:
+            raise ValueError(
+                f"block {block.label} in {func.name} has no terminator"
+            )
+        # Deduplicate (a Branch may name the same target twice).
+        seen: List[str] = []
+        for t in block.terminator.targets():
+            if t not in seen:
+                seen.append(t)
+        succ[block.label] = seen
+    return succ
+
+
+def predecessors(func: Function) -> Dict[str, List[str]]:
+    """Block label -> predecessor labels."""
+    pred: Dict[str, List[str]] = {b.label: [] for b in func.blocks}
+    for label, succs in successors(func).items():
+        for s in succs:
+            pred[s].append(label)
+    return pred
+
+
+def reverse_postorder(func: Function) -> List[str]:
+    """Labels in reverse postorder from the entry block."""
+    succ = successors(func)
+    visited: Set[str] = set()
+    order: List[str] = []
+
+    def dfs(label: str) -> None:
+        visited.add(label)
+        for s in succ.get(label, []):
+            if s not in visited:
+                dfs(s)
+        order.append(label)
+
+    dfs(func.entry.label)
+    order.reverse()
+    return order
+
+
+def reachable_blocks(func: Function) -> Set[str]:
+    return set(reverse_postorder(func))
+
+
+def remove_unreachable(func: Function) -> int:
+    """Delete unreachable blocks; returns the number removed."""
+    reachable = reachable_blocks(func)
+    dead = [b.label for b in func.blocks if b.label not in reachable]
+    for label in dead:
+        func.remove_block(label)
+    return len(dead)

@@ -1,0 +1,145 @@
+"""Classic iterative dataflow analyses on the IR.
+
+Provided: liveness (backward -- drives DCE, the register allocator's
+intervals and the unroller's iteration-boundary analysis) and reaching
+definitions (forward -- available for clients that need def-site
+information; the simpler single-definition discipline covers most of the
+optimizer's needs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.ir.cfg import predecessors, reverse_postorder, successors
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Instr
+from repro.ir.values import Temp
+
+
+@dataclass
+class LivenessResult:
+    """Live-in / live-out temp sets per block label."""
+
+    live_in: Dict[str, Set[Temp]]
+    live_out: Dict[str, Set[Temp]]
+
+
+def _block_use_def(block: BasicBlock) -> Tuple[Set[Temp], Set[Temp]]:
+    """(upward-exposed uses, defs) of a block."""
+    uses: Set[Temp] = set()
+    defs: Set[Temp] = set()
+    for instr in block.all_instrs():
+        for u in instr.uses():
+            if isinstance(u, Temp) and u not in defs:
+                uses.add(u)
+        d = instr.defs()
+        if d is not None:
+            defs.add(d)
+    return uses, defs
+
+
+def liveness(func: Function) -> LivenessResult:
+    """Backward may-analysis: which temps are live at block boundaries."""
+    succ = successors(func)
+    use: Dict[str, Set[Temp]] = {}
+    define: Dict[str, Set[Temp]] = {}
+    for block in func.blocks:
+        use[block.label], define[block.label] = _block_use_def(block)
+
+    live_in: Dict[str, Set[Temp]] = {b.label: set() for b in func.blocks}
+    live_out: Dict[str, Set[Temp]] = {b.label: set() for b in func.blocks}
+
+    order = list(reversed(reverse_postorder(func)))
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            out: Set[Temp] = set()
+            for s in succ[label]:
+                out |= live_in[s]
+            inn = use[label] | (out - define[label])
+            if out != live_out[label] or inn != live_in[label]:
+                live_out[label] = out
+                live_in[label] = inn
+                changed = True
+    return LivenessResult(live_in, live_out)
+
+
+#: A definition site: (block label, instruction index within the block).
+DefSite = Tuple[str, int]
+
+
+@dataclass
+class ReachingDefsResult:
+    """Reaching definitions at block entry/exit.
+
+    Maps block label to a dict temp -> set of definition sites reaching
+    that program point.
+    """
+
+    reach_in: Dict[str, Dict[Temp, Set[DefSite]]]
+    reach_out: Dict[str, Dict[Temp, Set[DefSite]]]
+
+
+def reaching_definitions(func: Function) -> ReachingDefsResult:
+    """Forward may-analysis over definition sites of temps."""
+    preds = predecessors(func)
+
+    # Per-block gen/kill in terms of (temp -> sites).
+    gen: Dict[str, Dict[Temp, Set[DefSite]]] = {}
+    for block in func.blocks:
+        g: Dict[Temp, Set[DefSite]] = {}
+        for i, instr in enumerate(block.all_instrs()):
+            d = instr.defs()
+            if d is not None:
+                g[d] = {(block.label, i)}  # later defs kill earlier ones
+        gen[block.label] = g
+
+    reach_in: Dict[str, Dict[Temp, Set[DefSite]]] = {
+        b.label: {} for b in func.blocks
+    }
+    reach_out: Dict[str, Dict[Temp, Set[DefSite]]] = {
+        b.label: {} for b in func.blocks
+    }
+
+    # Function parameters reach the entry (site index -1).
+    entry_defs: Dict[Temp, Set[DefSite]] = {
+        p: {("<param>", -1)} for p in func.params
+    }
+    order = reverse_postorder(func)
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label == func.entry.label:
+                inn = {t: set(s) for t, s in entry_defs.items()}
+            else:
+                inn = {}
+            for p in preds[label]:
+                for t, sites in reach_out[p].items():
+                    inn.setdefault(t, set()).update(sites)
+            out = {t: set(s) for t, s in inn.items()}
+            for t, sites in gen[label].items():
+                out[t] = set(sites)
+            if inn != reach_in[label] or out != reach_out[label]:
+                reach_in[label] = inn
+                reach_out[label] = out
+                changed = True
+    return ReachingDefsResult(reach_in, reach_out)
+
+
+def def_use_counts(func: Function) -> Tuple[Dict[Temp, int], Dict[Temp, int]]:
+    """(number of defs, number of uses) per temp across the function."""
+    defs: Dict[Temp, int] = {}
+    uses: Dict[Temp, int] = {}
+    for block in func.blocks:
+        for instr in block.all_instrs():
+            d = instr.defs()
+            if d is not None:
+                defs[d] = defs.get(d, 0) + 1
+            for u in instr.uses():
+                if isinstance(u, Temp):
+                    uses[u] = uses.get(u, 0) + 1
+    return defs, uses

@@ -1,0 +1,65 @@
+"""Dominator computation (Cooper-Harvey-Kennedy iterative algorithm)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.cfg import predecessors, reverse_postorder
+from repro.ir.function import Function
+
+
+def immediate_dominators(func: Function) -> Dict[str, Optional[str]]:
+    """Block label -> immediate dominator label (entry maps to None)."""
+    rpo = reverse_postorder(func)
+    index = {label: i for i, label in enumerate(rpo)}
+    preds = predecessors(func)
+    entry = func.entry.label
+
+    idom: Dict[str, Optional[str]] = {entry: entry}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for label in rpo:
+            if label == entry:
+                continue
+            candidates = [p for p in preds[label] if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for p in candidates[1:]:
+                new_idom = intersect(new_idom, p)
+            if idom.get(label) != new_idom:
+                idom[label] = new_idom
+                changed = True
+    idom[entry] = None
+    return idom
+
+
+def dominator_tree(func: Function) -> Dict[str, List[str]]:
+    """Immediate-dominator tree: label -> children labels."""
+    idom = immediate_dominators(func)
+    tree: Dict[str, List[str]] = {label: [] for label in idom}
+    for label, parent in idom.items():
+        if parent is not None:
+            tree[parent].append(label)
+    return tree
+
+
+def dominates(func: Function, a: str, b: str) -> bool:
+    """True iff block ``a`` dominates block ``b``."""
+    idom = immediate_dominators(func)
+    node: Optional[str] = b
+    while node is not None:
+        if node == a:
+            return True
+        node = idom[node]
+    return False

@@ -1,0 +1,163 @@
+"""Basic blocks, functions, globals and modules."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.ir.instructions import Instr, Jump, Return, Terminator
+from repro.ir.types import Type, WORD_SIZE
+from repro.ir.values import Temp
+
+
+class BasicBlock:
+    """A label, straight-line instructions, and one terminator."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.instrs: List[Instr] = []
+        self.terminator: Optional[Terminator] = None
+
+    def append(self, instr: Instr) -> None:
+        if isinstance(instr, Terminator):
+            raise TypeError("use set_terminator for terminators")
+        self.instrs.append(instr)
+
+    def set_terminator(self, term: Terminator) -> None:
+        self.terminator = term
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def all_instrs(self) -> List[Instr]:
+        """Instructions including the terminator (if set)."""
+        if self.terminator is None:
+            return list(self.instrs)
+        return self.instrs + [self.terminator]
+
+    def __repr__(self) -> str:
+        return f"BasicBlock({self.label}, {len(self.instrs)} instrs)"
+
+
+class Function:
+    """A function: parameters, blocks in layout order, temp factory."""
+
+    def __init__(self, name: str, params: Sequence[Temp], return_type: Type):
+        self.name = name
+        self.params: List[Temp] = list(params)
+        self.return_type = return_type
+        self.blocks: List[BasicBlock] = []
+        self._block_index: Dict[str, BasicBlock] = {}
+        self._temp_counter = itertools.count()
+        self._label_counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        label = f"{hint}{next(self._label_counter)}"
+        while label in self._block_index:
+            label = f"{hint}{next(self._label_counter)}"
+        block = BasicBlock(label)
+        self.blocks.append(block)
+        self._block_index[label] = block
+        return block
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        if block.label in self._block_index:
+            raise ValueError(f"duplicate block label {block.label}")
+        self.blocks.append(block)
+        self._block_index[block.label] = block
+        return block
+
+    def block(self, label: str) -> BasicBlock:
+        return self._block_index[label]
+
+    def has_block(self, label: str) -> bool:
+        return label in self._block_index
+
+    def remove_block(self, label: str) -> None:
+        block = self._block_index.pop(label)
+        self.blocks.remove(block)
+
+    def fresh_label(self, hint: str = "bb") -> str:
+        label = f"{hint}{next(self._label_counter)}"
+        while label in self._block_index:
+            label = f"{hint}{next(self._label_counter)}"
+        return label
+
+    def new_temp(self, type_: Type, hint: str = "t") -> Temp:
+        return Temp(f"{hint}{next(self._temp_counter)}", type_)
+
+    # ------------------------------------------------------------------
+    def instruction_count(self) -> int:
+        """Static instruction count (the inliner/unroller size metric)."""
+        return sum(len(b.instrs) + (1 if b.terminator else 0) for b in self.blocks)
+
+    def reindex(self) -> None:
+        """Rebuild the label index after external block-list surgery."""
+        self._block_index = {b.label: b for b in self.blocks}
+
+    def __repr__(self) -> str:
+        return f"Function({self.name}, {len(self.blocks)} blocks)"
+
+
+@dataclass
+class GlobalVar:
+    """A global scalar or array.
+
+    ``count`` is the element count (1 for scalars); every element is one
+    machine word.  ``init`` optionally provides initial element values.
+    """
+
+    name: str
+    type: Type
+    count: int = 1
+    init: Optional[List[Union[int, float]]] = None
+
+    @property
+    def size_bytes(self) -> int:
+        return self.count * WORD_SIZE
+
+    @property
+    def is_array(self) -> bool:
+        return self.count > 1
+
+
+class Module:
+    """A compilation unit: globals plus functions."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.globals: Dict[str, GlobalVar] = {}
+        self.functions: Dict[str, Function] = {}
+
+    def add_global(self, var: GlobalVar) -> GlobalVar:
+        if var.name in self.globals or var.name in self.functions:
+            raise ValueError(f"duplicate global {var.name}")
+        self.globals[var.name] = var
+        return var
+
+    def add_function(self, func: Function) -> Function:
+        if func.name in self.functions or func.name in self.globals:
+            raise ValueError(f"duplicate function {func.name}")
+        self.functions[func.name] = func
+        return func
+
+    def function(self, name: str) -> Function:
+        return self.functions[name]
+
+    def instruction_count(self) -> int:
+        return sum(f.instruction_count() for f in self.functions.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Module({self.name}, {len(self.functions)} functions, "
+            f"{len(self.globals)} globals)"
+        )

@@ -1,0 +1,316 @@
+"""IR instructions.
+
+Straight-line instructions produce at most one :class:`Temp` result;
+terminators end a basic block.  All instruction classes expose uniform
+``uses()`` / ``defs()`` accessors and ``replace_uses`` so the dataflow
+framework and the optimizers can treat them generically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.types import Type
+from repro.ir.values import Const, Temp, Value
+
+#: Integer binary opcodes.
+INT_BIN_OPS = (
+    "add", "sub", "mul", "div", "mod",
+    "and", "or", "xor", "shl", "shr",
+)
+#: Float binary opcodes.
+FLOAT_BIN_OPS = ("fadd", "fsub", "fmul", "fdiv")
+#: Comparison opcodes (operate on both types; result is an INT 0/1).
+CMP_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+#: Unary opcodes.
+UN_OPS = ("neg", "fneg", "not", "itof", "ftoi")
+
+#: Opcodes whose result depends only on operands (candidates for CSE/LICM).
+PURE_BIN_OPS = set(INT_BIN_OPS) | set(FLOAT_BIN_OPS)
+#: Commutative binary opcodes.
+COMMUTATIVE_OPS = {"add", "mul", "and", "or", "xor", "fadd", "fmul"}
+
+
+class Instr:
+    """Base class for straight-line instructions."""
+
+    def uses(self) -> List[Value]:
+        return []
+
+    def defs(self) -> Optional[Temp]:
+        return None
+
+    def replace_uses(self, mapping: Dict[Temp, Value]) -> "Instr":
+        """A copy of this instruction with operands substituted."""
+        return self
+
+    @property
+    def has_side_effects(self) -> bool:
+        return False
+
+
+def _subst(value: Value, mapping: Dict[Temp, Value]) -> Value:
+    if isinstance(value, Temp) and value in mapping:
+        return mapping[value]
+    return value
+
+
+@dataclass
+class BinOp(Instr):
+    dst: Temp
+    op: str
+    a: Value
+    b: Value
+
+    def uses(self):
+        return [self.a, self.b]
+
+    def defs(self):
+        return self.dst
+
+    def replace_uses(self, mapping):
+        return BinOp(self.dst, self.op, _subst(self.a, mapping), _subst(self.b, mapping))
+
+    def __repr__(self):
+        return f"{self.dst!r} = {self.op} {self.a!r}, {self.b!r}"
+
+
+@dataclass
+class UnOp(Instr):
+    dst: Temp
+    op: str
+    a: Value
+
+    def uses(self):
+        return [self.a]
+
+    def defs(self):
+        return self.dst
+
+    def replace_uses(self, mapping):
+        return UnOp(self.dst, self.op, _subst(self.a, mapping))
+
+    def __repr__(self):
+        return f"{self.dst!r} = {self.op} {self.a!r}"
+
+
+@dataclass
+class Cmp(Instr):
+    dst: Temp
+    op: str
+    a: Value
+    b: Value
+
+    def uses(self):
+        return [self.a, self.b]
+
+    def defs(self):
+        return self.dst
+
+    def replace_uses(self, mapping):
+        return Cmp(self.dst, self.op, _subst(self.a, mapping), _subst(self.b, mapping))
+
+    def __repr__(self):
+        return f"{self.dst!r} = cmp.{self.op} {self.a!r}, {self.b!r}"
+
+
+@dataclass
+class Copy(Instr):
+    dst: Temp
+    src: Value
+
+    def uses(self):
+        return [self.src]
+
+    def defs(self):
+        return self.dst
+
+    def replace_uses(self, mapping):
+        return Copy(self.dst, _subst(self.src, mapping))
+
+    def __repr__(self):
+        return f"{self.dst!r} = {self.src!r}"
+
+
+@dataclass
+class Addr(Instr):
+    """dst = address of global ``symbol``."""
+
+    dst: Temp
+    symbol: str
+
+    def defs(self):
+        return self.dst
+
+    def __repr__(self):
+        return f"{self.dst!r} = &{self.symbol}"
+
+
+@dataclass
+class Load(Instr):
+    """dst = memory[base + offset] (byte addressing)."""
+
+    dst: Temp
+    base: Value
+    offset: Value
+
+    def uses(self):
+        return [self.base, self.offset]
+
+    def defs(self):
+        return self.dst
+
+    def replace_uses(self, mapping):
+        return Load(self.dst, _subst(self.base, mapping), _subst(self.offset, mapping))
+
+    def __repr__(self):
+        return f"{self.dst!r} = load [{self.base!r} + {self.offset!r}]"
+
+
+@dataclass
+class Store(Instr):
+    """memory[base + offset] = src."""
+
+    base: Value
+    offset: Value
+    src: Value
+
+    def uses(self):
+        return [self.base, self.offset, self.src]
+
+    def replace_uses(self, mapping):
+        return Store(
+            _subst(self.base, mapping),
+            _subst(self.offset, mapping),
+            _subst(self.src, mapping),
+        )
+
+    @property
+    def has_side_effects(self):
+        return True
+
+    def __repr__(self):
+        return f"store [{self.base!r} + {self.offset!r}] = {self.src!r}"
+
+
+@dataclass
+class Prefetch(Instr):
+    """Non-binding data prefetch of memory[base + offset]."""
+
+    base: Value
+    offset: Value
+
+    def uses(self):
+        return [self.base, self.offset]
+
+    def replace_uses(self, mapping):
+        return Prefetch(_subst(self.base, mapping), _subst(self.offset, mapping))
+
+    @property
+    def has_side_effects(self):
+        # Never removed by DCE, but safe to hoist/duplicate.
+        return True
+
+    def __repr__(self):
+        return f"prefetch [{self.base!r} + {self.offset!r}]"
+
+
+@dataclass
+class Call(Instr):
+    """dst = callee(args); dst is None for void calls."""
+
+    dst: Optional[Temp]
+    callee: str
+    args: List[Value]
+
+    def uses(self):
+        return list(self.args)
+
+    def defs(self):
+        return self.dst
+
+    def replace_uses(self, mapping):
+        return Call(self.dst, self.callee, [_subst(a, mapping) for a in self.args])
+
+    @property
+    def has_side_effects(self):
+        return True
+
+    def __repr__(self):
+        args = ", ".join(repr(a) for a in self.args)
+        if self.dst is None:
+            return f"call {self.callee}({args})"
+        return f"{self.dst!r} = call {self.callee}({args})"
+
+
+# ----------------------------------------------------------------------
+# Terminators
+# ----------------------------------------------------------------------
+class Terminator(Instr):
+    """Base class for block terminators."""
+
+    def targets(self) -> List[str]:
+        return []
+
+    def retarget(self, mapping: Dict[str, str]) -> "Terminator":
+        """A copy with branch targets renamed through ``mapping``."""
+        return self
+
+
+@dataclass
+class Jump(Terminator):
+    target: str
+
+    def targets(self):
+        return [self.target]
+
+    def retarget(self, mapping):
+        return Jump(mapping.get(self.target, self.target))
+
+    def __repr__(self):
+        return f"jump {self.target}"
+
+
+@dataclass
+class Branch(Terminator):
+    """Conditional branch: if cond != 0 goto then_target else else_target."""
+
+    cond: Value
+    then_target: str
+    else_target: str
+
+    def uses(self):
+        return [self.cond]
+
+    def replace_uses(self, mapping):
+        return Branch(_subst(self.cond, mapping), self.then_target, self.else_target)
+
+    def targets(self):
+        return [self.then_target, self.else_target]
+
+    def retarget(self, mapping):
+        return Branch(
+            self.cond,
+            mapping.get(self.then_target, self.then_target),
+            mapping.get(self.else_target, self.else_target),
+        )
+
+    def __repr__(self):
+        return f"branch {self.cond!r} ? {self.then_target} : {self.else_target}"
+
+
+@dataclass
+class Return(Terminator):
+    value: Optional[Value] = None
+
+    def uses(self):
+        return [self.value] if self.value is not None else []
+
+    def replace_uses(self, mapping):
+        if self.value is None:
+            return self
+        return Return(_subst(self.value, mapping))
+
+    def __repr__(self):
+        return f"return {self.value!r}" if self.value is not None else "return"

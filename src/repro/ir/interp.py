@@ -1,0 +1,233 @@
+"""IR interpreter: reference execution of a module before code generation.
+
+Two uses:
+
+* **differential testing** -- the IR interpreter and the machine-code
+  simulator must agree on every program's checksum, which brackets the
+  backend (selection, allocation, frames, scheduling, linking) between
+  two independent executors;
+* **profiling** -- it counts basic-block executions and CFG edge
+  traversals, giving the block-reordering pass real profiles
+  (profile-guided layout, the setting of the paper's Table 7).
+
+Operator semantics come from :mod:`repro.ir.semantics`, the same module
+the constant folder and the machine simulator use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import (
+    Addr,
+    BinOp,
+    Branch,
+    Call,
+    Cmp,
+    Copy,
+    Jump,
+    Load,
+    Prefetch,
+    Return,
+    Store,
+    UnOp,
+)
+from repro.ir.semantics import (
+    eval_cmp,
+    eval_float_binop,
+    eval_int_binop,
+    eval_unop,
+)
+from repro.ir.types import Type, WORD_SIZE
+from repro.ir.values import Const, Temp, Value
+
+
+class IRInterpreterError(Exception):
+    pass
+
+
+@dataclass
+class EdgeProfile:
+    """Execution counts collected by a profiling run."""
+
+    #: (function, block label) -> times the block was entered.
+    block_counts: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: (function, from label, to label) -> edge traversal count.
+    edge_counts: Dict[Tuple[str, str, str], int] = field(default_factory=dict)
+
+    def block_count(self, function: str, label: str) -> int:
+        return self.block_counts.get((function, label), 0)
+
+    def edge_count(self, function: str, src: str, dst: str) -> int:
+        return self.edge_counts.get((function, src, dst), 0)
+
+    def taken_probability(
+        self, function: str, src: str, dst: str
+    ) -> float:
+        total = self.block_count(function, src)
+        if total == 0:
+            return 0.0
+        return self.edge_count(function, src, dst) / total
+
+
+@dataclass
+class IRRunResult:
+    return_value: Union[int, float, None]
+    instructions_executed: int
+    profile: EdgeProfile
+
+
+class _Frame:
+    __slots__ = ("env",)
+
+    def __init__(self):
+        self.env: Dict[Temp, Union[int, float]] = {}
+
+
+class IRInterpreter:
+    """Executes a module's IR starting at ``main``."""
+
+    def __init__(self, module: Module, max_steps: int = 50_000_000):
+        self.module = module
+        self.max_steps = max_steps
+        self.memory: Dict[int, Union[int, float]] = {}
+        self.addresses: Dict[str, int] = {}
+        self.steps = 0
+        self.profile = EdgeProfile()
+        self._layout_globals()
+
+    def _layout_globals(self) -> None:
+        addr = 0x10000
+        for g in self.module.globals.values():
+            self.addresses[g.name] = addr
+            if g.init:
+                for i, value in enumerate(g.init):
+                    self.memory[addr + i * WORD_SIZE] = value
+            addr += g.count * WORD_SIZE
+
+    # ------------------------------------------------------------------
+    def run(self, entry: str = "main") -> IRRunResult:
+        value = self._call(entry, [])
+        return IRRunResult(
+            return_value=value,
+            instructions_executed=self.steps,
+            profile=self.profile,
+        )
+
+    def _value(self, frame: _Frame, v: Value) -> Union[int, float]:
+        if isinstance(v, Const):
+            return v.value
+        try:
+            return frame.env[v]
+        except KeyError:
+            raise IRInterpreterError(f"read of undefined temp {v!r}")
+
+    def _call(self, name: str, args) -> Union[int, float, None]:
+        func = self.module.functions.get(name)
+        if func is None:
+            raise IRInterpreterError(f"call to unknown function {name!r}")
+        if len(args) != len(func.params):
+            raise IRInterpreterError(f"arity mismatch calling {name!r}")
+        frame = _Frame()
+        for param, value in zip(func.params, args):
+            frame.env[param] = value
+
+        block = func.entry
+        prev_label: Optional[str] = None
+        while True:
+            key = (name, block.label)
+            self.profile.block_counts[key] = (
+                self.profile.block_counts.get(key, 0) + 1
+            )
+            if prev_label is not None:
+                ekey = (name, prev_label, block.label)
+                self.profile.edge_counts[ekey] = (
+                    self.profile.edge_counts.get(ekey, 0) + 1
+                )
+
+            for instr in block.instrs:
+                self.steps += 1
+                if self.steps > self.max_steps:
+                    raise IRInterpreterError("step budget exceeded")
+                self._execute(frame, instr)
+
+            term = block.terminator
+            self.steps += 1
+            if self.steps > self.max_steps:
+                # Must be checked here too: a loop of empty blocks never
+                # enters the instruction loop above.
+                raise IRInterpreterError("step budget exceeded")
+            if isinstance(term, Return):
+                if term.value is None:
+                    return None
+                return self._value(frame, term.value)
+            if isinstance(term, Jump):
+                prev_label = block.label
+                block = func.block(term.target)
+            elif isinstance(term, Branch):
+                cond = self._value(frame, term.cond)
+                prev_label = block.label
+                target = term.then_target if cond != 0 else term.else_target
+                block = func.block(target)
+            else:
+                raise IRInterpreterError(f"unknown terminator {term!r}")
+
+    def _execute(self, frame: _Frame, instr) -> None:
+        if isinstance(instr, BinOp):
+            a = self._value(frame, instr.a)
+            b = self._value(frame, instr.b)
+            if instr.dst.type is Type.FLOAT:
+                frame.env[instr.dst] = eval_float_binop(instr.op, a, b)
+            else:
+                frame.env[instr.dst] = eval_int_binop(instr.op, a, b)
+        elif isinstance(instr, Copy):
+            frame.env[instr.dst] = self._value(frame, instr.src)
+        elif isinstance(instr, Cmp):
+            frame.env[instr.dst] = eval_cmp(
+                instr.op,
+                self._value(frame, instr.a),
+                self._value(frame, instr.b),
+            )
+        elif isinstance(instr, UnOp):
+            frame.env[instr.dst] = eval_unop(
+                instr.op, self._value(frame, instr.a)
+            )
+        elif isinstance(instr, Addr):
+            frame.env[instr.dst] = self.addresses[instr.symbol]
+        elif isinstance(instr, Load):
+            addr = self._value(frame, instr.base) + self._value(
+                frame, instr.offset
+            )
+            default: Union[int, float] = (
+                0.0 if instr.dst.type is Type.FLOAT else 0
+            )
+            value = self.memory.get(addr, default)
+            if instr.dst.type is Type.FLOAT and isinstance(value, int):
+                value = float(value)
+            frame.env[instr.dst] = value
+        elif isinstance(instr, Store):
+            addr = self._value(frame, instr.base) + self._value(
+                frame, instr.offset
+            )
+            self.memory[addr] = self._value(frame, instr.src)
+        elif isinstance(instr, Prefetch):
+            pass
+        elif isinstance(instr, Call):
+            args = [self._value(frame, a) for a in instr.args]
+            result = self._call(instr.callee, args)
+            if instr.dst is not None:
+                frame.env[instr.dst] = result
+        else:
+            raise IRInterpreterError(f"cannot interpret {instr!r}")
+
+
+def interpret(module: Module, max_steps: int = 50_000_000) -> IRRunResult:
+    """Execute a module's IR from ``main`` and return its result."""
+    return IRInterpreter(module, max_steps=max_steps).run()
+
+
+def profile_module(module: Module) -> EdgeProfile:
+    """Run the module once and return its block/edge profile."""
+    return interpret(module).profile

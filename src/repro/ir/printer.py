@@ -1,0 +1,31 @@
+"""Human-readable IR dumps (for debugging and golden tests)."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function, Module
+
+
+def format_function(func: Function) -> str:
+    params = ", ".join(f"{p!r}: {p.type.value}" for p in func.params)
+    lines = [f"func {func.name}({params}) -> {func.return_type.value} {{"]
+    for block in func.blocks:
+        lines.append(f"{block.label}:")
+        for instr in block.instrs:
+            lines.append(f"    {instr!r}")
+        if block.terminator is not None:
+            lines.append(f"    {block.terminator!r}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    parts = []
+    for g in module.globals.values():
+        if g.is_array:
+            parts.append(f"global {g.type.value} {g.name}[{g.count}]")
+        else:
+            init = f" = {g.init[0]}" if g.init else ""
+            parts.append(f"global {g.type.value} {g.name}{init}")
+    for func in module.functions.values():
+        parts.append(format_function(func))
+    return "\n\n".join(parts)

@@ -1,0 +1,106 @@
+"""Operational semantics of IR operators.
+
+This module is the *single source of truth* for what every IR operator
+computes: the constant folder, the GCSE/value-numbering pass and the
+functional simulator all evaluate operators through these functions, so an
+optimization can never disagree with the runtime about an edge case.
+
+Integer semantics: 64-bit two's-complement with wrap-around; division
+truncates toward zero; division/modulo by zero yields 0 (MiniC programs
+are closed workloads, so a deterministic total semantics is preferable to
+traps); shift counts are masked to 0..63.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+_MASK = (1 << 64) - 1
+_SIGN = 1 << 63
+
+
+def wrap_int(value: int) -> int:
+    """Wrap a Python int to signed 64-bit."""
+    value &= _MASK
+    if value & _SIGN:
+        value -= 1 << 64
+    return value
+
+
+def eval_int_binop(op: str, a: int, b: int) -> int:
+    if op == "add":
+        return wrap_int(a + b)
+    if op == "sub":
+        return wrap_int(a - b)
+    if op == "mul":
+        return wrap_int(a * b)
+    if op == "div":
+        if b == 0:
+            return 0
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        return wrap_int(q)
+    if op == "mod":
+        if b == 0:
+            return 0
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        return wrap_int(a - q * b)
+    if op == "and":
+        return wrap_int(a & b)
+    if op == "or":
+        return wrap_int(a | b)
+    if op == "xor":
+        return wrap_int(a ^ b)
+    if op == "shl":
+        return wrap_int(a << (b & 63))
+    if op == "shr":
+        # Arithmetic shift right on the signed value.
+        return wrap_int(a >> (b & 63))
+    raise ValueError(f"unknown int binop {op!r}")
+
+
+def eval_float_binop(op: str, a: float, b: float) -> float:
+    if op == "fadd":
+        return a + b
+    if op == "fsub":
+        return a - b
+    if op == "fmul":
+        return a * b
+    if op == "fdiv":
+        if b == 0.0:
+            return 0.0
+        return a / b
+    raise ValueError(f"unknown float binop {op!r}")
+
+
+def eval_cmp(op: str, a: Union[int, float], b: Union[int, float]) -> int:
+    if op == "eq":
+        return int(a == b)
+    if op == "ne":
+        return int(a != b)
+    if op == "lt":
+        return int(a < b)
+    if op == "le":
+        return int(a <= b)
+    if op == "gt":
+        return int(a > b)
+    if op == "ge":
+        return int(a >= b)
+    raise ValueError(f"unknown comparison {op!r}")
+
+
+def eval_unop(op: str, a: Union[int, float]) -> Union[int, float]:
+    if op == "neg":
+        return wrap_int(-a)
+    if op == "fneg":
+        return -a
+    if op == "not":
+        return int(a == 0)
+    if op == "itof":
+        return float(a)
+    if op == "ftoi":
+        return wrap_int(int(a))
+    raise ValueError(f"unknown unop {op!r}")

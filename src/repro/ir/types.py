@@ -1,0 +1,24 @@
+"""IR value types.
+
+MiniC has two scalar types; both occupy one 8-byte machine word, so array
+indexing scales by a uniform element size.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Type(enum.Enum):
+    INT = "int"
+    FLOAT = "float"
+    #: Functions with no return value.
+    VOID = "void"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (Type.INT, Type.FLOAT)
+
+
+#: Size in bytes of every scalar value and array element.
+WORD_SIZE = 8

@@ -1,0 +1,47 @@
+"""IR operand values: virtual registers and constants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.ir.types import Type
+
+
+@dataclass(frozen=True)
+class Temp:
+    """A virtual register.  Names are unique within a function."""
+
+    name: str
+    type: Type
+
+    def __repr__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Const:
+    """An immediate constant."""
+
+    value: Union[int, float]
+    type: Type
+
+    def __post_init__(self):
+        if self.type is Type.INT and not isinstance(self.value, int):
+            raise TypeError(f"int const with non-int value {self.value!r}")
+        if self.type is Type.FLOAT and not isinstance(self.value, float):
+            raise TypeError(f"float const with non-float value {self.value!r}")
+
+    def __repr__(self) -> str:
+        return f"{self.value}"
+
+
+Value = Union[Temp, Const]
+
+
+def int_const(value: int) -> Const:
+    return Const(int(value), Type.INT)
+
+
+def float_const(value: float) -> Const:
+    return Const(float(value), Type.FLOAT)

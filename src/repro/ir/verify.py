@@ -1,0 +1,87 @@
+"""IR structural verifier.
+
+Run after every optimization pass in tests to catch malformed output
+early: missing terminators, dangling branch targets, type mismatches on
+copies, and uses of never-defined temps.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Branch, Call, Copy, Return
+from repro.ir.types import Type
+from repro.ir.values import Temp
+
+
+class IRVerificationError(Exception):
+    """The IR violates a structural invariant."""
+
+
+def verify_function(func: Function, module: Module = None) -> None:
+    labels = {b.label for b in func.blocks}
+    if not func.blocks:
+        raise IRVerificationError(f"{func.name}: no blocks")
+
+    defined: Set[Temp] = set(func.params)
+    for block in func.blocks:
+        if block.terminator is None:
+            raise IRVerificationError(
+                f"{func.name}/{block.label}: missing terminator"
+            )
+        for target in block.terminator.targets():
+            if target not in labels:
+                raise IRVerificationError(
+                    f"{func.name}/{block.label}: dangling target {target!r}"
+                )
+        for instr in block.all_instrs():
+            d = instr.defs()
+            if d is not None:
+                defined.add(d)
+            if isinstance(instr, Copy) and isinstance(instr.src, Temp):
+                if instr.dst.type != instr.src.type:
+                    raise IRVerificationError(
+                        f"{func.name}/{block.label}: copy type mismatch "
+                        f"{instr!r}"
+                    )
+            if isinstance(instr, Return):
+                if func.return_type is Type.VOID and instr.value is not None:
+                    raise IRVerificationError(
+                        f"{func.name}: void function returns a value"
+                    )
+                if func.return_type is not Type.VOID and instr.value is None:
+                    raise IRVerificationError(
+                        f"{func.name}: non-void function returns nothing"
+                    )
+
+    # Every used temp must be defined somewhere in the function.  (A full
+    # dominance check would be stricter; this catches pass bugs cheaply.)
+    for block in func.blocks:
+        for instr in block.all_instrs():
+            for u in instr.uses():
+                if isinstance(u, Temp) and u not in defined:
+                    raise IRVerificationError(
+                        f"{func.name}/{block.label}: use of undefined "
+                        f"temp {u!r} in {instr!r}"
+                    )
+
+
+def verify_module(module: Module) -> None:
+    for func in module.functions.values():
+        verify_function(func, module)
+        for block in func.blocks:
+            for instr in block.instrs:
+                if isinstance(instr, Call):
+                    if instr.callee not in module.functions:
+                        raise IRVerificationError(
+                            f"{func.name}: call to unknown function "
+                            f"{instr.callee!r}"
+                        )
+                    callee = module.functions[instr.callee]
+                    if len(instr.args) != len(callee.params):
+                        raise IRVerificationError(
+                            f"{func.name}: call to {instr.callee} with "
+                            f"{len(instr.args)} args, expected "
+                            f"{len(callee.params)}"
+                        )

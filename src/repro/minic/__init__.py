@@ -1,0 +1,42 @@
+"""MiniC: the C-like source language of the workload programs.
+
+MiniC supports ``int`` and ``float`` scalars, global scalars and 1-D
+global arrays, functions, the usual arithmetic / bitwise / comparison /
+short-circuit logical operators, ``if``/``while``/``for`` control flow and
+explicit casts.  There is no heap and no address-of: pointer-style data
+structures are expressed as index-linked arrays, which is faithful to how
+cache-hostile SPEC kernels (mcf-style) actually behave.
+
+The usual frontend pipeline applies: :func:`tokenize` -> :func:`parse` ->
+:func:`analyze` -> :func:`lower_to_ir` (producing :class:`repro.ir.Module`).
+:func:`compile_source` runs all four.
+"""
+
+from repro.minic.lexer import Token, TokenKind, tokenize, LexerError
+from repro.minic.parser import parse, ParseError
+from repro.minic.sema import analyze, SemanticError
+from repro.minic.lower import lower_to_ir
+from repro.minic import ast
+
+
+def compile_source(source: str, name: str = "module"):
+    """Front-end pipeline: MiniC source text -> verified IR module."""
+    program = parse(tokenize(source))
+    analyze(program)
+    module = lower_to_ir(program, name=name)
+    return module
+
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "LexerError",
+    "parse",
+    "ParseError",
+    "analyze",
+    "SemanticError",
+    "lower_to_ir",
+    "compile_source",
+    "ast",
+]

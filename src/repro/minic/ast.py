@@ -1,0 +1,156 @@
+"""MiniC abstract syntax tree.
+
+Nodes carry a ``line`` for diagnostics and, after semantic analysis, an
+inferred ``type`` on every expression (set by :mod:`repro.minic.sema`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.ir.types import Type
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass
+class Expr:
+    line: int = 0
+    #: Filled in by semantic analysis.
+    type: Optional[Type] = field(default=None, compare=False)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class ArrayRef(Expr):
+    name: str = ""
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Cast(Expr):
+    target: Optional[Type] = None
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class DeclStmt(Stmt):
+    var_type: Optional[Type] = None
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class AssignStmt(Stmt):
+    #: VarRef or ArrayRef
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Optional[Expr] = None
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+@dataclass
+class Param:
+    type: Type
+    name: str
+
+
+@dataclass
+class GlobalDecl:
+    line: int
+    var_type: Type
+    name: str
+    #: None for scalars; element count for arrays.
+    array_size: Optional[int] = None
+    #: Initializer for scalars (literal value).
+    init: Optional[Union[int, float]] = None
+
+
+@dataclass
+class FuncDecl:
+    line: int
+    return_type: Type
+    name: str
+    params: List[Param]
+    body: List[Stmt]
+
+
+@dataclass
+class Program:
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDecl] = field(default_factory=list)

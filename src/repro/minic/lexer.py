@@ -1,0 +1,136 @@
+"""MiniC lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Union
+
+
+class LexerError(Exception):
+    pass
+
+
+class TokenKind(enum.Enum):
+    INT_LIT = "int_lit"
+    FLOAT_LIT = "float_lit"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = {"int", "float", "void", "if", "else", "while", "for", "return"}
+
+# Multi-character punctuation, longest first.
+PUNCTUATION = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!",
+    "&", "|", "^", "(", ")", "{", "}", "[", "]", ",", ";",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: Union[int, float, None]
+    line: int
+    col: int
+
+    def __repr__(self):
+        return f"Token({self.kind.value}, {self.text!r}, L{self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(msg: str) -> LexerError:
+        return LexerError(f"line {line}, col {col}: {msg}")
+
+    while i < n:
+        ch = source[i]
+        # Whitespace
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # Comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise error("unterminated block comment")
+            skipped = source[i : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        # Numbers
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            is_float = False
+            if i < n and source[i] == ".":
+                is_float = True
+                i += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+            if i < n and source[i] in "eE":
+                is_float = True
+                i += 1
+                if i < n and source[i] in "+-":
+                    i += 1
+                if i >= n or not source[i].isdigit():
+                    raise error("malformed exponent")
+                while i < n and source[i].isdigit():
+                    i += 1
+            text = source[start:i]
+            if is_float:
+                tokens.append(
+                    Token(TokenKind.FLOAT_LIT, text, float(text), line, col)
+                )
+            else:
+                tokens.append(
+                    Token(TokenKind.INT_LIT, text, int(text), line, col)
+                )
+            col += i - start
+            continue
+        # Identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, None, line, col))
+            col += i - start
+            continue
+        # Punctuation
+        for p in PUNCTUATION:
+            if source.startswith(p, i):
+                tokens.append(Token(TokenKind.PUNCT, p, None, line, col))
+                i += len(p)
+                col += len(p)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", None, line, col))
+    return tokens

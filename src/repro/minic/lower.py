@@ -1,0 +1,352 @@
+"""AST -> IR lowering.
+
+Locals and parameters live in virtual registers (the IR is not SSA, so a
+local maps to one mutable :class:`Temp`).  Global scalars and arrays are
+accessed through explicit ``Addr``/``Load``/``Store``; array indices are
+scaled by the word size with a multiply, deliberately leaving induction-
+variable strength reduction work for the optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ir import (
+    BasicBlock,
+    Const,
+    Function,
+    GlobalVar,
+    IRBuilder,
+    Module,
+    Temp,
+    Type,
+)
+from repro.ir.types import WORD_SIZE
+from repro.ir.values import Value
+from repro.minic import ast
+
+
+class _FunctionLowerer:
+    def __init__(self, module: Module, func_decl: ast.FuncDecl):
+        self.module = module
+        self.decl = func_decl
+        params = [Temp(f"arg_{p.name}", p.type) for p in func_decl.params]
+        self.func = Function(func_decl.name, params, func_decl.return_type)
+        self.builder = IRBuilder(self.func)
+        self.env_stack: List[Dict[str, Temp]] = [{}]
+
+    # ------------------------------------------------------------------
+    # Environment
+    # ------------------------------------------------------------------
+    def push_scope(self) -> None:
+        self.env_stack.append({})
+
+    def pop_scope(self) -> None:
+        self.env_stack.pop()
+
+    def declare(self, name: str, temp: Temp) -> None:
+        self.env_stack[-1][name] = temp
+
+    def lookup(self, name: str) -> Optional[Temp]:
+        for env in reversed(self.env_stack):
+            if name in env:
+                return env[name]
+        return None
+
+    # ------------------------------------------------------------------
+    def run(self) -> Function:
+        entry = self.func.new_block("entry")
+        self.builder.set_block(entry)
+        # Copy parameters into mutable locals so assignment to a
+        # parameter works uniformly.
+        for p_decl, p_temp in zip(self.decl.params, self.func.params):
+            local = self.func.new_temp(p_temp.type, hint=f"p_{p_decl.name}_")
+            self.builder.copy_to(local, p_temp)
+            self.declare(p_decl.name, local)
+        self.lower_body(self.decl.body)
+        # Implicit return for void functions falling off the end.
+        if not self.builder.block.is_terminated:
+            if self.decl.return_type is Type.VOID:
+                self.builder.ret(None)
+            else:
+                # Sema proved this is unreachable; keep the IR well formed.
+                self.builder.ret(Const(0, Type.INT) if self.decl.return_type is Type.INT else Const(0.0, Type.FLOAT))
+        # Terminate any dangling blocks created after returns.
+        for block in self.func.blocks:
+            if not block.is_terminated:
+                self.builder.set_block(block)
+                if self.decl.return_type is Type.VOID:
+                    self.builder.ret(None)
+                elif self.decl.return_type is Type.INT:
+                    self.builder.ret(Const(0, Type.INT))
+                else:
+                    self.builder.ret(Const(0.0, Type.FLOAT))
+        return self.func
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def lower_body(self, body: List[ast.Stmt]) -> None:
+        self.push_scope()
+        for stmt in body:
+            self.lower_stmt(stmt)
+        self.pop_scope()
+
+    def lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            temp = self.func.new_temp(stmt.var_type, hint=f"v_{stmt.name}_")
+            if stmt.init is not None:
+                value = self.lower_expr(stmt.init)
+                value = self.coerce(value, stmt.var_type)
+                self.builder.copy_to(temp, value)
+            else:
+                zero = (
+                    Const(0, Type.INT)
+                    if stmt.var_type is Type.INT
+                    else Const(0.0, Type.FLOAT)
+                )
+                self.builder.copy_to(temp, zero)
+            self.declare(stmt.name, temp)
+        elif isinstance(stmt, ast.AssignStmt):
+            self.lower_assign(stmt)
+        elif isinstance(stmt, ast.IfStmt):
+            self.lower_if(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self.lower_while(stmt)
+        elif isinstance(stmt, ast.ForStmt):
+            self.lower_for(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is None:
+                self.builder.ret(None)
+            else:
+                value = self.lower_expr(stmt.value)
+                value = self.coerce(value, self.decl.return_type)
+                self.builder.ret(value)
+            # Continue emitting into a fresh (unreachable) block if more
+            # statements follow; dead-block removal cleans it up.
+            dead = self.func.new_block("dead")
+            self.builder.set_block(dead)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.lower_expr(stmt.expr)
+        else:
+            raise TypeError(f"unknown statement {stmt!r}")
+
+    def lower_assign(self, stmt: ast.AssignStmt) -> None:
+        value = self.lower_expr(stmt.value)
+        target = stmt.target
+        if isinstance(target, ast.VarRef):
+            local = self.lookup(target.name)
+            if local is not None:
+                self.builder.copy_to(local, self.coerce(value, local.type))
+                return
+            # Global scalar.
+            g = self.module.globals[target.name]
+            base = self.builder.addr(target.name)
+            self.builder.store(
+                base, Const(0, Type.INT), self.coerce(value, g.type)
+            )
+            return
+        if isinstance(target, ast.ArrayRef):
+            g = self.module.globals[target.name]
+            base, offset = self.lower_array_address(target)
+            self.builder.store(base, offset, self.coerce(value, g.type))
+            return
+        raise TypeError(f"invalid assignment target {target!r}")
+
+    def lower_if(self, stmt: ast.IfStmt) -> None:
+        cond = self.lower_expr(stmt.cond)
+        then_block = self.func.new_block("then")
+        join_block_label = self.func.fresh_label("join")
+        if stmt.else_body:
+            else_block = self.func.new_block("else")
+            self.builder.branch(cond, then_block.label, else_block.label)
+        else:
+            self.builder.branch(cond, then_block.label, join_block_label)
+        self.builder.set_block(then_block)
+        self.lower_body(stmt.then_body)
+        then_end = self.builder.block
+        if stmt.else_body:
+            self.builder.set_block(else_block)
+            self.lower_body(stmt.else_body)
+            else_end = self.builder.block
+        join = self.func.add_block(BasicBlock(join_block_label))
+        if not then_end.is_terminated:
+            self.builder.set_block(then_end)
+            self.builder.jump(join.label)
+        if stmt.else_body and not else_end.is_terminated:
+            self.builder.set_block(else_end)
+            self.builder.jump(join.label)
+        self.builder.set_block(join)
+
+    def lower_while(self, stmt: ast.WhileStmt) -> None:
+        header = self.func.new_block("loop")
+        body = self.func.new_block("body")
+        exit_label = self.func.fresh_label("exit")
+        self.builder.jump(header.label)
+        self.builder.set_block(header)
+        cond = self.lower_expr(stmt.cond)
+        self.builder.branch(cond, body.label, exit_label)
+        self.builder.set_block(body)
+        self.lower_body(stmt.body)
+        if not self.builder.block.is_terminated:
+            self.builder.jump(header.label)
+        exit_block = self.func.add_block(BasicBlock(exit_label))
+        self.builder.set_block(exit_block)
+
+    def lower_for(self, stmt: ast.ForStmt) -> None:
+        self.push_scope()
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init)
+        header = self.func.new_block("loop")
+        body = self.func.new_block("body")
+        exit_label = self.func.fresh_label("exit")
+        self.builder.jump(header.label)
+        self.builder.set_block(header)
+        if stmt.cond is not None:
+            cond = self.lower_expr(stmt.cond)
+            self.builder.branch(cond, body.label, exit_label)
+        else:
+            self.builder.jump(body.label)
+        self.builder.set_block(body)
+        self.lower_body(stmt.body)
+        if not self.builder.block.is_terminated:
+            if stmt.step is not None:
+                self.lower_stmt(stmt.step)
+            self.builder.jump(header.label)
+        exit_block = self.func.add_block(BasicBlock(exit_label))
+        self.builder.set_block(exit_block)
+        self.pop_scope()
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def coerce(self, value: Value, target: Type) -> Value:
+        if value.type == target:
+            return value
+        if target is Type.FLOAT and value.type is Type.INT:
+            if isinstance(value, Const):
+                return Const(float(value.value), Type.FLOAT)
+            return self.builder.unop("itof", value, Type.FLOAT)
+        if target is Type.INT and value.type is Type.FLOAT:
+            if isinstance(value, Const):
+                return Const(int(value.value), Type.INT)
+            return self.builder.unop("ftoi", value, Type.INT)
+        raise TypeError(f"cannot coerce {value.type} to {target}")
+
+    def lower_array_address(self, ref: ast.ArrayRef):
+        base = self.builder.addr(ref.name)
+        index = self.lower_expr(ref.index)
+        if isinstance(index, Const):
+            return base, Const(index.value * WORD_SIZE, Type.INT)
+        offset = self.builder.binop(
+            "mul", index, Const(WORD_SIZE, Type.INT), Type.INT
+        )
+        return base, offset
+
+    def lower_expr(self, expr: ast.Expr) -> Value:
+        if isinstance(expr, ast.IntLit):
+            return Const(expr.value, Type.INT)
+        if isinstance(expr, ast.FloatLit):
+            return Const(expr.value, Type.FLOAT)
+        if isinstance(expr, ast.VarRef):
+            local = self.lookup(expr.name)
+            if local is not None:
+                return local
+            g = self.module.globals[expr.name]
+            base = self.builder.addr(expr.name)
+            return self.builder.load(base, Const(0, Type.INT), g.type)
+        if isinstance(expr, ast.ArrayRef):
+            g = self.module.globals[expr.name]
+            base, offset = self.lower_array_address(expr)
+            return self.builder.load(base, offset, g.type)
+        if isinstance(expr, ast.Unary):
+            operand = self.lower_expr(expr.operand)
+            if expr.op == "-":
+                op = "fneg" if operand.type is Type.FLOAT else "neg"
+                return self.builder.unop(op, operand, operand.type)
+            # '!' -> operand == 0
+            return self.builder.cmp("eq", operand, Const(0, Type.INT))
+        if isinstance(expr, ast.Cast):
+            operand = self.lower_expr(expr.operand)
+            return self.coerce(operand, expr.target)
+        if isinstance(expr, ast.Binary):
+            return self.lower_binary(expr)
+        if isinstance(expr, ast.CallExpr):
+            callee = self.module.functions[expr.name]
+            args = []
+            for arg_expr, param in zip(expr.args, callee.params):
+                arg = self.lower_expr(arg_expr)
+                args.append(self.coerce(arg, param.type))
+            return self.builder.call(expr.name, args, callee.return_type)
+        raise TypeError(f"unknown expression {expr!r}")
+
+    _CMP_MAP = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+    _INT_OP_MAP = {
+        "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+        "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
+    }
+    _FLOAT_OP_MAP = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+
+    def lower_binary(self, expr: ast.Binary) -> Value:
+        if expr.op in ("&&", "||"):
+            return self.lower_short_circuit(expr)
+        left = self.lower_expr(expr.left)
+        right = self.lower_expr(expr.right)
+        if expr.op in self._CMP_MAP:
+            common = (
+                Type.FLOAT
+                if Type.FLOAT in (left.type, right.type)
+                else Type.INT
+            )
+            left = self.coerce(left, common)
+            right = self.coerce(right, common)
+            return self.builder.cmp(self._CMP_MAP[expr.op], left, right)
+        if expr.type is Type.FLOAT:
+            left = self.coerce(left, Type.FLOAT)
+            right = self.coerce(right, Type.FLOAT)
+            return self.builder.binop(
+                self._FLOAT_OP_MAP[expr.op], left, right, Type.FLOAT
+            )
+        return self.builder.binop(
+            self._INT_OP_MAP[expr.op], left, right, Type.INT
+        )
+
+    def lower_short_circuit(self, expr: ast.Binary) -> Value:
+        """Lower && / || with control flow producing a 0/1 temp."""
+        result = self.func.new_temp(Type.INT, hint="sc")
+        rhs_block = self.func.new_block("sc_rhs")
+        done_label = self.func.fresh_label("sc_done")
+        left = self.lower_expr(expr.left)
+        left_bool = self.builder.cmp("ne", left, Const(0, Type.INT))
+        self.builder.copy_to(result, left_bool)
+        if expr.op == "&&":
+            self.builder.branch(left_bool, rhs_block.label, done_label)
+        else:
+            self.builder.branch(left_bool, done_label, rhs_block.label)
+        self.builder.set_block(rhs_block)
+        right = self.lower_expr(expr.right)
+        right_bool = self.builder.cmp("ne", right, Const(0, Type.INT))
+        self.builder.copy_to(result, right_bool)
+        self.builder.jump(done_label)
+        done = self.func.add_block(BasicBlock(done_label))
+        self.builder.set_block(done)
+        return result
+
+
+def lower_to_ir(program: ast.Program, name: str = "module") -> Module:
+    """Lower an analyzed program to an IR module."""
+    module = Module(name)
+    for g in program.globals:
+        init = None
+        if g.init is not None:
+            init = [g.init]
+        module.add_global(
+            GlobalVar(g.name, g.var_type, g.array_size or 1, init)
+        )
+    # Declare all functions first so calls can be resolved in any order.
+    lowerers = [_FunctionLowerer(module, f) for f in program.functions]
+    for lw in lowerers:
+        module.add_function(lw.func)
+    for lw in lowerers:
+        lw.run()
+    return module

@@ -1,0 +1,304 @@
+"""Semantic analysis for MiniC.
+
+Checks scoping, types and call signatures, and annotates every expression
+node with its inferred :class:`repro.ir.Type`.  Numeric promotion follows
+a conservative subset of C: ``int`` promotes implicitly to ``float``, but
+narrowing ``float -> int`` requires an explicit cast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.types import Type
+from repro.minic import ast
+
+
+class SemanticError(Exception):
+    pass
+
+
+_INT_ONLY_OPS = {"%", "<<", ">>", "&", "|", "^", "&&", "||"}
+_CMP_OPS = {"==", "!=", "<", "<=", ">", ">="}
+_ARITH_OPS = {"+", "-", "*", "/"}
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.symbols: Dict[str, Type] = {}
+
+    def declare(self, name: str, type_: Type, line: int) -> None:
+        if name in self.symbols:
+            raise SemanticError(f"line {line}: redeclaration of {name!r}")
+        self.symbols[name] = type_
+
+    def lookup(self, name: str) -> Optional[Type]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+class _Analyzer:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.global_scalars: Dict[str, Type] = {}
+        self.global_arrays: Dict[str, Tuple[Type, int]] = {}
+        self.functions: Dict[str, ast.FuncDecl] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        for g in self.program.globals:
+            if (
+                g.name in self.global_scalars
+                or g.name in self.global_arrays
+                or g.name in self.functions
+            ):
+                raise SemanticError(
+                    f"line {g.line}: redeclaration of {g.name!r}"
+                )
+            if g.array_size is not None:
+                self.global_arrays[g.name] = (g.var_type, g.array_size)
+            else:
+                if g.init is not None:
+                    if g.var_type is Type.INT and not isinstance(g.init, int):
+                        raise SemanticError(
+                            f"line {g.line}: int global {g.name!r} with "
+                            f"float initializer"
+                        )
+                    if g.var_type is Type.FLOAT and isinstance(g.init, int):
+                        g.init = float(g.init)
+                self.global_scalars[g.name] = g.var_type
+        for f in self.program.functions:
+            if (
+                f.name in self.functions
+                or f.name in self.global_scalars
+                or f.name in self.global_arrays
+            ):
+                raise SemanticError(f"line {f.line}: redeclaration of {f.name!r}")
+            self.functions[f.name] = f
+        for f in self.program.functions:
+            self.check_function(f)
+
+    # ------------------------------------------------------------------
+    def check_function(self, func: ast.FuncDecl) -> None:
+        scope = _Scope()
+        seen = set()
+        for p in func.params:
+            if p.name in seen:
+                raise SemanticError(
+                    f"line {func.line}: duplicate parameter {p.name!r}"
+                )
+            seen.add(p.name)
+            scope.declare(p.name, p.type, func.line)
+        self.check_body(func.body, scope, func)
+        if func.return_type is not Type.VOID and not self._always_returns(
+            func.body
+        ):
+            raise SemanticError(
+                f"function {func.name!r} may fall off the end without "
+                f"returning a value"
+            )
+
+    def _always_returns(self, body: List[ast.Stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.ReturnStmt):
+                return True
+            if isinstance(stmt, ast.IfStmt):
+                if (
+                    stmt.else_body
+                    and self._always_returns(stmt.then_body)
+                    and self._always_returns(stmt.else_body)
+                ):
+                    return True
+        return False
+
+    def check_body(
+        self, body: List[ast.Stmt], scope: _Scope, func: ast.FuncDecl
+    ) -> None:
+        for stmt in body:
+            self.check_stmt(stmt, scope, func)
+
+    # ------------------------------------------------------------------
+    def check_stmt(
+        self, stmt: ast.Stmt, scope: _Scope, func: ast.FuncDecl
+    ) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            if stmt.init is not None:
+                init_type = self.check_expr(stmt.init, scope)
+                self._check_assignable(stmt.var_type, init_type, stmt.line)
+            scope.declare(stmt.name, stmt.var_type, stmt.line)
+        elif isinstance(stmt, ast.AssignStmt):
+            target_type = self._check_lvalue(stmt.target, scope)
+            value_type = self.check_expr(stmt.value, scope)
+            self._check_assignable(target_type, value_type, stmt.line)
+        elif isinstance(stmt, ast.IfStmt):
+            self._check_condition(stmt.cond, scope)
+            self.check_body(stmt.then_body, _Scope(scope), func)
+            self.check_body(stmt.else_body, _Scope(scope), func)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._check_condition(stmt.cond, scope)
+            self.check_body(stmt.body, _Scope(scope), func)
+        elif isinstance(stmt, ast.ForStmt):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self.check_stmt(stmt.init, inner, func)
+            if stmt.cond is not None:
+                self._check_condition(stmt.cond, inner)
+            if stmt.step is not None:
+                self.check_stmt(stmt.step, inner, func)
+            self.check_body(stmt.body, _Scope(inner), func)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if func.return_type is Type.VOID:
+                if stmt.value is not None:
+                    raise SemanticError(
+                        f"line {stmt.line}: void function {func.name!r} "
+                        f"returns a value"
+                    )
+            else:
+                if stmt.value is None:
+                    raise SemanticError(
+                        f"line {stmt.line}: {func.name!r} must return "
+                        f"{func.return_type.value}"
+                    )
+                value_type = self.check_expr(stmt.value, scope)
+                self._check_assignable(func.return_type, value_type, stmt.line)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.check_expr(stmt.expr, scope)
+        else:
+            raise SemanticError(f"unknown statement {stmt!r}")
+
+    def _check_condition(self, cond: ast.Expr, scope: _Scope) -> None:
+        cond_type = self.check_expr(cond, scope)
+        if cond_type is not Type.INT:
+            raise SemanticError(
+                f"line {cond.line}: condition must be int, got "
+                f"{cond_type.value}"
+            )
+
+    def _check_lvalue(self, target: ast.Expr, scope: _Scope) -> Type:
+        if isinstance(target, ast.VarRef):
+            local = scope.lookup(target.name)
+            if local is not None:
+                target.type = local
+                return local
+            if target.name in self.global_scalars:
+                target.type = self.global_scalars[target.name]
+                return target.type
+            if target.name in self.global_arrays:
+                raise SemanticError(
+                    f"line {target.line}: cannot assign to array "
+                    f"{target.name!r} without an index"
+                )
+            raise SemanticError(
+                f"line {target.line}: undefined variable {target.name!r}"
+            )
+        if isinstance(target, ast.ArrayRef):
+            return self._check_array_ref(target, scope)
+        raise SemanticError(f"line {target.line}: invalid assignment target")
+
+    def _check_array_ref(self, ref: ast.ArrayRef, scope: _Scope) -> Type:
+        if ref.name not in self.global_arrays:
+            raise SemanticError(
+                f"line {ref.line}: {ref.name!r} is not a global array"
+            )
+        index_type = self.check_expr(ref.index, scope)
+        if index_type is not Type.INT:
+            raise SemanticError(
+                f"line {ref.line}: array index must be int"
+            )
+        ref.type = self.global_arrays[ref.name][0]
+        return ref.type
+
+    def _check_assignable(
+        self, target: Type, value: Type, line: int
+    ) -> None:
+        if target == value:
+            return
+        if target is Type.FLOAT and value is Type.INT:
+            return  # implicit promotion
+        raise SemanticError(
+            f"line {line}: cannot assign {value.value} to {target.value} "
+            f"(use an explicit cast)"
+        )
+
+    # ------------------------------------------------------------------
+    def check_expr(self, expr: ast.Expr, scope: _Scope) -> Type:
+        if isinstance(expr, ast.IntLit):
+            expr.type = Type.INT
+        elif isinstance(expr, ast.FloatLit):
+            expr.type = Type.FLOAT
+        elif isinstance(expr, ast.VarRef):
+            local = scope.lookup(expr.name)
+            if local is not None:
+                expr.type = local
+            elif expr.name in self.global_scalars:
+                expr.type = self.global_scalars[expr.name]
+            else:
+                raise SemanticError(
+                    f"line {expr.line}: undefined variable {expr.name!r}"
+                )
+        elif isinstance(expr, ast.ArrayRef):
+            self._check_array_ref(expr, scope)
+        elif isinstance(expr, ast.Unary):
+            operand = self.check_expr(expr.operand, scope)
+            if expr.op == "!":
+                if operand is not Type.INT:
+                    raise SemanticError(
+                        f"line {expr.line}: '!' requires an int operand"
+                    )
+                expr.type = Type.INT
+            else:  # '-'
+                expr.type = operand
+        elif isinstance(expr, ast.Cast):
+            self.check_expr(expr.operand, scope)
+            expr.type = expr.target
+        elif isinstance(expr, ast.Binary):
+            left = self.check_expr(expr.left, scope)
+            right = self.check_expr(expr.right, scope)
+            if expr.op in _INT_ONLY_OPS:
+                if left is not Type.INT or right is not Type.INT:
+                    raise SemanticError(
+                        f"line {expr.line}: operator {expr.op!r} requires "
+                        f"int operands"
+                    )
+                expr.type = Type.INT
+            elif expr.op in _CMP_OPS:
+                expr.type = Type.INT
+            elif expr.op in _ARITH_OPS:
+                expr.type = (
+                    Type.FLOAT
+                    if Type.FLOAT in (left, right)
+                    else Type.INT
+                )
+            else:
+                raise SemanticError(
+                    f"line {expr.line}: unknown operator {expr.op!r}"
+                )
+        elif isinstance(expr, ast.CallExpr):
+            if expr.name not in self.functions:
+                raise SemanticError(
+                    f"line {expr.line}: call to undefined function "
+                    f"{expr.name!r}"
+                )
+            callee = self.functions[expr.name]
+            if len(expr.args) != len(callee.params):
+                raise SemanticError(
+                    f"line {expr.line}: {expr.name!r} expects "
+                    f"{len(callee.params)} arguments, got {len(expr.args)}"
+                )
+            for arg, param in zip(expr.args, callee.params):
+                arg_type = self.check_expr(arg, scope)
+                self._check_assignable(param.type, arg_type, expr.line)
+            expr.type = callee.return_type
+        else:
+            raise SemanticError(f"unknown expression {expr!r}")
+        return expr.type
+
+
+def analyze(program: ast.Program) -> None:
+    """Type-check ``program`` in place, annotating expression types."""
+    _Analyzer(program).run()

@@ -1,0 +1,59 @@
+"""Empirical modeling techniques (paper Section 4).
+
+Three regression families relate the coded design vector to the response:
+
+* :class:`LinearModel` -- global parametric least squares with main effects
+  and two-factor interactions, BIC-guided complexity control (Section 4.1);
+* :class:`MarsModel` -- Multivariate Adaptive Regression Splines: recursive
+  partitioning with q-order spline (hinge) basis functions, GCV backward
+  pruning, and an interpretable ANOVA decomposition (Section 4.2);
+* :class:`RbfModel` -- a radial basis function network whose neuron centers
+  are chosen by a regression tree, with Gaussian or multiquadric kernels
+  and BIC size selection (Section 4.3).
+
+All models consume *coded* design matrices (``[-1, 1]`` scale, see
+:mod:`repro.space`) and a response vector.
+"""
+
+from repro.models.base import RegressionModel
+from repro.models.metrics import (
+    sse,
+    mse,
+    rmse,
+    r_squared,
+    mean_absolute_percentage_error,
+    bic,
+    gcv,
+    train_test_error,
+)
+from repro.models.linear import LinearModel
+from repro.models.regression_tree import RegressionTree, TreeNode
+from repro.models.mars import MarsModel, MarsBasis
+from repro.models.rbf import RbfModel, KERNELS
+from repro.models.validation import (
+    CrossValidationResult,
+    compare_models,
+    k_fold_cv,
+)
+
+__all__ = [
+    "RegressionModel",
+    "LinearModel",
+    "MarsModel",
+    "MarsBasis",
+    "RbfModel",
+    "KERNELS",
+    "RegressionTree",
+    "TreeNode",
+    "CrossValidationResult",
+    "compare_models",
+    "k_fold_cv",
+    "sse",
+    "mse",
+    "rmse",
+    "r_squared",
+    "mean_absolute_percentage_error",
+    "bic",
+    "gcv",
+    "train_test_error",
+]

@@ -1,0 +1,97 @@
+"""Model-adequacy metrics (paper Sections 4.4 and 6.1).
+
+The paper reports model quality as the average percentage error in
+prediction on an independent test set, and guards against overfitting with
+the Bayesian Information Criterion (Equation 9) and Generalized Cross
+Validation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+
+def sse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Sum of squared errors (Equation 4)."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    return float(np.sum((y_pred - y_true) ** 2))
+
+
+def mse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true, dtype=float)
+    return sse(y_true, y_pred) / y_true.shape[0]
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    return float(np.sqrt(mse(y_true, y_pred)))
+
+
+def r_squared(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination."""
+    y_true = np.asarray(y_true, dtype=float)
+    total = float(np.sum((y_true - y_true.mean()) ** 2))
+    if total == 0:
+        return 1.0 if sse(y_true, y_pred) == 0 else 0.0
+    return 1.0 - sse(y_true, y_pred) / total
+
+
+def mean_absolute_percentage_error(
+    y_true: np.ndarray, y_pred: np.ndarray
+) -> float:
+    """Average percentage prediction error, the paper's accuracy metric.
+
+    Returned in percent (e.g. ``4.13`` means 4.13%).
+    """
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if np.any(y_true == 0):
+        raise ValueError("percentage error undefined for zero responses")
+    return float(np.mean(np.abs((y_pred - y_true) / y_true)) * 100.0)
+
+
+def bic(sse_value: float, n_samples: int, n_params: int) -> float:
+    """Bayesian Information Criterion, Equation 9 of the paper:
+
+        BIC = (p + (ln(p) - 1) * gamma) / (p * (p - gamma)) * SSE
+
+    where ``p`` is the sample count and ``gamma`` the parameter count.  The
+    expression grows with model complexity and is infinite when the model
+    has as many parameters as samples.
+    """
+    p, gamma = n_samples, n_params
+    if gamma >= p:
+        return np.inf
+    return (p + (np.log(p) - 1.0) * gamma) / (p * (p - gamma)) * sse_value
+
+
+def gcv(sse_value: float, n_samples: int, effective_params: float) -> float:
+    """Generalized Cross Validation score.
+
+        GCV = (SSE / n) / (1 - C/n)^2
+
+    ``effective_params`` (C) may exceed the raw parameter count to charge
+    for adaptive basis selection (as in MARS).
+    """
+    n = n_samples
+    if effective_params >= n:
+        return np.inf
+    return (sse_value / n) / (1.0 - effective_params / n) ** 2
+
+
+def train_test_error(
+    model_factory: Callable[[], "object"],
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+) -> Tuple[float, float]:
+    """Fit a fresh model and return (train MAPE, test MAPE)."""
+    model = model_factory()
+    model.fit(x_train, y_train)
+    return (
+        mean_absolute_percentage_error(y_train, model.predict(x_train)),
+        mean_absolute_percentage_error(y_test, model.predict(x_test)),
+    )

@@ -1,0 +1,77 @@
+"""Cross-validation utilities for model assessment and selection.
+
+The paper controls overfitting with analytic criteria (BIC, GCV) because
+simulations are too expensive to waste on held-out folds; when data *is*
+available, k-fold cross-validation is the standard check that those
+criteria picked well.  These helpers are used by the ablation benchmarks
+and available to library users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.models.base import RegressionModel
+
+
+@dataclass
+class CrossValidationResult:
+    """Per-fold and aggregate percentage errors."""
+
+    fold_errors: List[float]
+
+    @property
+    def mean_error(self) -> float:
+        return float(np.mean(self.fold_errors))
+
+    @property
+    def std_error(self) -> float:
+        return float(np.std(self.fold_errors))
+
+
+def k_fold_cv(
+    model_factory: Callable[[], RegressionModel],
+    x: np.ndarray,
+    y: np.ndarray,
+    k: int = 5,
+    seed: int = 0,
+) -> CrossValidationResult:
+    """k-fold cross-validated mean absolute percentage error."""
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    y = np.asarray(y, dtype=float).ravel()
+    n = x.shape[0]
+    if k < 2 or k > n:
+        raise ValueError(f"k={k} must be in [2, {n}]")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    folds = np.array_split(order, k)
+
+    errors: List[float] = []
+    for fold in folds:
+        mask = np.ones(n, dtype=bool)
+        mask[fold] = False
+        model = model_factory()
+        model.fit(x[mask], y[mask])
+        pred = model.predict(x[fold])
+        truth = y[fold]
+        errors.append(
+            float(np.mean(np.abs(pred - truth) / np.abs(truth)) * 100.0)
+        )
+    return CrossValidationResult(errors)
+
+
+def compare_models(
+    factories: Dict[str, Callable[[], RegressionModel]],
+    x: np.ndarray,
+    y: np.ndarray,
+    k: int = 5,
+    seed: int = 0,
+) -> Dict[str, CrossValidationResult]:
+    """Cross-validate several model families on the same folds."""
+    return {
+        name: k_fold_cv(factory, x, y, k=k, seed=seed)
+        for name, factory in factories.items()
+    }

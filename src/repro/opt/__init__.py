@@ -1,0 +1,65 @@
+"""The optimization suite: gcc's Table 1 knobs, reimplemented.
+
+Each optimization of the paper's Table 1 is one pass module:
+
+====================  =====================================================
+``inline``            -finline-functions with the three inlining heuristics
+``unroll``            -funroll-loops with the two unrolling heuristics
+``loopopt``           -floop-optimize (loop-invariant code motion)
+``gcse``              -fgcse (dominator-based value numbering CSE plus
+                      global constant/copy propagation)
+``strength``          -fstrength-reduce (induction-variable rewriting)
+``reorder_blocks``    -freorder-blocks (chain layout + loop rotation)
+``prefetch``          -fprefetch-loop-arrays
+====================  =====================================================
+
+``-fschedule-insns2`` and ``-fomit-frame-pointer`` are consumed by the
+code generator (:mod:`repro.codegen`), matching where gcc applies them.
+Always-on cleanups (constant folding, copy propagation, dead-code
+elimination, CFG simplification) run between passes like gcc's
+unconditional passes do.
+
+:func:`optimize_module` runs everything in a gcc-flavoured order driven
+by a :class:`CompilerConfig`.
+"""
+
+from repro.opt.flags import CompilerConfig, O0, O2, O3
+from repro.opt.pipeline import optimize_module
+from repro.opt.cleanup import (
+    constant_fold,
+    copy_propagate,
+    dead_code_eliminate,
+    simplify_cfg,
+    coalesce_copies,
+    cleanup_function,
+    cleanup_module,
+)
+from repro.opt.inline import inline_functions
+from repro.opt.unroll import unroll_loops
+from repro.opt.loopopt import loop_optimize
+from repro.opt.gcse import global_cse
+from repro.opt.strength import strength_reduce
+from repro.opt.reorder import reorder_blocks
+from repro.opt.prefetch import prefetch_loop_arrays
+
+__all__ = [
+    "CompilerConfig",
+    "O0",
+    "O2",
+    "O3",
+    "optimize_module",
+    "constant_fold",
+    "copy_propagate",
+    "dead_code_eliminate",
+    "simplify_cfg",
+    "coalesce_copies",
+    "cleanup_function",
+    "cleanup_module",
+    "inline_functions",
+    "unroll_loops",
+    "loop_optimize",
+    "global_cse",
+    "strength_reduce",
+    "reorder_blocks",
+    "prefetch_loop_arrays",
+]

@@ -1,0 +1,311 @@
+"""Always-on cleanup passes.
+
+Like gcc, the compiler runs a handful of unconditional cleanups between
+the flag-controlled optimizations: constant folding, block-local constant/
+copy propagation, copy coalescing (which turns the lowered
+``t = add v, 1; v = t`` pattern into ``v = add v, 1`` so the loop passes
+can see induction variables), liveness-based dead code elimination, and
+CFG simplification (unreachable-block removal, jump threading, constant
+branch folding, straight-line block merging).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir import (
+    BinOp,
+    Branch,
+    Cmp,
+    Copy,
+    Function,
+    Jump,
+    Module,
+    Temp,
+    UnOp,
+)
+from repro.ir.cfg import predecessors, remove_unreachable, successors
+from repro.ir.dataflow import def_use_counts, liveness
+from repro.ir.instructions import FLOAT_BIN_OPS, INT_BIN_OPS
+from repro.ir.semantics import eval_cmp, eval_float_binop, eval_int_binop, eval_unop
+from repro.ir.types import Type
+from repro.ir.values import Const, Value
+
+
+def constant_fold(func: Function) -> int:
+    """Fold operations with constant operands; returns #instrs folded."""
+    folded = 0
+    for block in func.blocks:
+        new_instrs = []
+        for instr in block.instrs:
+            result: Optional[Const] = None
+            if isinstance(instr, BinOp):
+                if isinstance(instr.a, Const) and isinstance(instr.b, Const):
+                    if instr.op in INT_BIN_OPS:
+                        result = Const(
+                            eval_int_binop(instr.op, instr.a.value, instr.b.value),
+                            Type.INT,
+                        )
+                    else:
+                        result = Const(
+                            eval_float_binop(instr.op, instr.a.value, instr.b.value),
+                            Type.FLOAT,
+                        )
+                else:
+                    simplified = _algebraic_simplify(instr)
+                    if simplified is not None:
+                        new_instrs.append(simplified)
+                        folded += 1
+                        continue
+            elif isinstance(instr, Cmp):
+                if isinstance(instr.a, Const) and isinstance(instr.b, Const):
+                    result = Const(
+                        eval_cmp(instr.op, instr.a.value, instr.b.value), Type.INT
+                    )
+            elif isinstance(instr, UnOp):
+                if isinstance(instr.a, Const):
+                    value = eval_unop(instr.op, instr.a.value)
+                    result = Const(value, instr.dst.type)
+            if result is not None:
+                new_instrs.append(Copy(instr.defs(), result))
+                folded += 1
+            else:
+                new_instrs.append(instr)
+        block.instrs = new_instrs
+    return folded
+
+
+def _algebraic_simplify(instr: BinOp):
+    """x+0, x*1, x*0, x-0, x/1 and friends -> copies/constants."""
+    a, b = instr.a, instr.b
+    op = instr.op
+
+    def const_is(v: Value, value) -> bool:
+        return isinstance(v, Const) and v.value == value
+
+    if op in ("add", "fadd"):
+        if const_is(b, 0) or const_is(b, 0.0):
+            return Copy(instr.dst, a)
+        if const_is(a, 0) or const_is(a, 0.0):
+            return Copy(instr.dst, b)
+    if op in ("sub", "fsub") and (const_is(b, 0) or const_is(b, 0.0)):
+        return Copy(instr.dst, a)
+    if op in ("mul", "fmul"):
+        if const_is(b, 1) or const_is(b, 1.0):
+            return Copy(instr.dst, a)
+        if const_is(a, 1) or const_is(a, 1.0):
+            return Copy(instr.dst, b)
+        # x * 0 -> 0 is only safe for ints (float zero has sign/NaN rules).
+        if op == "mul" and (const_is(a, 0) or const_is(b, 0)):
+            return Copy(instr.dst, Const(0, Type.INT))
+    if op in ("div", "fdiv") and (const_is(b, 1) or const_is(b, 1.0)):
+        return Copy(instr.dst, a)
+    if op in ("shl", "shr") and const_is(b, 0):
+        return Copy(instr.dst, a)
+    return None
+
+
+def copy_propagate(func: Function) -> int:
+    """Block-local constant and copy propagation.
+
+    Within a block, uses of a temp ``t`` after ``t = const`` or ``t = s``
+    are rewritten to the source while neither side has been redefined.
+    """
+    changed = 0
+    for block in func.blocks:
+        available: Dict[Temp, Value] = {}
+        new_instrs = []
+        for instr in block.all_instrs():
+            mapping = {
+                t: v
+                for t, v in available.items()
+                if any(u == t for u in instr.uses())
+            }
+            if mapping:
+                replaced = instr.replace_uses(mapping)
+                if replaced is not instr:
+                    changed += 1
+                instr = replaced
+            d = instr.defs()
+            if d is not None:
+                # Invalidate anything reading or being the redefined temp.
+                available.pop(d, None)
+                stale = [t for t, v in available.items() if v == d]
+                for t in stale:
+                    available.pop(t)
+                if isinstance(instr, Copy):
+                    src = instr.src
+                    if isinstance(src, Const) or (
+                        isinstance(src, Temp) and src != d
+                    ):
+                        available[d] = src
+            new_instrs.append(instr)
+        block.instrs = new_instrs[:-1] if block.terminator else new_instrs
+        if block.terminator is not None:
+            block.set_terminator(new_instrs[-1])
+    return changed
+
+
+def coalesce_copies(func: Function) -> int:
+    """Rewrite ``t = op ...; v = t`` into ``v = op ...`` when ``t`` dies.
+
+    The lowered form of ``i = i + 1`` is a fresh temp followed by a copy
+    into the variable's register; coalescing exposes the canonical
+    induction-variable shape ``v = add v, c`` that the unroller and
+    strength reducer recognize.  Requires ``t`` to be used exactly once in
+    the whole function (by the copy) and defined exactly once.
+    """
+    defs, uses = def_use_counts(func)
+    changed = 0
+    for block in func.blocks:
+        new_instrs: List = []
+        i = 0
+        while i < len(block.instrs):
+            instr = block.instrs[i]
+            nxt = block.instrs[i + 1] if i + 1 < len(block.instrs) else None
+            d = instr.defs()
+            if (
+                d is not None
+                and isinstance(nxt, Copy)
+                and nxt.src == d
+                and d.type == nxt.dst.type
+                and defs.get(d, 0) == 1
+                and uses.get(d, 0) == 1
+                and not isinstance(instr, Copy)
+            ):
+                clone = instr.replace_uses({})
+                clone.dst = nxt.dst
+                new_instrs.append(clone)
+                changed += 1
+                i += 2
+                continue
+            new_instrs.append(instr)
+            i += 1
+        block.instrs = new_instrs
+    return changed
+
+
+def dead_code_eliminate(func: Function) -> int:
+    """Liveness-based DCE: drop pure defs whose value is never read."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        live = liveness(func)
+        for block in func.blocks:
+            live_now: Set[Temp] = set(live.live_out[block.label])
+            new_instrs = []
+            if block.terminator is not None:
+                for u in block.terminator.uses():
+                    if isinstance(u, Temp):
+                        live_now.add(u)
+            for instr in reversed(block.instrs):
+                d = instr.defs()
+                if (
+                    d is not None
+                    and d not in live_now
+                    and not instr.has_side_effects
+                ):
+                    removed += 1
+                    changed = True
+                    continue
+                if d is not None:
+                    live_now.discard(d)
+                for u in instr.uses():
+                    if isinstance(u, Temp):
+                        live_now.add(u)
+                new_instrs.append(instr)
+            new_instrs.reverse()
+            block.instrs = new_instrs
+    return removed
+
+
+def simplify_cfg(func: Function) -> int:
+    """Unreachable removal, constant branches, jump threading, merging."""
+    changed_total = 0
+    changed = True
+    while changed:
+        changed = False
+        # Constant-condition branches -> jumps.
+        for block in func.blocks:
+            term = block.terminator
+            if isinstance(term, Branch):
+                if isinstance(term.cond, Const):
+                    target = (
+                        term.then_target if term.cond.value != 0 else term.else_target
+                    )
+                    block.set_terminator(Jump(target))
+                    changed = True
+                elif term.then_target == term.else_target:
+                    block.set_terminator(Jump(term.then_target))
+                    changed = True
+        # Thread jumps through empty forwarding blocks.
+        forward: Dict[str, str] = {}
+        for block in func.blocks:
+            if (
+                not block.instrs
+                and isinstance(block.terminator, Jump)
+                and block.terminator.target != block.label
+            ):
+                forward[block.label] = block.terminator.target
+        # Resolve chains (with cycle guard).
+        def resolve(label: str) -> str:
+            seen = set()
+            while label in forward and label not in seen:
+                seen.add(label)
+                label = forward[label]
+            return label
+
+        if forward:
+            for block in func.blocks:
+                term = block.terminator
+                mapping = {t: resolve(t) for t in term.targets() if resolve(t) != t}
+                if mapping:
+                    block.set_terminator(term.retarget(mapping))
+                    changed = True
+        removed = remove_unreachable(func)
+        if removed:
+            changed = True
+            changed_total += removed
+        # Merge a block into its unique successor when that successor has
+        # a unique predecessor.
+        preds = predecessors(func)
+        merged = False
+        for block in list(func.blocks):
+            term = block.terminator
+            if not isinstance(term, Jump):
+                continue
+            target = term.target
+            if target == block.label or target == func.entry.label:
+                continue
+            if len(preds[target]) != 1:
+                continue
+            succ_block = func.block(target)
+            block.instrs.extend(succ_block.instrs)
+            block.set_terminator(succ_block.terminator)
+            func.remove_block(target)
+            merged = True
+            changed = True
+            changed_total += 1
+            break  # predecessor map is stale; recompute
+        if merged:
+            continue
+    return changed_total
+
+
+def cleanup_function(func: Function) -> None:
+    """Run the cleanup suite to a (bounded) fixpoint."""
+    for _ in range(4):
+        changed = 0
+        changed += constant_fold(func)
+        changed += copy_propagate(func)
+        changed += coalesce_copies(func)
+        changed += dead_code_eliminate(func)
+        changed += simplify_cfg(func)
+        if changed == 0:
+            break
+
+
+def cleanup_module(module: Module) -> None:
+    for func in module.functions.values():
+        cleanup_function(func)

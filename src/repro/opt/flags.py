@@ -1,0 +1,107 @@
+"""Compiler configuration: the paper's Table 1 as a typed object.
+
+A :class:`CompilerConfig` carries the nine binary optimization flags and
+five numeric heuristics.  ``from_point``/``to_point`` convert to and from
+the design-point dicts used by :mod:`repro.space`, and the ``O0``/``O2``/
+``O3`` presets mirror the paper's baselines (Table 6's "default O3" row
+fixes the heuristic defaults; O3 enables everything except unrolling, O2
+additionally leaves inlining and prefetching off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping
+
+
+@dataclass(frozen=True)
+class CompilerConfig:
+    """Settings of the 14 Table 1 variables."""
+
+    # Optimization flags (Table 1, rows 1-9).
+    inline_functions: bool = False
+    unroll_loops: bool = False
+    schedule_insns2: bool = False
+    loop_optimize: bool = False
+    gcse: bool = False
+    strength_reduce: bool = False
+    omit_frame_pointer: bool = False
+    reorder_blocks: bool = False
+    prefetch_loop_arrays: bool = False
+    # Heuristics (Table 1, rows 10-14), at gcc's defaults.
+    max_inline_insns_auto: int = 100
+    inline_unit_growth: int = 50
+    inline_call_cost: int = 16
+    max_unroll_times: int = 8
+    max_unrolled_insns: int = 200
+
+    _FLAG_NAMES = (
+        "inline_functions",
+        "unroll_loops",
+        "schedule_insns2",
+        "loop_optimize",
+        "gcse",
+        "strength_reduce",
+        "omit_frame_pointer",
+        "reorder_blocks",
+        "prefetch_loop_arrays",
+    )
+    _HEURISTIC_NAMES = (
+        "max_inline_insns_auto",
+        "inline_unit_growth",
+        "inline_call_cost",
+        "max_unroll_times",
+        "max_unrolled_insns",
+    )
+
+    @classmethod
+    def from_point(cls, point: Mapping[str, float]) -> "CompilerConfig":
+        """Build a config from a (possibly larger) design-point dict."""
+        kwargs = {}
+        for name in cls._FLAG_NAMES:
+            if name in point:
+                kwargs[name] = bool(round(point[name]))
+        for name in cls._HEURISTIC_NAMES:
+            if name in point:
+                kwargs[name] = int(round(point[name]))
+        return cls(**kwargs)
+
+    def to_point(self) -> Dict[str, float]:
+        point: Dict[str, float] = {}
+        for name in self._FLAG_NAMES:
+            point[name] = float(int(getattr(self, name)))
+        for name in self._HEURISTIC_NAMES:
+            point[name] = float(getattr(self, name))
+        return point
+
+    def describe(self) -> str:
+        flags = "".join(
+            "1" if getattr(self, name) else "0" for name in self._FLAG_NAMES
+        )
+        heur = "/".join(str(getattr(self, name)) for name in self._HEURISTIC_NAMES)
+        return f"flags={flags} heur={heur}"
+
+    def cache_key(self) -> tuple:
+        """Hashable identity, used to memoize compilations."""
+        return tuple(getattr(self, n) for n in self._FLAG_NAMES) + tuple(
+            getattr(self, n) for n in self._HEURISTIC_NAMES
+        )
+
+
+#: No optimization.
+O0 = CompilerConfig()
+
+#: The paper's -O2 baseline: scalar/loop optimizations but no inlining,
+#: unrolling or prefetching.
+O2 = CompilerConfig(
+    schedule_insns2=True,
+    loop_optimize=True,
+    gcse=True,
+    strength_reduce=True,
+    omit_frame_pointer=True,
+    reorder_blocks=True,
+)
+
+#: The paper's -O3 baseline (Table 6 "default O3" row): O2 plus inlining
+#: and prefetching, unrolling still off, heuristics at defaults.
+O3 = replace(O2, inline_functions=True, prefetch_loop_arrays=True)

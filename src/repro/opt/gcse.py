@@ -1,0 +1,219 @@
+"""-fgcse: global common subexpression elimination.
+
+Per the paper's Table 1, the gcc pass also performs constant and copy
+propagation; we do the same.
+
+The CSE itself is a dominator-tree-scoped value-numbering walk.  Because
+the IR is not SSA, only *single-definition* temps participate: an
+expression is available at a use when (a) its operands are constants or
+single-def temps and (b) an identical expression result lives in a
+single-def temp whose defining block dominates the use.  Multi-def temps
+(user variables, induction variables) are never used as sources or
+operands of reused expressions, which keeps the walk sound without SSA
+construction.  Loads are value-numbered block-locally, invalidated at
+stores and calls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir import (
+    Addr,
+    BinOp,
+    Call,
+    Cmp,
+    Copy,
+    Function,
+    Load,
+    Module,
+    Store,
+    Temp,
+    UnOp,
+)
+from repro.ir.dataflow import def_use_counts
+from repro.ir.dominators import dominator_tree
+from repro.ir.instructions import COMMUTATIVE_OPS
+from repro.ir.values import Const, Value
+
+
+def _operand_key(v: Value, single_def: Set[Temp]) -> Optional[tuple]:
+    if isinstance(v, Const):
+        return ("const", v.type, v.value)
+    if v in single_def:
+        return ("temp", v.name)
+    return None
+
+
+def _expr_key(instr, single_def: Set[Temp]) -> Optional[tuple]:
+    """A hashable value-number key for a pure instruction, or None."""
+    if isinstance(instr, Addr):
+        return ("addr", instr.symbol)
+    if isinstance(instr, BinOp):
+        a = _operand_key(instr.a, single_def)
+        b = _operand_key(instr.b, single_def)
+        if a is None or b is None:
+            return None
+        if instr.op in COMMUTATIVE_OPS and b < a:
+            a, b = b, a
+        return ("bin", instr.op, a, b)
+    if isinstance(instr, UnOp):
+        a = _operand_key(instr.a, single_def)
+        if a is None:
+            return None
+        return ("un", instr.op, a)
+    if isinstance(instr, Cmp):
+        a = _operand_key(instr.a, single_def)
+        b = _operand_key(instr.b, single_def)
+        if a is None or b is None:
+            return None
+        return ("cmp", instr.op, a, b)
+    return None
+
+
+def _load_key(instr: Load, single_def: Set[Temp]) -> Optional[tuple]:
+    base = _operand_key(instr.base, single_def)
+    offset = _operand_key(instr.offset, single_def)
+    if base is None or offset is None:
+        return None
+    return ("load", base, offset)
+
+
+def global_cse(module: Module, config=None) -> int:
+    """Run GCSE + global constant/copy propagation on every function.
+
+    Iterated to a (bounded) fixpoint: each CSE round introduces copies
+    that, once propagated, expose further redundancies (e.g. two loads of
+    the same global through distinct address temps unify only after the
+    address temps have been merged).
+    """
+    total = 0
+    for func in module.functions.values():
+        for _ in range(4):
+            changed = _propagate_copies_globally(func)
+            changed += _cse_function(func)
+            total += changed
+            if changed == 0:
+                break
+    return total
+
+
+def _propagate_copies_globally(func: Function) -> int:
+    """Global constant/copy propagation over single-def temps.
+
+    If single-def temp ``t`` is defined as ``t = const`` or ``t = s``
+    (``s`` itself single-def), every use of ``t`` can be rewritten to the
+    source; iterated to resolve copy chains.
+    """
+    changed_total = 0
+    for _ in range(4):
+        defs, _uses = def_use_counts(func)
+        single_def = {t for t, n in defs.items() if n == 1}
+        replacement: Dict[Temp, Value] = {}
+        for block in func.blocks:
+            for instr in block.instrs:
+                if (
+                    isinstance(instr, Copy)
+                    and instr.dst in single_def
+                ):
+                    src = instr.src
+                    if isinstance(src, Const) or (
+                        isinstance(src, Temp) and src in single_def
+                    ):
+                        replacement[instr.dst] = src
+        if not replacement:
+            break
+        # Resolve chains t -> s -> const.
+        def resolve(v: Value) -> Value:
+            seen = set()
+            while isinstance(v, Temp) and v in replacement and v not in seen:
+                seen.add(v)
+                v = replacement[v]
+            return v
+
+        changed = 0
+        for block in func.blocks:
+            new_instrs = []
+            for instr in block.all_instrs():
+                mapping = {}
+                for u in instr.uses():
+                    if isinstance(u, Temp) and u in replacement:
+                        mapping[u] = resolve(u)
+                if mapping:
+                    instr = instr.replace_uses(mapping)
+                    changed += 1
+                new_instrs.append(instr)
+            if block.terminator is not None:
+                block.instrs = new_instrs[:-1]
+                block.set_terminator(new_instrs[-1])
+            else:
+                block.instrs = new_instrs
+        changed_total += changed
+        if changed == 0:
+            break
+    return changed_total
+
+
+def _cse_function(func: Function) -> int:
+    defs, _uses = def_use_counts(func)
+    single_def = {t for t, n in defs.items() if n == 1}
+    tree = dominator_tree(func)
+    replaced = 0
+
+    # Scoped hash table: expression key -> defining temp.
+    scopes: List[Dict[tuple, Temp]] = [{}]
+
+    def lookup(key: tuple) -> Optional[Temp]:
+        for scope in reversed(scopes):
+            if key in scope:
+                return scope[key]
+        return None
+
+    def process_block(label: str) -> None:
+        nonlocal replaced
+        block = func.block(label)
+        # Loads are only safe to reuse within the block, between stores.
+        local_loads: Dict[tuple, Temp] = {}
+        new_instrs = []
+        for instr in block.instrs:
+            if isinstance(instr, (Store, Call)):
+                local_loads.clear()
+                new_instrs.append(instr)
+                continue
+            if isinstance(instr, Load):
+                key = _load_key(instr, single_def)
+                if key is not None and instr.dst in single_def:
+                    prior = local_loads.get(key)
+                    if prior is not None:
+                        new_instrs.append(Copy(instr.dst, prior))
+                        replaced += 1
+                        continue
+                    local_loads[key] = instr.dst
+                new_instrs.append(instr)
+                continue
+            key = _expr_key(instr, single_def)
+            d = instr.defs()
+            if key is not None and d is not None and d in single_def:
+                prior = lookup(key)
+                if prior is not None and prior != d:
+                    new_instrs.append(Copy(d, prior))
+                    replaced += 1
+                    continue
+                scopes[-1][key] = d
+            new_instrs.append(instr)
+        block.instrs = new_instrs
+
+    # Iterative dominator-tree preorder with scope push/pop markers, so
+    # deep trees (heavily unrolled code) cannot overflow the Python stack.
+    stack: List[tuple] = [("visit", func.entry.label)]
+    while stack:
+        action, label = stack.pop()
+        if action == "pop":
+            scopes.pop()
+            continue
+        scopes.append({})
+        process_block(label)
+        stack.append(("pop", label))
+        for child in reversed(tree.get(label, [])):
+            stack.append(("visit", child))
+    return replaced

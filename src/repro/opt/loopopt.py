@@ -1,0 +1,152 @@
+"""-floop-optimize: loop-invariant code motion.
+
+Hoists pure computations (and loads proven not to alias any store in the
+loop) out of loops into dedicated preheaders.  Because IR operators are
+total (no traps -- see :mod:`repro.ir.semantics`), speculative hoisting of
+pure instructions is always safe provided the destination temp has a
+single definition in the whole function, which the expression temps
+produced by lowering satisfy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir import (
+    Addr,
+    BinOp,
+    Call,
+    Cmp,
+    Copy,
+    Function,
+    Load,
+    Module,
+    Store,
+    Temp,
+    UnOp,
+)
+from repro.ir.dataflow import def_use_counts
+from repro.ir.loops import Loop, ensure_preheader, natural_loops
+from repro.ir.values import Const, Value
+
+
+def loop_memory_summary(func: Function, loop: Loop) -> "tuple[Set[str], bool]":
+    """(symbols possibly stored in the loop, True if unknown stores/calls).
+
+    A store whose base register is (transitively) an ``Addr`` of a global
+    contributes that symbol; any other store, and any call, makes the
+    summary unknown.
+    """
+    addr_of: Dict[Temp, str] = {}
+    for block in func.blocks:
+        for instr in block.instrs:
+            if isinstance(instr, Addr):
+                addr_of[instr.dst] = instr.symbol
+    stored: Set[str] = set()
+    unknown = False
+    for label in loop.body:
+        for instr in func.block(label).instrs:
+            if isinstance(instr, Store):
+                if isinstance(instr.base, Temp) and instr.base in addr_of:
+                    stored.add(addr_of[instr.base])
+                else:
+                    unknown = True
+            elif isinstance(instr, Call):
+                unknown = True
+    return stored, unknown
+
+
+def _hoist_loop(func: Function, loop: Loop, single_def: Set[Temp]) -> int:
+    pre_label = ensure_preheader(func, loop)
+    pre = func.block(pre_label)
+    stored, unknown_stores = loop_memory_summary(func, loop)
+
+    addr_of: Dict[Temp, str] = {}
+    for block in func.blocks:
+        for instr in block.instrs:
+            if isinstance(instr, Addr):
+                addr_of[instr.dst] = instr.symbol
+
+    # Temps defined anywhere inside the loop.
+    defined_in_loop: Set[Temp] = set()
+    for label in loop.body:
+        for instr in func.block(label).all_instrs():
+            d = instr.defs()
+            if d is not None:
+                defined_in_loop.add(d)
+
+    invariant: Set[Temp] = set()
+    hoisted = 0
+    changed = True
+    while changed:
+        changed = False
+        for label in loop.body:
+            block = func.block(label)
+            remaining = []
+            for instr in block.instrs:
+                if self_hoistable(
+                    instr,
+                    loop,
+                    invariant,
+                    defined_in_loop,
+                    single_def,
+                    addr_of,
+                    stored,
+                    unknown_stores,
+                ):
+                    pre.instrs.append(instr)
+                    invariant.add(instr.defs())
+                    defined_in_loop.discard(instr.defs())
+                    hoisted += 1
+                    changed = True
+                else:
+                    remaining.append(instr)
+            block.instrs = remaining
+    return hoisted
+
+
+def self_hoistable(
+    instr,
+    loop: Loop,
+    invariant: Set[Temp],
+    defined_in_loop: Set[Temp],
+    single_def: Set[Temp],
+    addr_of: Dict[Temp, str],
+    stored: Set[str],
+    unknown_stores: bool,
+) -> bool:
+    """Whether an instruction can move to the preheader this round."""
+    d = instr.defs()
+    if d is None or d not in single_def:
+        return False
+
+    def operand_invariant(v: Value) -> bool:
+        if isinstance(v, Const):
+            return True
+        return v not in defined_in_loop or v in invariant
+
+    if isinstance(instr, (BinOp, UnOp, Cmp, Copy, Addr)):
+        return all(operand_invariant(u) for u in instr.uses())
+    if isinstance(instr, Load):
+        if unknown_stores:
+            return False
+        if not all(operand_invariant(u) for u in instr.uses()):
+            return False
+        if not isinstance(instr.base, Temp) or instr.base not in addr_of:
+            return False
+        return addr_of[instr.base] not in stored
+    return False
+
+
+def loop_optimize(module: Module, config=None) -> int:
+    """Run LICM over every function; returns instructions hoisted."""
+    total = 0
+    for func in module.functions.values():
+        defs, _uses = def_use_counts(func)
+        single_def = {t for t, n in defs.items() if n == 1}
+        # Outermost loops first: code hoisted from an inner loop can then
+        # be hoisted again when the inner loop's preheader belongs to the
+        # outer loop body (handled by iterating loops in depth order).
+        for loop in natural_loops(func):
+            total += _hoist_loop(func, loop, single_def)
+    return total

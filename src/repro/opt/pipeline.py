@@ -1,0 +1,47 @@
+"""The optimization pass pipeline.
+
+Pass order follows gcc's: interprocedural (inlining) first, then scalar
+and loop optimizations on the IR, with always-on cleanups between passes,
+and layout last so nothing disturbs it.  ``-fschedule-insns2`` and
+``-fomit-frame-pointer`` act in the backend and are not dispatched here.
+"""
+
+from __future__ import annotations
+
+from repro.ir import Module
+from repro.opt.cleanup import cleanup_module
+from repro.opt.flags import CompilerConfig
+from repro.opt.gcse import global_cse
+from repro.opt.inline import inline_functions
+from repro.opt.loopopt import loop_optimize
+from repro.opt.prefetch import prefetch_loop_arrays
+from repro.opt.reorder import reorder_blocks
+from repro.opt.strength import strength_reduce
+from repro.opt.unroll import unroll_loops
+
+
+def optimize_module(module: Module, config: CompilerConfig) -> Module:
+    """Run the flag-selected optimization pipeline in place."""
+    cleanup_module(module)
+    if config.inline_functions:
+        inline_functions(module, config)
+        cleanup_module(module)
+    if config.loop_optimize:
+        loop_optimize(module)
+        cleanup_module(module)
+    if config.gcse:
+        global_cse(module)
+        cleanup_module(module)
+    # Prefetching must see the raw iv*scale address arithmetic, so it
+    # runs before strength reduction rewrites those multiplies.
+    if config.prefetch_loop_arrays:
+        prefetch_loop_arrays(module)
+    if config.strength_reduce:
+        strength_reduce(module)
+        cleanup_module(module)
+    if config.unroll_loops:
+        unroll_loops(module, config)
+        cleanup_module(module)
+    if config.reorder_blocks:
+        reorder_blocks(module)
+    return module

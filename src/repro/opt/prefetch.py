@@ -1,0 +1,109 @@
+"""-fprefetch-loop-arrays: software prefetching for array loops.
+
+For each innermost loop, finds loads whose address is ``base + iv*k``
+with ``base`` the address of a *large* global array (at least
+``MIN_ARRAY_BYTES``) and ``iv`` a basic induction variable, and inserts a
+non-binding ``Prefetch`` of the address ``LOOKAHEAD`` iterations ahead.
+One prefetch is inserted per distinct (array, stride) stream per loop.
+
+Prefetching hides memory latency on streaming loops but occupies fetch/
+issue slots and can pollute small caches -- both effects are modelled by
+the simulator, which is what lets the empirical models learn when the
+flag pays off (the paper's motivating example for imprecise hardware
+models).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir import Addr, BinOp, Copy, Function, Load, Module, Prefetch, Temp
+from repro.ir.dataflow import def_use_counts
+from repro.ir.loops import Loop, natural_loops
+from repro.ir.types import Type
+from repro.ir.values import Const
+
+#: Iterations of lookahead for the prefetch distance.
+LOOKAHEAD = 16
+#: Arrays smaller than this are assumed cache-resident and not prefetched.
+MIN_ARRAY_BYTES = 2048
+
+
+def prefetch_loop_arrays(module: Module, config=None) -> int:
+    """Insert prefetches in all functions; returns #prefetches inserted."""
+    total = 0
+    for func in module.functions.values():
+        loops = natural_loops(func)
+        for loop in loops:
+            if loop.children:
+                continue  # innermost only
+            total += _prefetch_loop(module, func, loop)
+    return total
+
+
+def _prefetch_loop(module: Module, func: Function, loop: Loop) -> int:
+    from repro.opt.strength import find_basic_ivs  # local to avoid a cycle
+
+    ivs = {iv.temp: iv for iv in find_basic_ivs(func, loop)}
+    if not ivs:
+        return 0
+    defs, _uses = def_use_counts(func)
+
+    # Map temps to the symbol whose address they carry and to the
+    # (iv, scale) pair when they are iv*k products.
+    addr_of: Dict[Temp, str] = {}
+    scaled: Dict[Temp, Tuple[Temp, int]] = {}
+    for block in func.blocks:
+        for instr in block.instrs:
+            if isinstance(instr, Addr) and defs.get(instr.dst, 0) == 1:
+                addr_of[instr.dst] = instr.symbol
+            elif (
+                isinstance(instr, BinOp)
+                and instr.op == "mul"
+                and defs.get(instr.dst, 0) == 1
+            ):
+                if (
+                    isinstance(instr.a, Temp)
+                    and instr.a in ivs
+                    and isinstance(instr.b, Const)
+                ):
+                    scaled[instr.dst] = (instr.a, instr.b.value)
+                elif (
+                    isinstance(instr.b, Temp)
+                    and instr.b in ivs
+                    and isinstance(instr.a, Const)
+                ):
+                    scaled[instr.dst] = (instr.b, instr.a.value)
+
+    inserted = 0
+    seen_streams: Set[Tuple[str, Temp, int]] = set()
+    for label in list(loop.body):
+        block = func.block(label)
+        new_instrs = []
+        for instr in block.instrs:
+            new_instrs.append(instr)
+            if not isinstance(instr, Load):
+                continue
+            if not isinstance(instr.base, Temp) or instr.base not in addr_of:
+                continue
+            symbol = addr_of[instr.base]
+            array = module.globals.get(symbol)
+            if array is None or array.size_bytes < MIN_ARRAY_BYTES:
+                continue
+            if not isinstance(instr.offset, Temp) or instr.offset not in scaled:
+                continue
+            iv_temp, scale = scaled[instr.offset]
+            stream = (symbol, iv_temp, scale)
+            if stream in seen_streams:
+                continue
+            seen_streams.add(stream)
+            step = ivs[iv_temp].step
+            distance = LOOKAHEAD * step * scale
+            ahead = func.new_temp(Type.INT, hint="pfoff")
+            new_instrs.append(
+                BinOp(ahead, "add", instr.offset, Const(distance, Type.INT))
+            )
+            new_instrs.append(Prefetch(instr.base, ahead))
+            inserted += 1
+        block.instrs = new_instrs
+    return inserted

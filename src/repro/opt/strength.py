@@ -1,0 +1,140 @@
+"""-fstrength-reduce: induction-variable strength reduction.
+
+For each loop, basic induction variables (temps updated exactly once per
+iteration by ``iv = add iv, c`` in the latch block) are found, and every
+loop-resident multiplication ``d = mul iv, k`` (``k`` a constant) is
+rewritten: a new register ``div`` is initialized to ``iv * k`` in the
+preheader, advanced by ``c * k`` immediately after the IV update, and the
+multiply becomes a copy.  This converts a 3-cycle IMULT into a 1-cycle
+IALU add per iteration at the cost of one extra live register, so it
+interacts with register pressure exactly the way the paper's Figure 3
+discussion anticipates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir import BinOp, Copy, Function, Module, Temp
+from repro.ir.dataflow import def_use_counts
+from repro.ir.loops import Loop, ensure_preheader, natural_loops
+from repro.ir.types import Type
+from repro.ir.values import Const
+
+
+@dataclass
+class BasicIV:
+    """A basic induction variable ``temp += step`` once per iteration."""
+
+    temp: Temp
+    step: int
+    #: Latch block containing the update, and the update's index there.
+    latch_label: str
+    update_index: int
+
+
+def find_basic_ivs(func: Function, loop: Loop) -> List[BasicIV]:
+    """Basic IVs of a loop.
+
+    Requirements: the temp is written exactly once inside the loop, the
+    write is ``iv = add iv, const`` (or ``sub``), and it sits in a latch
+    block (executed once per iteration on the back edge).
+    """
+    # Count defs of each temp inside the loop.
+    def_count: Dict[Temp, int] = {}
+    for label in loop.body:
+        for instr in func.block(label).all_instrs():
+            d = instr.defs()
+            if d is not None:
+                def_count[d] = def_count.get(d, 0) + 1
+
+    ivs: List[BasicIV] = []
+    for latch_label in loop.latches:
+        block = func.block(latch_label)
+        for i, instr in enumerate(block.instrs):
+            if not isinstance(instr, BinOp):
+                continue
+            if instr.op not in ("add", "sub"):
+                continue
+            if instr.dst != instr.a or not isinstance(instr.b, Const):
+                continue
+            if def_count.get(instr.dst, 0) != 1:
+                continue
+            step = instr.b.value if instr.op == "add" else -instr.b.value
+            # Only meaningful with a single latch: multiple back edges
+            # would update more than once per iteration.
+            if len(loop.latches) != 1:
+                continue
+            ivs.append(BasicIV(instr.dst, step, latch_label, i))
+    return ivs
+
+
+def strength_reduce(module: Module, config=None) -> int:
+    """Rewrite IV multiplications in all functions; returns #rewritten."""
+    total = 0
+    for func in module.functions.values():
+        loops = natural_loops(func)
+        # Innermost loops first: their multiplies are the hottest.
+        for loop in sorted(loops, key=lambda l: -l.depth):
+            total += _reduce_loop(func, loop)
+    return total
+
+
+def _reduce_loop(func: Function, loop: Loop) -> int:
+    ivs = find_basic_ivs(func, loop)
+    if not ivs:
+        return 0
+    defs, _uses = def_use_counts(func)
+    iv_by_temp = {iv.temp: iv for iv in ivs}
+
+    # Find candidate multiplies: d = mul iv, k with k const, d single-def,
+    # located anywhere in the loop.
+    candidates: List[Tuple[str, int, Temp, BasicIV, int]] = []
+    for label in loop.body:
+        block = func.block(label)
+        for i, instr in enumerate(block.instrs):
+            if not isinstance(instr, BinOp) or instr.op != "mul":
+                continue
+            iv = None
+            k = None
+            if isinstance(instr.a, Temp) and instr.a in iv_by_temp and isinstance(instr.b, Const):
+                iv, k = iv_by_temp[instr.a], instr.b.value
+            elif isinstance(instr.b, Temp) and instr.b in iv_by_temp and isinstance(instr.a, Const):
+                iv, k = iv_by_temp[instr.b], instr.a.value
+            if iv is None or defs.get(instr.dst, 0) != 1:
+                continue
+            candidates.append((label, i, instr.dst, iv, k))
+
+    if not candidates:
+        return 0
+
+    pre_label = ensure_preheader(func, loop)
+    pre = func.block(pre_label)
+
+    # Group rewrites by latch so the derived-IV updates are inserted in a
+    # stable order after the basic IV update.
+    rewritten = 0
+    latch_inserts: Dict[str, List[Tuple[int, BinOp]]] = {}
+    for label, index, dst, iv, k in candidates:
+        derived = func.new_temp(Type.INT, hint="siv")
+        # Preheader: derived = iv * k (iv's entry value is readable there).
+        pre.instrs.append(BinOp(derived, "mul", iv.temp, Const(k, Type.INT)))
+        # Replace the multiply with a copy of the derived register.
+        func.block(label).instrs[index] = Copy(dst, derived)
+        # After the IV update: derived += step * k.
+        update = BinOp(
+            derived, "add", derived, Const(iv.step * k, Type.INT)
+        )
+        latch_inserts.setdefault(iv.latch_label, []).append(
+            (iv.update_index, update)
+        )
+        rewritten += 1
+
+    for latch_label, inserts in latch_inserts.items():
+        block = func.block(latch_label)
+        # Insert after the IV update, later insertions first so earlier
+        # recorded indices stay valid.
+        for update_index, update in sorted(inserts, key=lambda x: -x[0]):
+            block.instrs.insert(update_index + 1, update)
+    return rewritten

@@ -1,0 +1,31 @@
+"""The iterative empirical model-building process (paper Figure 1).
+
+:func:`build_model` runs the full loop: generate candidates, select a
+D-optimal design, measure the response at each design point via a
+caller-supplied *oracle* (compile + simulate), fit a model, estimate its
+error on an independent test set, and augment the design until the error
+target is met or the simulation budget is exhausted.
+
+:func:`learning_curve` reproduces the Figure 5 experiment: model accuracy
+as a function of training-set size on nested (augmented) designs.
+"""
+
+from repro.pipeline.build import (
+    ModelBuildResult,
+    Oracle,
+    build_model,
+    evaluate_model,
+    learning_curve,
+    measure_points,
+    LearningCurvePoint,
+)
+
+__all__ = [
+    "ModelBuildResult",
+    "Oracle",
+    "build_model",
+    "evaluate_model",
+    "learning_curve",
+    "measure_points",
+    "LearningCurvePoint",
+]

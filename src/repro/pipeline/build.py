@@ -1,0 +1,166 @@
+"""Iterative model building (Figure 1) and evaluation helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.doe import (
+    augment_design,
+    d_optimal_design,
+    random_candidates,
+)
+from repro.models.base import RegressionModel
+from repro.models.metrics import mean_absolute_percentage_error
+from repro.space import ParameterSpace
+
+#: An oracle measures the system response (execution time in cycles) at a
+#: raw design point; in the full system this is "compile the program with
+#: these flags and simulate it on this microarchitecture".
+Oracle = Callable[[Dict[str, float]], float]
+
+
+def measure_points(
+    oracle: Oracle, space: ParameterSpace, coded: np.ndarray
+) -> np.ndarray:
+    """Measure the oracle at every row of a coded design matrix."""
+    responses = np.empty(coded.shape[0])
+    for i, row in enumerate(np.atleast_2d(coded)):
+        responses[i] = oracle(space.decode(row))
+    return responses
+
+
+def evaluate_model(
+    model: RegressionModel,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+) -> Tuple[float, float]:
+    """(mean, std) of absolute percentage prediction error on a test set."""
+    pred = model.predict(x_test)
+    errors = np.abs((pred - y_test) / y_test) * 100.0
+    return float(errors.mean()), float(errors.std())
+
+
+@dataclass
+class ModelBuildResult:
+    """Everything produced by one run of the Figure-1 loop."""
+
+    model: RegressionModel
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    #: (n_samples, mean % error, std % error) after each iteration.
+    error_history: List[Tuple[int, float, float]] = field(default_factory=list)
+
+    @property
+    def test_error(self) -> float:
+        return self.error_history[-1][1]
+
+    @property
+    def n_samples(self) -> int:
+        return self.x_train.shape[0]
+
+
+def build_model(
+    oracle: Oracle,
+    space: ParameterSpace,
+    model_factory: Callable[[], RegressionModel],
+    rng: np.random.Generator,
+    initial_size: int = 100,
+    batch_size: int = 50,
+    max_samples: int = 400,
+    target_error: float = 5.0,
+    n_candidates: int = 1000,
+    test_size: int = 100,
+    test_set: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> ModelBuildResult:
+    """Run the iterative model-building process of Figure 1.
+
+    The loop measures an initial D-optimal design, fits a model, and
+    checks its average percentage error on an independent test set.  While
+    the error exceeds ``target_error`` and the budget allows, the design
+    is D-optimally augmented with ``batch_size`` new points and the model
+    is refitted ("repeat steps 3 and 4 until a model with desired accuracy
+    is obtained").
+
+    Parameters
+    ----------
+    test_set:
+        Optional pre-measured ``(x_test_coded, y_test)`` pair.  When
+        omitted an independent random design of ``test_size`` points is
+        generated and measured through the oracle.
+    """
+    candidates = random_candidates(space, n_candidates, rng)
+
+    if test_set is None:
+        x_test = random_candidates(space, test_size, rng)
+        y_test = measure_points(oracle, space, x_test)
+    else:
+        x_test, y_test = test_set
+
+    design = d_optimal_design(candidates, initial_size, rng)
+    x_train = design.design
+    y_train = measure_points(oracle, space, x_train)
+
+    history: List[Tuple[int, float, float]] = []
+    model = model_factory()
+    model.fit(x_train, y_train)
+    mean_err, std_err = evaluate_model(model, x_test, y_test)
+    history.append((x_train.shape[0], mean_err, std_err))
+
+    while mean_err > target_error and x_train.shape[0] + batch_size <= max_samples:
+        extra = augment_design(x_train, candidates, batch_size, rng)
+        x_new = extra.design
+        y_new = measure_points(oracle, space, x_new)
+        x_train = np.vstack([x_train, x_new])
+        y_train = np.concatenate([y_train, y_new])
+        model = model_factory()
+        model.fit(x_train, y_train)
+        mean_err, std_err = evaluate_model(model, x_test, y_test)
+        history.append((x_train.shape[0], mean_err, std_err))
+
+    return ModelBuildResult(
+        model=model,
+        x_train=x_train,
+        y_train=y_train,
+        x_test=x_test,
+        y_test=y_test,
+        error_history=history,
+    )
+
+
+@dataclass
+class LearningCurvePoint:
+    """One point of a Figure-5 learning curve."""
+
+    n_samples: int
+    mean_error: float
+    std_error: float
+
+
+def learning_curve(
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    model_factory: Callable[[], RegressionModel],
+    sizes: Sequence[int],
+) -> List[LearningCurvePoint]:
+    """Accuracy vs training-set size on nested prefixes of a design.
+
+    Measured points are reused across sizes (prefixes of an augmented
+    D-optimal design are themselves D-optimal-ish), which mirrors how the
+    paper grows its designs and keeps the simulation budget linear.
+    """
+    points = []
+    for size in sizes:
+        if size < 2 or size > x_train.shape[0]:
+            continue
+        model = model_factory()
+        model.fit(x_train[:size], y_train[:size])
+        mean_err, std_err = evaluate_model(model, x_test, y_test)
+        points.append(LearningCurvePoint(size, mean_err, std_err))
+    return points

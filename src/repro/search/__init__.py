@@ -1,0 +1,19 @@
+"""Model-based search for optimal settings (paper Section 6.3).
+
+Once an empirical model exists, it can predict the response at arbitrary
+design points at virtually no cost, so the compiler subspace can be
+searched for the flag/heuristic settings minimizing predicted execution
+time while the microarchitectural parameters are held frozen.  The paper
+uses a genetic algorithm; a random-search baseline and an exhaustive
+search (for small spaces) are provided for comparison.
+"""
+
+from repro.search.ga import GeneticSearch, SearchResult
+from repro.search.baselines import random_search, exhaustive_search
+
+__all__ = [
+    "GeneticSearch",
+    "SearchResult",
+    "random_search",
+    "exhaustive_search",
+]

@@ -1,0 +1,94 @@
+"""Baseline search strategies, for comparison with the GA."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+import numpy as np
+
+from repro.search.ga import Objective, SearchResult
+from repro.space import ParameterSpace
+
+
+def random_search(
+    space: ParameterSpace,
+    objective: Objective,
+    n_evaluations: int,
+    rng: np.random.Generator,
+    batch: int = 256,
+) -> SearchResult:
+    """Uniform random search over the space's grid."""
+    best_coded = None
+    best_value = np.inf
+    done = 0
+    history = []
+    while done < n_evaluations:
+        take = min(batch, n_evaluations - done)
+        points = space.random_points(take, rng)
+        coded = space.encode_matrix(points)
+        values = np.asarray(objective(coded), dtype=float)
+        done += take
+        i = int(np.argmin(values))
+        if values[i] < best_value:
+            best_value = float(values[i])
+            best_coded = coded[i].copy()
+        history.append(best_value)
+    return SearchResult(
+        best_point=space.decode(best_coded),
+        best_coded=best_coded,
+        best_value=best_value,
+        evaluations=done,
+        history=history,
+    )
+
+
+def exhaustive_search(
+    space: ParameterSpace,
+    objective: Objective,
+    max_points: int = 200_000,
+    batch: int = 4096,
+) -> SearchResult:
+    """Enumerate the full grid (guarded by ``max_points``).
+
+    Useful to validate the GA on small subspaces where the true optimum
+    is computable.
+    """
+    total = space.size()
+    if total > max_points:
+        raise ValueError(
+            f"space has {total} points, exceeding max_points={max_points}"
+        )
+    level_lists = [
+        [v.encode(val) for val in v.level_values()] for v in space.variables
+    ]
+    best_coded = None
+    best_value = np.inf
+    evaluations = 0
+    rows = []
+    for combo in itertools.product(*level_lists):
+        rows.append(combo)
+        if len(rows) == batch:
+            coded = np.array(rows)
+            values = np.asarray(objective(coded), dtype=float)
+            evaluations += coded.shape[0]
+            i = int(np.argmin(values))
+            if values[i] < best_value:
+                best_value = float(values[i])
+                best_coded = coded[i].copy()
+            rows = []
+    if rows:
+        coded = np.array(rows)
+        values = np.asarray(objective(coded), dtype=float)
+        evaluations += coded.shape[0]
+        i = int(np.argmin(values))
+        if values[i] < best_value:
+            best_value = float(values[i])
+            best_coded = coded[i].copy()
+    return SearchResult(
+        best_point=space.decode(best_coded),
+        best_coded=best_coded,
+        best_value=best_value,
+        evaluations=evaluations,
+        history=[best_value],
+    )

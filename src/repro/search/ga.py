@@ -1,0 +1,167 @@
+"""Genetic algorithm over a discrete parameter space.
+
+The GA operates on genomes of per-variable *level indices*, which keeps
+every individual on the legal grid.  Selection is by tournament, variation
+by uniform crossover and per-gene mutation to a random level, and the best
+individuals are carried over unchanged (elitism).  Termination follows the
+paper: a generation cap, with early exit when the best predicted response
+has not improved for a number of generations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.space import ParameterSpace
+
+#: An objective maps a coded design matrix (n, k) to responses (n,);
+#: the GA minimizes it.
+Objective = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a search over a parameter space."""
+
+    #: Best point found, as a raw point dict.
+    best_point: Dict[str, float]
+    #: Coded vector of the best point.
+    best_coded: np.ndarray
+    #: Objective value at the best point.
+    best_value: float
+    #: Number of objective evaluations performed.
+    evaluations: int
+    #: Best objective value after each generation (GA only).
+    history: List[float] = field(default_factory=list)
+
+
+class GeneticSearch:
+    """Minimize an objective over a :class:`ParameterSpace` with a GA.
+
+    Parameters
+    ----------
+    space:
+        The (sub)space being searched -- for the paper's use case, the
+        14-variable compiler space with the microarchitecture frozen
+        inside the objective.
+    population:
+        Individuals per generation.
+    generations:
+        Hard cap on generations.
+    elite:
+        Individuals copied unchanged into the next generation.
+    tournament:
+        Tournament size for parent selection.
+    crossover_rate / mutation_rate:
+        Per-pair uniform-crossover probability and per-gene mutation
+        probability.
+    patience:
+        Early-exit when the best value has not improved for this many
+        generations (None disables).
+    """
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        population: int = 60,
+        generations: int = 50,
+        elite: int = 2,
+        tournament: int = 3,
+        crossover_rate: float = 0.9,
+        mutation_rate: float = 0.08,
+        patience: Optional[int] = 12,
+    ):
+        if population < 2:
+            raise ValueError("population must be >= 2")
+        if elite >= population:
+            raise ValueError("elite must be smaller than population")
+        self.space = space
+        self.population = population
+        self.generations = generations
+        self.elite = elite
+        self.tournament = tournament
+        self.crossover_rate = crossover_rate
+        self.mutation_rate = mutation_rate
+        self.patience = patience
+        self._coded_levels = [
+            np.array(v.coded_levels()) for v in space.variables
+        ]
+        self._n_levels = np.array([v.levels for v in space.variables])
+
+    # ------------------------------------------------------------------
+    def _decode_genomes(self, genomes: np.ndarray) -> np.ndarray:
+        """Level-index genomes (n, k) -> coded matrix (n, k)."""
+        coded = np.empty(genomes.shape, dtype=float)
+        for j, levels in enumerate(self._coded_levels):
+            coded[:, j] = levels[genomes[:, j]]
+        return coded
+
+    def _random_population(self, rng: np.random.Generator) -> np.ndarray:
+        return np.column_stack(
+            [
+                rng.integers(n, size=self.population)
+                for n in self._n_levels
+            ]
+        )
+
+    def _select(
+        self, fitness: np.ndarray, rng: np.random.Generator
+    ) -> int:
+        contenders = rng.integers(self.population, size=self.tournament)
+        return int(contenders[np.argmin(fitness[contenders])])
+
+    # ------------------------------------------------------------------
+    def run(
+        self, objective: Objective, rng: np.random.Generator
+    ) -> SearchResult:
+        """Run the GA and return the best design point found."""
+        genomes = self._random_population(rng)
+        evaluations = 0
+        history: List[float] = []
+        best_genome: Optional[np.ndarray] = None
+        best_value = np.inf
+        stall = 0
+
+        for _ in range(self.generations):
+            coded = self._decode_genomes(genomes)
+            fitness = np.asarray(objective(coded), dtype=float)
+            evaluations += self.population
+            gen_best = int(np.argmin(fitness))
+            if fitness[gen_best] < best_value - 1e-12:
+                best_value = float(fitness[gen_best])
+                best_genome = genomes[gen_best].copy()
+                stall = 0
+            else:
+                stall += 1
+            history.append(best_value)
+            if self.patience is not None and stall >= self.patience:
+                break
+
+            # Next generation: elitism + tournament/crossover/mutation.
+            order = np.argsort(fitness)
+            next_genomes = [genomes[i].copy() for i in order[: self.elite]]
+            while len(next_genomes) < self.population:
+                pa = genomes[self._select(fitness, rng)]
+                pb = genomes[self._select(fitness, rng)]
+                if rng.random() < self.crossover_rate:
+                    mask = rng.random(genomes.shape[1]) < 0.5
+                    child = np.where(mask, pa, pb)
+                else:
+                    child = pa.copy()
+                mutate = rng.random(genomes.shape[1]) < self.mutation_rate
+                for j in np.flatnonzero(mutate):
+                    child[j] = rng.integers(self._n_levels[j])
+                next_genomes.append(child)
+            genomes = np.vstack(next_genomes)
+
+        best_coded = self._decode_genomes(best_genome[None, :])[0]
+        return SearchResult(
+            best_point=self.space.decode(best_coded),
+            best_coded=best_coded,
+            best_value=best_value,
+            evaluations=evaluations,
+            history=history,
+        )

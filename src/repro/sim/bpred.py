@@ -1,0 +1,116 @@
+"""Branch prediction: combined bimodal + 2-level predictor, BTB, RAS.
+
+The paper's ``bpred_size`` parameter sets "the size of the predictor
+tables in a combined branch predictor consisting of a bimodal predictor
+and a 2-level predictor of equal sizes"; the chooser table has the same
+number of entries.  The 2-level component is gshare-style: a global
+history register XORed into the pc.  Targets come from a direct-mapped
+BTB of fixed size, and returns from a 16-deep return-address stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+def _counter_update(counter: int, taken: bool) -> int:
+    if taken:
+        return min(3, counter + 1)
+    return max(0, counter - 1)
+
+
+class CombinedPredictor:
+    """Bimodal + gshare with a chooser, all tables of ``size`` entries."""
+
+    def __init__(self, size: int):
+        if size & (size - 1):
+            raise ValueError("predictor size must be a power of two")
+        self.size = size
+        self._mask = size - 1
+        self._bimodal = [2] * size  # weakly taken
+        self._gshare = [2] * size
+        self._chooser = [2] * size  # prefer bimodal initially
+        self._history = 0
+        self._history_bits = max(1, size.bit_length() - 1)
+        self._history_mask = (1 << self._history_bits) - 1
+        self.lookups = 0
+        self.mispredictions = 0
+
+    # ------------------------------------------------------------------
+    def _indices(self, pc: int) -> "tuple[int, int]":
+        bim = pc & self._mask
+        gsh = (pc ^ self._history) & self._mask
+        return bim, gsh
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the conditional branch at ``pc``."""
+        bim, gsh = self._indices(pc)
+        if self._chooser[pc & self._mask] >= 2:
+            return self._bimodal[bim] >= 2
+        return self._gshare[gsh] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train all tables with the actual outcome."""
+        bim, gsh = self._indices(pc)
+        bim_pred = self._bimodal[bim] >= 2
+        gsh_pred = self._gshare[gsh] >= 2
+        # Chooser trains toward whichever component was right.
+        if bim_pred != gsh_pred:
+            self._chooser[pc & self._mask] = _counter_update(
+                self._chooser[pc & self._mask], bim_pred == taken
+            )
+        self._bimodal[bim] = _counter_update(self._bimodal[bim], taken)
+        self._gshare[gsh] = _counter_update(self._gshare[gsh], taken)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict, train, and record statistics; returns the prediction."""
+        pred = self.predict(pc)
+        self.lookups += 1
+        if pred != taken:
+            self.mispredictions += 1
+        self.update(pc, taken)
+        return pred
+
+    def misprediction_rate(self) -> float:
+        return self.mispredictions / self.lookups if self.lookups else 0.0
+
+
+class BranchTargetBuffer:
+    """Direct-mapped BTB: pc -> last observed target."""
+
+    def __init__(self, entries: int):
+        if entries & (entries - 1):
+            raise ValueError("BTB entries must be a power of two")
+        self._mask = entries - 1
+        self._tags: List[int] = [-1] * entries
+        self._targets: List[int] = [0] * entries
+
+    def predict(self, pc: int) -> Optional[int]:
+        idx = pc & self._mask
+        if self._tags[idx] == pc:
+            return self._targets[idx]
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        idx = pc & self._mask
+        self._tags[idx] = pc
+        self._targets[idx] = target
+
+
+class ReturnAddressStack:
+    """A small RAS for predicting ``jr`` targets."""
+
+    def __init__(self, depth: int = 16):
+        self.depth = depth
+        self._stack: List[int] = []
+
+    def push(self, return_pc: int) -> None:
+        self._stack.append(return_pc)
+        if len(self._stack) > self.depth:
+            self._stack.pop(0)
+
+    def pop(self) -> Optional[int]:
+        if self._stack:
+            return self._stack.pop()
+        return None

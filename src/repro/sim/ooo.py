@@ -1,0 +1,368 @@
+"""Trace-driven out-of-order superscalar timing model.
+
+A SimpleScalar-sim-outorder-style model driven by the functional trace:
+
+* **fetch** -- ``issue_width`` sequential instructions per cycle, broken
+  by taken control transfers; I-cache misses stall the front end; branch
+  mispredictions (direction, BTB target, or RAS) redirect fetch when the
+  branch resolves, plus a fixed penalty;
+* **dispatch** -- a fixed front-end depth after fetch, stalling when the
+  ``ruu_size``-entry register update unit is full (an instruction's slot
+  frees when it commits);
+* **issue** -- an instruction issues when its sources are ready and a
+  functional unit of its class is free (FU counts from the machine
+  description, i.e. from the issue width); loads check the store buffer
+  for same-block forwarding, stores wait for a free store-buffer entry
+  and drain through the cache hierarchy in the background;
+* **commit** -- in order, ``issue_width`` per cycle.
+
+Execution time is the commit cycle of the last instruction.  The model
+keeps real cache tag and predictor state, which may be shared with a
+SMARTS warming pass (:mod:`repro.sim.smarts`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.codegen.isa import OpClass, RA, ZERO
+from repro.codegen.linker import Executable, INSTR_BYTES, TEXT_BASE
+from repro.codegen.machine_desc import MachineDescription
+from repro.sim.bpred import BranchTargetBuffer, CombinedPredictor, ReturnAddressStack
+from repro.sim.cache import CacheHierarchy
+from repro.sim.config import MicroarchConfig
+
+# Class codes for the static tables (indexable, faster than Enum).
+_IALU, _IMULT, _FPALU, _FPMULT, _LOAD, _STORE, _BRANCH, _JUMP, _CALL, _RET, _PF, _NOP = range(12)
+
+_CLASS_CODE = {
+    OpClass.IALU: _IALU,
+    OpClass.IMULT: _IMULT,
+    OpClass.FPALU: _FPALU,
+    OpClass.FPMULT: _FPMULT,
+    OpClass.LOAD: _LOAD,
+    OpClass.STORE: _STORE,
+    OpClass.BRANCH: _BRANCH,
+    OpClass.JUMP: _JUMP,
+    OpClass.CALL: _CALL,
+    OpClass.RET: _RET,
+    OpClass.PREFETCH: _PF,
+    OpClass.NOP: _NOP,
+}
+
+#: Front-end pipeline depth between fetch and dispatch.
+FRONT_DEPTH = 2
+
+
+@dataclass
+class TimingResult:
+    """Outcome of a detailed timing simulation."""
+
+    cycles: int
+    instructions: int
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class OooTimingModel:
+    """Reusable timing state for one executable on one configuration."""
+
+    def __init__(self, exe: Executable, config: MicroarchConfig):
+        self.exe = exe
+        self.config = config
+        self.mdesc = MachineDescription.for_issue_width(config.issue_width)
+        self.hierarchy = CacheHierarchy(config)
+        self.bpred = CombinedPredictor(config.bpred_size)
+        self.btb = BranchTargetBuffer(config.btb_entries)
+        self.ras = ReturnAddressStack()
+        self._build_static_tables()
+
+    def _build_static_tables(self) -> None:
+        lat = {
+            code: self.mdesc.latency(op_class)
+            for op_class, code in _CLASS_CODE.items()
+        }
+        self.cls: List[int] = []
+        self.lat: List[int] = []
+        self.dst: List[int] = []
+        self.srcs: List[Tuple[int, ...]] = []
+        for instr in self.exe.instrs:
+            code = _CLASS_CODE[instr.op_class]
+            self.cls.append(code)
+            self.lat.append(lat[code])
+            if code == _CALL:
+                self.dst.append(RA)
+            elif instr.dst is not None:
+                self.dst.append(instr.dst)
+            else:
+                self.dst.append(-1)
+            self.srcs.append(
+                tuple(r for r in instr.srcs if r != ZERO)
+            )
+
+    # ------------------------------------------------------------------
+    def simulate_window(
+        self,
+        trace: Sequence[Tuple[int, int]],
+        start: int,
+        end: int,
+        measure_from: Optional[int] = None,
+        measure_to: Optional[int] = None,
+    ) -> TimingResult:
+        """Detailed timing for trace[start:end].
+
+        Pipeline state (register readiness, FU occupancy, RUU, store
+        buffer) starts cold at relative cycle 0; cache and predictor
+        state persists across calls.  When ``measure_from`` /
+        ``measure_to`` are given, only the commit-time interval between
+        those trace positions is reported: instructions before
+        ``measure_from`` are *detailed warming* (removing cold-pipeline
+        bias) and instructions after ``measure_to`` are *cooldown*
+        (keeping the pipe full at the window's end so its drain is not
+        billed to the window) -- SMARTS-style window bracketing.
+        """
+        cfg = self.config
+        mdesc = self.mdesc
+        hierarchy = self.hierarchy
+        bpred = self.bpred
+        btb = self.btb
+        ras = self.ras
+        cls_tab = self.cls
+        lat_tab = self.lat
+        dst_tab = self.dst
+        srcs_tab = self.srcs
+        block_size = cfg.block_size
+        width = cfg.issue_width
+        ruu_size = cfg.ruu_size
+        sbuf_size = cfg.store_buffer_size
+        penalty = cfg.mispredict_penalty
+        icache_lat = cfg.icache_latency
+
+        hierarchy.reset_bus()
+        fu_free: Dict[int, List[int]] = {
+            _IALU: [0] * mdesc.units(OpClass.IALU),
+            _IMULT: [0] * mdesc.units(OpClass.IMULT),
+            _FPALU: [0] * mdesc.units(OpClass.FPALU),
+            _FPMULT: [0] * mdesc.units(OpClass.FPMULT),
+            _LOAD: [0] * mdesc.units(OpClass.LOAD),
+            _STORE: [0] * mdesc.units(OpClass.STORE),
+            _PF: [0] * mdesc.units(OpClass.PREFETCH),
+        }
+        regs_ready = [0] * 64
+        ruu: deque = deque()
+        store_buffer: List[Tuple[int, int]] = []  # (drain_time, block)
+
+        fetch_cycle = 0
+        slots = 0
+        cur_block = -1
+        redirect_at = 0
+        last_commit = 0
+        last_commit_cycle = -1
+        commits_this_cycle = 0
+
+        n = len(trace)
+        measure_from = start if measure_from is None else measure_from
+        measure_to = end if measure_to is None else measure_to
+        warm_boundary_commit = 0
+        end_boundary_commit: Optional[int] = None
+        for i in range(start, end):
+            if i == measure_from:
+                warm_boundary_commit = last_commit
+            if i == measure_to:
+                end_boundary_commit = last_commit
+            pc, ea = trace[i]
+            code = cls_tab[pc]
+
+            # ---------------- fetch ----------------
+            if redirect_at > fetch_cycle:
+                fetch_cycle = redirect_at
+                slots = 0
+                cur_block = -1
+            byte_addr = TEXT_BASE + pc * INSTR_BYTES
+            block = byte_addr // block_size
+            if block != cur_block:
+                ilat = hierarchy.inst_latency(byte_addr, fetch_cycle)
+                if ilat > icache_lat:
+                    fetch_cycle += ilat - icache_lat
+                    slots = 0
+                cur_block = block
+            if slots >= width:
+                fetch_cycle += 1
+                slots = 0
+            fetch_time = fetch_cycle
+            slots += 1
+
+            # ---------------- dispatch (RUU) ----------------
+            disp = fetch_time + FRONT_DEPTH
+            if len(ruu) >= ruu_size:
+                oldest = ruu.popleft()
+                if oldest > disp:
+                    disp = oldest
+
+            # ---------------- issue ----------------
+            ready = disp
+            for r in srcs_tab[pc]:
+                t = regs_ready[r]
+                if t > ready:
+                    ready = t
+            issue = ready
+            pool = fu_free.get(code)
+            if pool is not None:
+                best = 0
+                best_t = pool[0]
+                for k in range(1, len(pool)):
+                    if pool[k] < best_t:
+                        best_t = pool[k]
+                        best = k
+                if best_t > issue:
+                    issue = best_t
+                pool[best] = issue + 1
+
+            # ---------------- execute / complete ----------------
+            if code == _LOAD:
+                fwd = False
+                eb = ea // block_size
+                for drain, sblock in store_buffer:
+                    if sblock == eb and drain > issue:
+                        fwd = True
+                        break
+                if fwd:
+                    complete = issue + 1
+                    hierarchy.warm_data(ea)
+                else:
+                    complete = issue + hierarchy.data_latency(ea, issue)
+            elif code == _STORE:
+                if store_buffer:
+                    store_buffer = [
+                        sb for sb in store_buffer if sb[0] > issue
+                    ]
+                    if len(store_buffer) >= sbuf_size:
+                        earliest = min(sb[0] for sb in store_buffer)
+                        if earliest > issue:
+                            issue = earliest
+                        store_buffer = [
+                            sb for sb in store_buffer if sb[0] > issue
+                        ]
+                drain = issue + hierarchy.data_latency(ea, issue)
+                store_buffer.append((drain, ea // block_size))
+                complete = issue + 1
+            elif code == _PF:
+                hierarchy.prefetch(ea, issue)
+                complete = issue + 1
+            else:
+                complete = issue + lat_tab[pc]
+
+            d = dst_tab[pc]
+            if d >= 0:
+                regs_ready[d] = complete
+
+            # ---------------- control flow ----------------
+            if i + 1 < n:
+                next_pc = trace[i + 1][0]
+            else:
+                next_pc = pc + 1
+            taken = next_pc != pc + 1
+
+            if code == _BRANCH:
+                pred = bpred.predict_and_update(pc, taken)
+                if taken:
+                    pred_target = btb.predict(pc)
+                    btb.update(pc, next_pc)
+                mispredict = pred != taken or (
+                    taken and pred and pred_target != next_pc
+                )
+                if mispredict:
+                    redirect_at = max(redirect_at, complete + penalty)
+                elif taken:
+                    fetch_cycle = fetch_time + 1
+                    slots = 0
+                    cur_block = -1
+            elif code == _JUMP:
+                fetch_cycle = fetch_time + 1
+                slots = 0
+                cur_block = -1
+            elif code == _CALL:
+                ras.push(pc + 1)
+                fetch_cycle = fetch_time + 1
+                slots = 0
+                cur_block = -1
+            elif code == _RET:
+                pred_pc = ras.pop()
+                if pred_pc != next_pc:
+                    redirect_at = max(redirect_at, complete + penalty)
+                else:
+                    fetch_cycle = fetch_time + 1
+                    slots = 0
+                    cur_block = -1
+
+            # ---------------- commit ----------------
+            commit = complete if complete > last_commit else last_commit
+            if commit == last_commit_cycle:
+                if commits_this_cycle >= width:
+                    commit += 1
+                    commits_this_cycle = 1
+                else:
+                    commits_this_cycle += 1
+            else:
+                commits_this_cycle = 1
+            last_commit_cycle = commit
+            last_commit = commit
+            ruu.append(commit)
+
+        if end_boundary_commit is None:
+            end_boundary_commit = last_commit
+        return TimingResult(
+            cycles=end_boundary_commit - warm_boundary_commit,
+            instructions=measure_to - measure_from,
+        )
+
+    def simulate_trace(
+        self, trace: Sequence[Tuple[int, int]]
+    ) -> TimingResult:
+        """Detailed timing for the whole trace (the reference simulator)."""
+        return self.simulate_window(trace, 0, len(trace))
+
+    # ------------------------------------------------------------------
+    def warm(self, trace: Sequence[Tuple[int, int]], start: int, end: int) -> None:
+        """Functional warming only: update caches and predictors.
+
+        Used by SMARTS between detailed windows; no timing state changes.
+        """
+        hierarchy = self.hierarchy
+        bpred = self.bpred
+        btb = self.btb
+        ras = self.ras
+        cls_tab = self.cls
+        block_size = self.config.block_size
+        n = len(trace)
+        cur_block = -1
+        for i in range(start, end):
+            pc, ea = trace[i]
+            byte_addr = TEXT_BASE + pc * INSTR_BYTES
+            block = byte_addr // block_size
+            if block != cur_block:
+                hierarchy.warm_inst(byte_addr)
+                cur_block = block
+            code = cls_tab[pc]
+            if code == _LOAD or code == _STORE:
+                hierarchy.warm_data(ea)
+            elif code == _PF:
+                hierarchy.prefetch(ea)
+            elif code == _BRANCH:
+                next_pc = trace[i + 1][0] if i + 1 < n else pc + 1
+                taken = next_pc != pc + 1
+                bpred.update(pc, taken)
+                if taken:
+                    btb.update(pc, next_pc)
+            elif code == _CALL:
+                ras.push(pc + 1)
+            elif code == _RET:
+                ras.pop()

@@ -1,0 +1,72 @@
+"""One-call simulation entry point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.codegen.linker import Executable
+from repro.sim.config import MicroarchConfig
+from repro.sim.func import FunctionalResult, execute
+from repro.sim.ooo import OooTimingModel
+from repro.sim.smarts import SmartsResult, smarts_simulate
+
+
+@dataclass
+class SimulationOutcome:
+    """Everything one measurement produces."""
+
+    #: Execution time in cycles (the paper's response variable).
+    cycles: float
+    #: Program checksum (main's return value) -- correctness witness.
+    return_value: int
+    #: Dynamic instruction count.
+    instructions: int
+    #: Cycles per instruction.
+    cpi: float
+    #: SMARTS sampling error estimate (0 for exhaustive simulation).
+    sampling_error: float
+
+
+def simulate(
+    exe: Executable,
+    config: MicroarchConfig,
+    mode: str = "smarts",
+    unit_size: int = 1000,
+    interval: int = 10,
+    trace: Optional[Sequence[Tuple[int, int]]] = None,
+    functional: Optional[FunctionalResult] = None,
+) -> SimulationOutcome:
+    """Measure the execution time of ``exe`` on ``config``.
+
+    ``mode="smarts"`` uses statistical sampling (the paper's
+    methodology); ``mode="detailed"`` simulates every instruction.  A
+    pre-computed functional result/trace may be passed to amortize the
+    functional run across microarchitectures.
+    """
+    if functional is None:
+        functional = execute(exe, collect_trace=True)
+    if trace is None:
+        trace = functional.trace
+    if mode == "detailed":
+        model = OooTimingModel(exe, config)
+        timing = model.simulate_trace(trace)
+        return SimulationOutcome(
+            cycles=float(timing.cycles),
+            return_value=functional.return_value,
+            instructions=timing.instructions,
+            cpi=timing.cpi,
+            sampling_error=0.0,
+        )
+    if mode == "smarts":
+        est = smarts_simulate(
+            exe, config, trace, unit_size=unit_size, interval=interval
+        )
+        return SimulationOutcome(
+            cycles=est.estimated_cycles,
+            return_value=functional.return_value,
+            instructions=est.instructions,
+            cpi=est.cpi,
+            sampling_error=est.relative_error,
+        )
+    raise ValueError(f"unknown simulation mode {mode!r}")

@@ -1,0 +1,33 @@
+"""Parameter spaces for empirical modeling (paper Sections 2.2-2.3).
+
+A :class:`ParameterSpace` is an ordered collection of :class:`Variable`
+objects.  Each variable knows its kind (binary categorical, discrete numeric,
+or power-of-two/log-transformed numeric), its range, and its number of
+levels; it can encode raw values onto the coded ``[-1, 1]`` scale the models
+are trained on and decode coded values back onto the nearest legal level.
+
+:func:`compiler_space` and :func:`microarch_space` build the exact variable
+sets of the paper's Table 1 and Table 2; :func:`full_space` is their
+25-variable concatenation.
+"""
+
+from repro.space.variables import Variable, VariableKind
+from repro.space.space import ParameterSpace
+from repro.space.tables import (
+    compiler_space,
+    microarch_space,
+    full_space,
+    COMPILER_VARIABLE_NAMES,
+    MICROARCH_VARIABLE_NAMES,
+)
+
+__all__ = [
+    "Variable",
+    "VariableKind",
+    "ParameterSpace",
+    "compiler_space",
+    "microarch_space",
+    "full_space",
+    "COMPILER_VARIABLE_NAMES",
+    "MICROARCH_VARIABLE_NAMES",
+]

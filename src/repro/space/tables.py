@@ -1,0 +1,123 @@
+"""The paper's parameter tables.
+
+:func:`compiler_space` builds Table 1 (9 optimization flags + 5 numeric
+heuristics controlling inlining and unrolling); :func:`microarch_space`
+builds Table 2 (11 microarchitectural parameters, power-of-two sizes
+log-transformed).  Cache sizes are expressed in bytes.
+"""
+
+from __future__ import annotations
+
+from repro.space.space import ParameterSpace
+from repro.space.variables import Variable, VariableKind
+
+_B = VariableKind.BINARY
+_D = VariableKind.DISCRETE
+_L = VariableKind.LOG2
+
+KB = 1024
+MB = 1024 * KB
+
+
+def _flag(name: str, description: str) -> Variable:
+    return Variable(name, _B, 0, 1, 2, description)
+
+
+#: Table 1 variable names, in paper order (1-14).
+COMPILER_VARIABLE_NAMES = [
+    "inline_functions",
+    "unroll_loops",
+    "schedule_insns2",
+    "loop_optimize",
+    "gcse",
+    "strength_reduce",
+    "omit_frame_pointer",
+    "reorder_blocks",
+    "prefetch_loop_arrays",
+    "max_inline_insns_auto",
+    "inline_unit_growth",
+    "inline_call_cost",
+    "max_unroll_times",
+    "max_unrolled_insns",
+]
+
+#: Table 2 variable names, in paper order (15-25).
+MICROARCH_VARIABLE_NAMES = [
+    "issue_width",
+    "bpred_size",
+    "ruu_size",
+    "icache_size",
+    "dcache_size",
+    "dcache_assoc",
+    "dcache_latency",
+    "l2_size",
+    "l2_assoc",
+    "l2_latency",
+    "memory_latency",
+]
+
+
+def compiler_space() -> ParameterSpace:
+    """Table 1: the 14 compiler flags and heuristics."""
+    return ParameterSpace(
+        [
+            _flag("inline_functions", "Inline simple functions into callers"),
+            _flag("unroll_loops", "Unroll loops with statically known trip counts"),
+            _flag("schedule_insns2", "Reorder instructions to eliminate stalls"),
+            _flag("loop_optimize", "Simple loop optimizations (LICM, test simplify)"),
+            _flag("gcse", "Global CSE plus constant and copy propagation"),
+            _flag("strength_reduce", "Loop strength reduction / IV elimination"),
+            _flag("omit_frame_pointer", "Do not keep the frame pointer in a register"),
+            _flag("reorder_blocks", "Reorder blocks to reduce taken branches"),
+            _flag("prefetch_loop_arrays", "Prefetch in loops over large arrays"),
+            Variable(
+                "max_inline_insns_auto", _D, 50, 150, 11,
+                "Max instructions in a callee considered for inlining",
+            ),
+            Variable(
+                "inline_unit_growth", _D, 25, 75, 11,
+                "Max overall growth of a compilation unit due to inlining (%)",
+            ),
+            Variable(
+                "inline_call_cost", _D, 12, 20, 9,
+                "Cost of a call relative to a simple computation",
+            ),
+            Variable(
+                "max_unroll_times", _D, 4, 12, 9,
+                "Max number of times a single loop can be unrolled",
+            ),
+            Variable(
+                "max_unrolled_insns", _D, 100, 300, 21,
+                "Max instructions in a loop considered for unrolling",
+            ),
+        ]
+    )
+
+
+def microarch_space() -> ParameterSpace:
+    """Table 2: the 11 microarchitectural parameters."""
+    return ParameterSpace(
+        [
+            Variable("issue_width", _D, 2, 4, 2, "Superscalar issue width"),
+            Variable(
+                "bpred_size", _L, 512, 8192, 5,
+                "Combined predictor table size (bimodal + 2-level)",
+            ),
+            Variable("ruu_size", _L, 16, 128, 4, "Register update unit entries"),
+            Variable("icache_size", _L, 8 * KB, 128 * KB, 5, "L1 I-cache size"),
+            Variable("dcache_size", _L, 8 * KB, 128 * KB, 5, "L1 D-cache size"),
+            Variable("dcache_assoc", _D, 1, 2, 2, "L1 D-cache associativity"),
+            Variable("dcache_latency", _D, 1, 3, 3, "L1 D-cache hit latency"),
+            Variable("l2_size", _L, 256 * KB, 8 * MB, 6, "Unified L2 size"),
+            Variable("l2_assoc", _L, 1, 8, 4, "Unified L2 associativity"),
+            Variable("l2_latency", _D, 6, 16, 11, "Unified L2 hit latency"),
+            Variable("memory_latency", _D, 50, 150, 21, "Main memory latency"),
+        ]
+    )
+
+
+def full_space() -> ParameterSpace:
+    """The joint 25-variable compiler x microarchitecture space."""
+    return ParameterSpace(
+        compiler_space().variables + microarch_space().variables
+    )

@@ -1,0 +1,36 @@
+"""Synthetic SPEC CPU2000-like workloads.
+
+One MiniC program per SPEC benchmark the paper evaluates, each imitating
+its namesake's dominant kernel and performance character:
+
+=============  ========================================================
+``gzip``       LZ77 hash-chain match search (int, data-dependent
+               branches, ~64KB window working set)
+``vpr``        simulated-annealing placement + row routing (int, random
+               grid access, accept/reject branches)
+``mesa``       vertex transform/clip/shade pipeline (FP-heavy, call-
+               heavy -- inlining-sensitive)
+``art``        adaptive-resonance F1/F2 layers (FP streaming over weight
+               matrices -- unrolling/prefetch-sensitive)
+``mcf``        reduced-cost arc scans + pointer chasing over a network
+               (large footprint -- L2/memory-latency-sensitive)
+``vortex``     hashed object database transactions (call- and branch-
+               heavy, pointer-style index chasing)
+``bzip2``      block counting/shell sort + RLE/bit entropy coder (int,
+               sort branches, bit manipulation)
+=============  ========================================================
+
+Each workload has ``train`` and ``ref`` inputs (smaller/larger sizes and
+different seeds), used by the profile-guided-optimization experiment
+(paper Table 7).  Every program returns a checksum so any two correct
+builds are comparable.
+"""
+
+from repro.workloads.registry import (
+    Workload,
+    WORKLOADS,
+    get_workload,
+    workload_names,
+)
+
+__all__ = ["Workload", "WORKLOADS", "get_workload", "workload_names"]

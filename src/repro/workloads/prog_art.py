@@ -1,0 +1,93 @@
+"""179.art stand-in: adaptive-resonance neural network layers.
+
+ART's hot loops stream over the F1/F2 weight matrices computing
+activations and updating the winning category's weights -- long,
+perfectly regular FP reductions over arrays a few tens of KB large.
+This is the paper's Figure 3 program: tight counted loops that love
+unrolling (up to the register-pressure cliff) and prefetching.
+"""
+
+DESCRIPTION = "adaptive resonance F1/F2 activation and learning (179.art)"
+
+SOURCE = """
+int F1 = $F1$;
+int F2 = $F2$;
+int PATTERNS = $PATTERNS$;
+int SEED = $SEED$;
+
+float w[$WSIZE$];
+float input[$F1$];
+float act[$F2$];
+
+int lcg(int state) {
+    return (state * 1103515245 + 12345) & 1073741823;
+}
+
+int main() {
+    int p;
+    int i;
+    int j;
+    int state = SEED;
+    int winner;
+    float best;
+    float sum;
+    float norm;
+    float vigilance = 0.6;
+    float rate = 0.3;
+    int resonated = 0;
+    float checksum = 0.0;
+
+    for (j = 0; j < F2; j = j + 1) {
+        for (i = 0; i < F1; i = i + 1) {
+            state = lcg(state);
+            w[j * F1 + i] = (float)(state & 255) / 256.0;
+        }
+    }
+
+    for (p = 0; p < PATTERNS; p = p + 1) {
+        state = lcg(state);
+        for (i = 0; i < F1; i = i + 1) {
+            input[i] = (float)(((state >> 3) + i * 37) & 255) / 256.0;
+        }
+        norm = 0.0;
+        for (i = 0; i < F1; i = i + 1) {
+            norm = norm + input[i];
+        }
+        for (j = 0; j < F2; j = j + 1) {
+            sum = 0.0;
+            for (i = 0; i < F1; i = i + 1) {
+                sum = sum + w[j * F1 + i] * input[i];
+            }
+            act[j] = sum;
+        }
+        winner = 0;
+        best = act[0];
+        for (j = 1; j < F2; j = j + 1) {
+            if (act[j] > best) {
+                best = act[j];
+                winner = j;
+            }
+        }
+        if (best > vigilance * norm * 0.5) {
+            for (i = 0; i < F1; i = i + 1) {
+                w[winner * F1 + i] = w[winner * F1 + i] * (1.0 - rate)
+                    + input[i] * rate;
+            }
+            resonated = resonated + 1;
+        }
+    }
+
+    for (j = 0; j < F2; j = j + 1) {
+        checksum = checksum + act[j];
+    }
+    for (i = 0; i < F1; i = i + 1) {
+        checksum = checksum + w[i] + w[(F2 - 1) * F1 + i];
+    }
+    return resonated * 1000 + (int)(checksum);
+}
+"""
+
+INPUTS = {
+    "train": {"F1": 128, "F2": 24, "WSIZE": 3072, "PATTERNS": 5, "SEED": 555},
+    "ref": {"F1": 160, "F2": 32, "WSIZE": 5120, "PATTERNS": 8, "SEED": 919},
+}

@@ -1,0 +1,132 @@
+"""256.bzip2 stand-in: block sorting and entropy coding.
+
+bzip2's compression kernel is dominated by block sorting (comparison-
+heavy, data-dependent branches) followed by move-to-front/RLE and
+Huffman-style bit packing (shifts, masks, table lookups).  This program
+runs a counting sort, a shell sort over key-ranked positions, an MTF
+pass, and a bit-cost accumulation -- integer work whose branch behaviour
+is input-dependent, stressing the branch predictor and benefiting from
+block layout.
+"""
+
+DESCRIPTION = "block sort + MTF + bit entropy coder (256.bzip2)"
+
+SOURCE = """
+int BLOCK = $BLOCK$;
+int PASSES = $PASSES$;
+int SEED = $SEED$;
+
+int block[$BLOCK$];
+int sorted_idx[$BLOCK$];
+int counts[256];
+int mtf[64];
+
+int key_at(int pos) {
+    return block[pos] * 256 + block[(pos + 1) % BLOCK];
+}
+
+int main() {
+    int p;
+    int i;
+    int j;
+    int gap;
+    int tmp;
+    int state = SEED;
+    int cost = 0;
+    int sym;
+    int rank;
+    int run;
+    int prev;
+    int going;
+
+    for (p = 0; p < PASSES; p = p + 1) {
+        state = (state * 1103515245 + 12345) & 1073741823;
+        for (i = 0; i < BLOCK; i = i + 1) {
+            state = (state * 69069 + 1) & 1073741823;
+            if ((state >> 16 & 3) == 0) {
+                block[i] = (state >> 8) & 255;
+            } else {
+                block[i] = (i % 61) * 4 & 255;
+            }
+        }
+
+        for (i = 0; i < 256; i = i + 1) {
+            counts[i] = 0;
+        }
+        for (i = 0; i < BLOCK; i = i + 1) {
+            counts[block[i]] = counts[block[i]] + 1;
+        }
+        for (i = 1; i < 256; i = i + 1) {
+            counts[i] = counts[i] + counts[i - 1];
+        }
+        for (i = BLOCK - 1; i >= 0; i = i - 1) {
+            counts[block[i]] = counts[block[i]] - 1;
+            sorted_idx[counts[block[i]]] = i;
+        }
+
+        gap = 64;
+        while (gap > 0) {
+            for (i = gap; i < BLOCK; i = i + 1) {
+                tmp = sorted_idx[i];
+                j = i;
+                going = 1;
+                while (going == 1 && j >= gap) {
+                    if (key_at(sorted_idx[j - gap]) > key_at(tmp)) {
+                        sorted_idx[j] = sorted_idx[j - gap];
+                        j = j - gap;
+                    } else {
+                        going = 0;
+                    }
+                }
+                sorted_idx[j] = tmp;
+            }
+            gap = gap / 3;
+        }
+
+        for (i = 0; i < 64; i = i + 1) {
+            mtf[i] = i;
+        }
+        prev = 0 - 1;
+        run = 0;
+        for (i = 0; i < BLOCK; i = i + 1) {
+            sym = block[sorted_idx[i]] & 63;
+            if (sym == prev) {
+                run = run + 1;
+            } else {
+                cost = cost + 2 + (run > 3);
+                run = 0;
+                prev = sym;
+                rank = 0;
+                j = 0;
+                going = 1;
+                while (going == 1 && j < 64) {
+                    if (mtf[j] == sym) {
+                        rank = j;
+                        going = 0;
+                    }
+                    j = j + 1;
+                }
+                j = rank;
+                while (j > 0) {
+                    mtf[j] = mtf[j - 1];
+                    j = j - 1;
+                }
+                mtf[0] = sym;
+                if (rank < 2) {
+                    cost = cost + 2;
+                } else if (rank < 16) {
+                    cost = cost + 6;
+                } else {
+                    cost = cost + 10 + ((rank >> 4) & 3);
+                }
+            }
+        }
+    }
+    return cost;
+}
+"""
+
+INPUTS = {
+    "train": {"BLOCK": 900, "PASSES": 1, "SEED": 5150},
+    "ref": {"BLOCK": 1500, "PASSES": 2, "SEED": 86},
+}

@@ -1,0 +1,105 @@
+"""164.gzip stand-in: LZ77 hash-chain match searching.
+
+The hot kernel of gzip's deflate is the longest-match search over a
+sliding window using hash chains.  This program synthesizes compressible
+input (repeating motifs perturbed by an LCG), then for each position
+hashes a 3-element prefix, walks the hash chain up to ``MAXCHAIN``
+candidates comparing match lengths, and accumulates the emit cost.
+Working set: window + chain arrays, tens of KB (L1-data-sensitive);
+branches are data-dependent (match/mismatch), exercising the predictor.
+"""
+
+DESCRIPTION = "LZ77 hash-chain longest-match search (164.gzip)"
+
+SOURCE = """
+int WSIZE = $WSIZE$;
+int INPUT_N = $INPUT_N$;
+int MAXCHAIN = $MAXCHAIN$;
+int SEED = $SEED$;
+
+int buf[$WSIZE$];
+int head[1024];
+int prev[$WSIZE$];
+
+int hash3(int a, int b, int c) {
+    return ((a * 2654435761 + b * 40503 + c * 2654435769) >> 8) & 1023;
+}
+
+int fill_input() {
+    int i;
+    int state = SEED;
+    int motif = 0;
+    for (i = 0; i < WSIZE; i = i + 1) {
+        state = (state * 1103515245 + 12345) & 1073741823;
+        motif = i % 97;
+        if ((state >> 12) % 5 == 0) {
+            buf[i] = (state >> 8) & 255;
+        } else {
+            buf[i] = (motif * 7 + (i / 97)) & 255;
+        }
+    }
+    for (i = 0; i < 1024; i = i + 1) {
+        head[i] = 0 - 1;
+    }
+    for (i = 0; i < WSIZE; i = i + 1) {
+        prev[i] = 0 - 1;
+    }
+    return state;
+}
+
+int match_length(int a, int b, int limit) {
+    int len = 0;
+    int going = 1;
+    while (going == 1 && len < limit) {
+        if (buf[a + len] == buf[b + len]) {
+            len = len + 1;
+        } else {
+            going = 0;
+        }
+    }
+    return len;
+}
+
+int main() {
+    int pos;
+    int h;
+    int cand;
+    int chain;
+    int best;
+    int len;
+    int cost = 0;
+    int limit;
+    fill_input();
+    for (pos = 0; pos < INPUT_N; pos = pos + 1) {
+        h = hash3(buf[pos], buf[pos + 1], buf[pos + 2]);
+        cand = head[h];
+        chain = 0;
+        best = 0;
+        limit = 16;
+        if (WSIZE - pos - 1 < limit) {
+            limit = WSIZE - pos - 1;
+        }
+        while (cand >= 0 && chain < MAXCHAIN) {
+            len = match_length(cand, pos, limit);
+            if (len > best) {
+                best = len;
+            }
+            cand = prev[cand];
+            chain = chain + 1;
+        }
+        if (best >= 3) {
+            cost = cost + 24;
+        } else {
+            cost = cost + 8 + (buf[pos] & 7);
+        }
+        prev[pos] = head[h];
+        head[h] = pos;
+    }
+    return cost;
+}
+"""
+
+INPUTS = {
+    "train": {"WSIZE": 4096, "INPUT_N": 800, "MAXCHAIN": 8, "SEED": 12345},
+    "ref": {"WSIZE": 8192, "INPUT_N": 2000, "MAXCHAIN": 12, "SEED": 98765},
+}

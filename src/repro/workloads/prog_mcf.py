@@ -1,0 +1,86 @@
+"""181.mcf stand-in: network-simplex reduced-cost scans + chasing.
+
+MCF is the canonical memory-bound SPEC program: it streams over large
+arc arrays computing reduced costs (two dependent scattered loads per
+arc) and chases parent pointers through a spanning tree with no
+locality.  The arrays here total ~400KB -- far beyond any Table 2 L1 and
+straddling the L2 size range -- so unified-L2 size and main-memory
+latency dominate, matching the paper's Table 4 where mcf's biggest
+coefficients are ul2 size, memory latency and their interaction.
+"""
+
+DESCRIPTION = "reduced-cost arc scan + tree pointer chase (181.mcf)"
+
+SOURCE = """
+int NODES = $NODES$;
+int ARCS = $ARCS$;
+int ITERS = $ITERS$;
+int SEED = $SEED$;
+
+int arc_tail[$ARCS$];
+int arc_head[$ARCS$];
+int potential[$NODES$];
+int parent[$NODES$];
+int depthv[$NODES$];
+
+int main() {
+    int i;
+    int it;
+    int state = SEED;
+    int rc;
+    int best_rc;
+    int best_arc;
+    int node;
+    int hops;
+    int total = 0;
+    int chase;
+
+    for (i = 0; i < NODES; i = i + 1) {
+        state = (state * 1103515245 + 12345) & 1073741823;
+        potential[i] = (state >> 6) & 4095;
+        parent[i] = (i * 7919 + 13) % NODES;
+        depthv[i] = i & 7;
+    }
+    for (i = 0; i < ARCS; i = i + 1) {
+        arc_tail[i] = (i * 2654435761) % NODES;
+        arc_head[i] = (i * 40503 + 2711) % NODES;
+    }
+
+    for (it = 0; it < ITERS; it = it + 1) {
+        best_rc = 1 << 30;
+        best_arc = 0;
+        for (i = 0; i < ARCS; i = i + 1) {
+            rc = ((i * 48271) >> 4 & 1023)
+                - potential[arc_tail[i]] + potential[arc_head[i]];
+            if (rc < best_rc) {
+                best_rc = rc;
+                best_arc = i;
+            }
+        }
+        for (chase = 0; chase < 24; chase = chase + 1) {
+            node = arc_tail[(best_arc + chase * 509) % ARCS];
+            hops = 0;
+            while (hops < 40 && node != 0) {
+                depthv[node] = depthv[node] + 1;
+                potential[node] = potential[node] + (best_rc >> 6);
+                node = parent[node];
+                hops = hops + 1;
+            }
+            total = total + hops;
+        }
+        total = total + best_rc;
+        state = (state * 1103515245 + 12345) & 1073741823;
+        potential[(state >> 5) % NODES] = (state >> 7) & 4095;
+    }
+
+    for (i = 0; i < NODES; i = i + 4) {
+        total = total + depthv[i];
+    }
+    return total;
+}
+"""
+
+INPUTS = {
+    "train": {"NODES": 6144, "ARCS": 10240, "ITERS": 1, "SEED": 2024},
+    "ref": {"NODES": 6144, "ARCS": 10240, "ITERS": 3, "SEED": 606},
+}

@@ -1,0 +1,135 @@
+"""177.mesa stand-in: a software 3-D vertex/fragment pipeline.
+
+Mesa's profile is floating-point arithmetic spread across many small
+functions: per vertex a matrix transform, perspective divide, clip test,
+a lighting/shade evaluation, and a span accumulation into a framebuffer.
+The function-per-stage structure makes it the inlining showcase (the
+paper finds il1 size and inlining matter most for mesa), and the FP
+multiply/add mix exercises the FPALU/FPMULT pools.
+"""
+
+DESCRIPTION = "vertex transform/clip/shade pipeline (177.mesa)"
+
+SOURCE = """
+int NVERTS = $NVERTS$;
+int FRAMES = $FRAMES$;
+int SEED = $SEED$;
+
+float vx[$NVERTS$];
+float vy[$NVERTS$];
+float vz[$NVERTS$];
+float mat[16];
+float fb[4096];
+float lightdir[4];
+
+int lcg(int state) {
+    return (state * 1103515245 + 12345) & 1073741823;
+}
+
+float dot3(float ax, float ay, float az, float bx, float by, float bz) {
+    return ax * bx + ay * by + az * bz;
+}
+
+float transform_x(int i) {
+    return vx[i] * mat[0] + vy[i] * mat[1] + vz[i] * mat[2] + mat[3];
+}
+
+float transform_y(int i) {
+    return vx[i] * mat[4] + vy[i] * mat[5] + vz[i] * mat[6] + mat[7];
+}
+
+float transform_z(int i) {
+    return vx[i] * mat[8] + vy[i] * mat[9] + vz[i] * mat[10] + mat[11];
+}
+
+int clip_code(float x, float y, float z) {
+    int code = 0;
+    if (x < -1.0) { code = code + 1; }
+    if (x > 1.0) { code = code + 2; }
+    if (y < -1.0) { code = code + 4; }
+    if (y > 1.0) { code = code + 8; }
+    if (z < 0.0) { code = code + 16; }
+    return code;
+}
+
+float shade(float nx, float ny, float nz) {
+    float d = dot3(nx, ny, nz, lightdir[0], lightdir[1], lightdir[2]);
+    float spec;
+    if (d < 0.0) {
+        d = 0.0;
+    }
+    spec = d * d;
+    spec = spec * spec;
+    return 0.2 + 0.6 * d + 0.2 * spec;
+}
+
+int raster_span(float x, float y, float color) {
+    int px = (int)((x + 1.0) * 31.0);
+    int py = (int)((y + 1.0) * 31.0);
+    int base;
+    int k;
+    if (px < 0) { px = 0; }
+    if (px > 62) { px = 62; }
+    if (py < 0) { py = 0; }
+    if (py > 62) { py = 62; }
+    base = py * 64 + px;
+    for (k = 0; k < 2; k = k + 1) {
+        fb[base + k] = fb[base + k] * 0.5 + color;
+    }
+    return base;
+}
+
+int main() {
+    int i;
+    int f;
+    int state = SEED;
+    int code;
+    int visible = 0;
+    float x; float y; float z;
+    float w;
+    float color;
+    float acc = 0.0;
+    float angle;
+
+    for (i = 0; i < NVERTS; i = i + 1) {
+        state = lcg(state);
+        vx[i] = (float)(state & 1023) / 512.0 - 1.0;
+        state = lcg(state);
+        vy[i] = (float)(state & 1023) / 512.0 - 1.0;
+        state = lcg(state);
+        vz[i] = (float)(state & 1023) / 1024.0 + 0.5;
+    }
+    lightdir[0] = 0.3; lightdir[1] = 0.6; lightdir[2] = 0.74;
+
+    for (f = 0; f < FRAMES; f = f + 1) {
+        angle = (float)(f) * 0.1;
+        mat[0] = 1.0 - angle * angle * 0.5; mat[1] = angle; mat[2] = 0.0; mat[3] = 0.0;
+        mat[4] = 0.0 - angle; mat[5] = 1.0 - angle * angle * 0.5; mat[6] = 0.0; mat[7] = 0.0;
+        mat[8] = 0.0; mat[9] = 0.0; mat[10] = 1.0; mat[11] = 0.1;
+        for (i = 0; i < NVERTS; i = i + 1) {
+            x = transform_x(i);
+            y = transform_y(i);
+            z = transform_z(i);
+            w = z + 2.0;
+            x = x / w;
+            y = y / w;
+            code = clip_code(x, y, z);
+            if (code == 0) {
+                color = shade(vx[i], vy[i], vz[i]);
+                raster_span(x, y, color);
+                visible = visible + 1;
+            }
+        }
+    }
+
+    for (i = 0; i < 4096; i = i + 1) {
+        acc = acc + fb[i];
+    }
+    return visible + (int)(acc);
+}
+"""
+
+INPUTS = {
+    "train": {"NVERTS": 576, "FRAMES": 2, "SEED": 4242},
+    "ref": {"NVERTS": 1024, "FRAMES": 4, "SEED": 1717},
+}

@@ -1,0 +1,154 @@
+"""255.vortex stand-in: an object-database transaction mix.
+
+Vortex manipulates an in-memory object store: hashed primary index,
+linked secondary structures, and a transaction mix of lookups, inserts
+and deletes.  The profile is integer, call-heavy and branch-heavy with
+pointer-style index chasing -- the program where the paper observes
+strong il1-size effects and where model-based search struggles most.
+"""
+
+DESCRIPTION = "hashed object store transaction mix (255.vortex)"
+
+SOURCE = """
+int NBUCKETS = $NBUCKETS$;
+int NRECORDS = $NRECORDS$;
+int NTRANS = $NTRANS$;
+int SEED = $SEED$;
+
+int htab[$NBUCKETS$];
+int next_rec[$NRECORDS$];
+int keys[$NRECORDS$];
+int fields_a[$NRECORDS$];
+int fields_b[$NRECORDS$];
+int free_head[1];
+
+int hash_key(int k) {
+    int h = k * 2654435761;
+    h = h ^ (h >> 13);
+    return h & (NBUCKETS - 1);
+}
+
+int alloc_record() {
+    int r = free_head[0];
+    if (r >= 0) {
+        free_head[0] = next_rec[r];
+    }
+    return r;
+}
+
+void free_record(int r) {
+    next_rec[r] = free_head[0];
+    free_head[0] = r;
+}
+
+int insert(int key, int va, int vb) {
+    int h = hash_key(key);
+    int r = alloc_record();
+    if (r < 0) {
+        return 0 - 1;
+    }
+    keys[r] = key;
+    fields_a[r] = va;
+    fields_b[r] = vb;
+    next_rec[r] = htab[h];
+    htab[h] = r;
+    return r;
+}
+
+int lookup(int key) {
+    int r = htab[hash_key(key)];
+    int found = 0 - 1;
+    while (r >= 0 && found < 0) {
+        if (keys[r] == key) {
+            found = r;
+        } else {
+            r = next_rec[r];
+        }
+    }
+    return found;
+}
+
+int remove_key(int key) {
+    int h = hash_key(key);
+    int r = htab[h];
+    int prev = 0 - 1;
+    int removed = 0;
+    int going = 1;
+    while (r >= 0 && going == 1) {
+        if (keys[r] == key) {
+            if (prev < 0) {
+                htab[h] = next_rec[r];
+            } else {
+                next_rec[prev] = next_rec[r];
+            }
+            free_record(r);
+            removed = 1;
+            going = 0;
+        } else {
+            prev = r;
+            r = next_rec[r];
+        }
+    }
+    return removed;
+}
+
+int update_fields(int r, int delta) {
+    fields_a[r] = fields_a[r] + delta;
+    fields_b[r] = fields_b[r] ^ (delta << 3);
+    return fields_a[r];
+}
+
+int main() {
+    int i;
+    int state = SEED;
+    int key;
+    int r;
+    int op;
+    int checksum = 0;
+    int live = 0;
+
+    for (i = 0; i < NBUCKETS; i = i + 1) {
+        htab[i] = 0 - 1;
+    }
+    for (i = 0; i < NRECORDS - 1; i = i + 1) {
+        next_rec[i] = i + 1;
+    }
+    next_rec[NRECORDS - 1] = 0 - 1;
+    free_head[0] = 0;
+
+    for (i = 0; i < NRECORDS / 2; i = i + 1) {
+        state = (state * 1103515245 + 12345) & 1073741823;
+        insert((state >> 4) & 65535, state & 255, i);
+        live = live + 1;
+    }
+
+    for (i = 0; i < NTRANS; i = i + 1) {
+        state = (state * 1103515245 + 12345) & 1073741823;
+        key = (state >> 4) & 65535;
+        op = (state >> 20) % 10;
+        if (op < 6) {
+            r = lookup(key);
+            if (r >= 0) {
+                checksum = checksum + update_fields(r, op);
+            } else {
+                checksum = checksum - 1;
+            }
+        } else if (op < 8) {
+            r = insert(key, state & 255, i);
+            if (r >= 0) {
+                live = live + 1;
+            }
+        } else {
+            if (remove_key(key) == 1) {
+                live = live - 1;
+            }
+        }
+    }
+    return checksum + live * 7;
+}
+"""
+
+INPUTS = {
+    "train": {"NBUCKETS": 1024, "NRECORDS": 4096, "NTRANS": 2000, "SEED": 321},
+    "ref": {"NBUCKETS": 2048, "NRECORDS": 8192, "NTRANS": 4500, "SEED": 424242},
+}

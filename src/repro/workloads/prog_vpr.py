@@ -1,0 +1,113 @@
+"""175.vpr stand-in: simulated-annealing placement plus row routing.
+
+VPR's place phase repeatedly proposes swapping two blocks, evaluates the
+wiring-cost delta from each block's neighbours, and accepts or rejects
+against a shrinking threshold.  The route phase sweeps rows accumulating
+congestion cost.  Access pattern: scattered reads over a grid tens of KB
+large; heavy accept/reject branching with data-dependent outcomes.
+"""
+
+DESCRIPTION = "annealing placement + row routing (175.vpr)"
+
+SOURCE = """
+int GRID = $GRID$;
+int CELLS = $CELLS$;
+int MOVES = $MOVES$;
+int SEED = $SEED$;
+
+int place[$CELLS$];
+int netw[$CELLS$];
+int congestion[$CELLS$];
+
+int lcg(int state) {
+    return (state * 1103515245 + 12345) & 1073741823;
+}
+
+int neighbor_cost(int cell) {
+    int cost = 0;
+    int row = cell / GRID;
+    int col = cell % GRID;
+    int w = netw[cell];
+    if (col > 0) {
+        cost = cost + w * place[cell - 1];
+    }
+    if (col < GRID - 1) {
+        cost = cost + w * place[cell + 1];
+    }
+    if (row > 0) {
+        cost = cost + w * place[cell - GRID];
+    }
+    if (row < GRID - 1) {
+        cost = cost + w * place[cell + GRID];
+    }
+    return cost;
+}
+
+int main() {
+    int i;
+    int state = SEED;
+    int a;
+    int b;
+    int before;
+    int after;
+    int tmp;
+    int threshold;
+    int accepted = 0;
+    int total = 0;
+    int row;
+    int col;
+    int run;
+
+    for (i = 0; i < CELLS; i = i + 1) {
+        state = lcg(state);
+        place[i] = (state >> 10) & 15;
+        netw[i] = ((state >> 5) & 7) + 1;
+        congestion[i] = 0;
+    }
+
+    threshold = 4096;
+    for (i = 0; i < MOVES; i = i + 1) {
+        state = lcg(state);
+        a = (state >> 8) % CELLS;
+        state = lcg(state);
+        b = (state >> 8) % CELLS;
+        before = neighbor_cost(a) + neighbor_cost(b);
+        tmp = place[a];
+        place[a] = place[b];
+        place[b] = tmp;
+        after = neighbor_cost(a) + neighbor_cost(b);
+        state = lcg(state);
+        if (after - before < (state & 4095) - 4096 + threshold) {
+            accepted = accepted + 1;
+            total = total + after - before;
+        } else {
+            tmp = place[a];
+            place[a] = place[b];
+            place[b] = tmp;
+        }
+        if (i % 256 == 255 && threshold > 64) {
+            threshold = threshold - threshold / 8;
+        }
+    }
+
+    for (row = 0; row < GRID; row = row + 1) {
+        run = 0;
+        for (col = 0; col < GRID; col = col + 1) {
+            run = run + place[row * GRID + col] * netw[row * GRID + col];
+            congestion[row * GRID + col] = run & 255;
+        }
+        total = total + run;
+    }
+
+    run = 0;
+    for (i = 0; i < CELLS; i = i + 1) {
+        run = run + congestion[i];
+    }
+    return total + run + accepted;
+}
+"""
+
+INPUTS = {
+    "train": {"GRID": 64, "CELLS": 4096, "MOVES": 500, "SEED": 777},
+    "ref": {"GRID": 96, "CELLS": 9216, "MOVES": 1200, "SEED": 31337},
+}

@@ -1,0 +1,91 @@
+"""Workload registry and the :class:`Workload` wrapper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ir import Module
+from repro.minic import compile_source
+
+from repro.workloads import (
+    prog_gzip,
+    prog_vpr,
+    prog_mesa,
+    prog_art,
+    prog_mcf,
+    prog_vortex,
+    prog_bzip2,
+)
+
+
+@dataclass
+class Workload:
+    """A benchmark program with named inputs.
+
+    ``source_template`` contains ``$NAME$`` placeholders substituted from
+    the selected input's parameter dict.
+    """
+
+    name: str
+    description: str
+    source_template: str
+    inputs: Dict[str, Dict[str, int]]
+    _module_cache: Dict[str, Module] = field(default_factory=dict, repr=False)
+
+    def input_names(self) -> List[str]:
+        return list(self.inputs)
+
+    def source(self, input_name: str = "train") -> str:
+        if input_name not in self.inputs:
+            raise KeyError(
+                f"workload {self.name} has no input {input_name!r} "
+                f"(has {list(self.inputs)})"
+            )
+        text = self.source_template
+        for key, value in self.inputs[input_name].items():
+            text = text.replace(f"${key}$", str(value))
+        if "$" in text:
+            leftover = text[text.index("$") :][:40]
+            raise ValueError(
+                f"workload {self.name}: unsubstituted parameter near "
+                f"{leftover!r}"
+            )
+        return text
+
+    def module(self, input_name: str = "train") -> Module:
+        """Parsed+lowered IR module (cached; callers must deep-copy if
+        they mutate, which :func:`repro.codegen.compile_module` does)."""
+        if input_name not in self._module_cache:
+            self._module_cache[input_name] = compile_source(
+                self.source(input_name), name=f"{self.name}-{input_name}"
+            )
+        return self._module_cache[input_name]
+
+
+WORKLOADS: Dict[str, Workload] = {
+    w.name: w
+    for w in [
+        Workload("gzip", prog_gzip.DESCRIPTION, prog_gzip.SOURCE, prog_gzip.INPUTS),
+        Workload("vpr", prog_vpr.DESCRIPTION, prog_vpr.SOURCE, prog_vpr.INPUTS),
+        Workload("mesa", prog_mesa.DESCRIPTION, prog_mesa.SOURCE, prog_mesa.INPUTS),
+        Workload("art", prog_art.DESCRIPTION, prog_art.SOURCE, prog_art.INPUTS),
+        Workload("mcf", prog_mcf.DESCRIPTION, prog_mcf.SOURCE, prog_mcf.INPUTS),
+        Workload(
+            "vortex", prog_vortex.DESCRIPTION, prog_vortex.SOURCE, prog_vortex.INPUTS
+        ),
+        Workload(
+            "bzip2", prog_bzip2.DESCRIPTION, prog_bzip2.SOURCE, prog_bzip2.INPUTS
+        ),
+    ]
+}
+
+
+def get_workload(name: str) -> Workload:
+    if name not in WORKLOADS:
+        raise KeyError(f"unknown workload {name!r} (have {sorted(WORKLOADS)})")
+    return WORKLOADS[name]
+
+
+def workload_names() -> List[str]:
+    return list(WORKLOADS)

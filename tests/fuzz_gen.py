@@ -1,0 +1,170 @@
+"""Random MiniC program generator for differential compiler testing.
+
+Generates structurally diverse, guaranteed-terminating programs: counted
+``for`` loops only, array indices reduced modulo the array size, both int
+and float data, nested control flow and helper functions.  Every program
+returns a checksum accumulated from all computed values, so any
+miscompilation that changes any intermediate value is very likely to be
+visible in the result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+INT_BIN_OPS = ["+", "-", "*", "/", "%", "&", "|", "^"]
+CMP_OPS = ["<", "<=", ">", ">=", "==", "!="]
+
+
+class ProgramGenerator:
+    """Seeded random program factory."""
+
+    def __init__(self, seed: int):
+        self.rng = np.random.default_rng(seed)
+        self.int_vars = []
+        self.float_vars = []
+        self.counter = 0
+
+    def fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    # ------------------------------------------------------------------
+    def int_expr(self, depth: int = 0) -> str:
+        r = self.rng
+        choices = ["const", "var", "bin", "arr"]
+        if depth > 2:
+            choices = ["const", "var"]
+        kind = r.choice(choices)
+        if kind == "const" or (kind == "var" and not self.int_vars):
+            return str(int(r.integers(-50, 200)))
+        if kind == "var":
+            return str(r.choice(self.int_vars))
+        if kind == "arr":
+            index = self.int_expr(depth + 2)
+            return f"data[({index}) % 32 * (({index}) % 32 >= 0)]"
+        op = r.choice(INT_BIN_OPS)
+        left = self.int_expr(depth + 1)
+        right = self.int_expr(depth + 1)
+        return f"(({left}) {op} ({right}))"
+
+    def float_expr(self, depth: int = 0) -> str:
+        r = self.rng
+        if depth > 2 or (not self.float_vars and r.random() < 0.5):
+            return f"{float(r.integers(1, 9))}"
+        if self.float_vars and r.random() < 0.4:
+            return str(r.choice(self.float_vars))
+        op = r.choice(["+", "-", "*"])
+        return (
+            f"(({self.float_expr(depth + 1)}) {op} "
+            f"({self.float_expr(depth + 1)}))"
+        )
+
+    def cond_expr(self) -> str:
+        op = self.rng.choice(CMP_OPS)
+        return f"(({self.int_expr(1)}) {op} ({self.int_expr(1)}))"
+
+    # ------------------------------------------------------------------
+    def statement(self, depth: int) -> str:
+        r = self.rng
+        kinds = ["assign", "arr_store", "checksum"]
+        if depth < 2:
+            kinds += ["if", "for", "float_work"]
+        kind = r.choice(kinds)
+        if kind == "assign" and self.int_vars:
+            var = r.choice(self.int_vars)
+            return f"{var} = {self.int_expr()};"
+        if kind == "arr_store":
+            index = self.int_expr(2)
+            safe = f"(({index}) % 32 + 32) % 32"
+            return f"data[{safe}] = {self.int_expr(1)};"
+        if kind == "if":
+            then_body = self.scoped_block(depth + 1, max_stmts=2)
+            if r.random() < 0.5:
+                else_body = self.scoped_block(depth + 1, max_stmts=2)
+                return (
+                    f"if ({self.cond_expr()}) {{ {then_body} }} "
+                    f"else {{ {else_body} }}"
+                )
+            return f"if ({self.cond_expr()}) {{ {then_body} }}"
+        if kind == "for":
+            iv = self.fresh("i")
+            trip = int(r.integers(1, 12))
+            body = self.scoped_block(depth + 1, max_stmts=2)
+            return (
+                f"for (int {iv} = 0; {iv} < {trip}; {iv} = {iv} + 1) "
+                f"{{ chk = chk + {iv}; {body} }}"
+            )
+        if kind == "float_work":
+            var = self.fresh("f")
+            init = self.float_expr()  # before registering: no self-reference
+            self.float_vars.append(var)
+            return (
+                f"float {var} = {init};\n"
+                f"chk = chk + (int)({var});"
+            )
+        return f"chk = chk ^ ({self.int_expr()});"
+
+    def block(self, depth: int, max_stmts: int = 3) -> str:
+        n = int(self.rng.integers(1, max_stmts + 1))
+        return "\n".join(self.statement(depth) for _ in range(n))
+
+    def scoped_block(self, depth: int, max_stmts: int = 3) -> str:
+        """A block whose declarations do not escape into later code."""
+        int_mark = len(self.int_vars)
+        float_mark = len(self.float_vars)
+        text = self.block(depth, max_stmts)
+        del self.int_vars[int_mark:]
+        del self.float_vars[float_mark:]
+        return text
+
+    # ------------------------------------------------------------------
+    def helper_function(self, index: int) -> str:
+        body = []
+        old_ints = self.int_vars
+        self.int_vars = ["x", "y"]
+        expr = self.int_expr()
+        cond = self.cond_expr()
+        self.int_vars = old_ints
+        return (
+            f"int helper{index}(int x, int y) {{\n"
+            f"    if ({cond}) {{ return ({expr}) % 9973; }}\n"
+            f"    return (x + y * 3) % 9973;\n"
+            f"}}\n"
+        )
+
+    def program(self) -> str:
+        r = self.rng
+        n_helpers = int(r.integers(0, 3))
+        helpers = [self.helper_function(i) for i in range(n_helpers)]
+
+        self.int_vars = []
+        body_parts = []
+        for i in range(int(r.integers(1, 4))):
+            var = self.fresh("v")
+            init = self.int_expr(1)  # before registering: no self-reference
+            self.int_vars.append(var)
+            body_parts.append(f"int {var} = {init};")
+        body_parts.append(self.block(0, max_stmts=4))
+        for i in range(n_helpers):
+            body_parts.append(
+                f"chk = chk + helper{i}({self.int_expr(2)}, "
+                f"{self.int_expr(2)});"
+            )
+        # Final array fold so stores are observable.
+        body_parts.append(
+            "for (int z = 0; z < 32; z = z + 1) { chk = chk + data[z]; }"
+        )
+        body = "\n".join(body_parts)
+        return (
+            "int data[32];\n"
+            + "".join(helpers)
+            + "int main() {\n"
+            + "int chk = 0;\n"
+            + body
+            + "\nreturn chk;\n}\n"
+        )
+
+
+def generate_program(seed: int) -> str:
+    return ProgramGenerator(seed).program()

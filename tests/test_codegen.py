@@ -1,0 +1,340 @@
+"""Tests for the backend: selection, allocation, frames, linking."""
+
+import pytest
+
+from repro.codegen import compile_module, link_module
+from repro.codegen.frame import lower_frame
+from repro.codegen.isa import (
+    CALLEE_SAVED_INT,
+    FP_REG,
+    MachineInstr,
+    OpClass,
+    RA,
+    SCRATCH_FP,
+    SCRATCH_INT,
+    SP,
+)
+from repro.codegen.isel import FIRST_VREG, select_function, select_module
+from repro.codegen.machine_desc import MachineDescription
+from repro.codegen.regalloc import allocate_registers
+from repro.minic import compile_source
+from repro.opt import CompilerConfig, O2, cleanup_module
+from repro.sim.func import execute
+from tests.util import ALL_PROGRAMS, run_program
+
+
+def machine_function(src, name="main", cleanup=True):
+    module = compile_source(src)
+    if cleanup:
+        cleanup_module(module)
+    return module, select_function(module.function(name))
+
+
+
+
+def _high_pressure_source(n):
+    """A main() with n simultaneously live, unfoldable int values."""
+    decls = "\n".join(f"int v{i} = g + {i};" for i in range(n))
+    uses = " + ".join(f"v{i} * v{i}" for i in range(n))
+    return f"int g = 9;\nint main() {{ {decls} return {uses}; }}"
+
+SIMPLE = """
+int main() {
+    int x = 3;
+    int y = 4;
+    return x * y + 2;
+}
+"""
+
+
+class TestIsel:
+    def test_virtual_registers_start_at_64(self):
+        _, mf = machine_function(SIMPLE)
+        vregs = {
+            r
+            for b in mf.blocks
+            for i in b.instrs
+            for r in (list(i.srcs) + ([i.dst] if i.dst is not None else []))
+            if r >= FIRST_VREG
+        }
+        assert vregs
+        assert min(vregs) >= FIRST_VREG
+
+    def test_float_vregs_tracked(self):
+        src = """
+        float g = 2.0;
+        int main() { return (int)(g * 1.5); }
+        """
+        _, mf = machine_function(src)
+        assert any(mf.vreg_is_fp.values())
+
+    def test_call_sequence(self):
+        src = """
+        int f(int a, int b) { return a + b; }
+        int main() { return f(3, 4); }
+        """
+        module = compile_source(src)
+        cleanup_module(module)
+        mf = select_function(module.function("main"))
+        ops = [i.op for b in mf.blocks for i in b.instrs]
+        assert "jal" in ops
+        assert mf.makes_calls
+
+    def test_const_offsets_folded_into_loads(self):
+        src = """
+        int a[8];
+        int main() { return a[3]; }
+        """
+        _, mf = machine_function(src)
+        loads = [
+            i for b in mf.blocks for i in b.instrs
+            if i.op_class is OpClass.LOAD
+        ]
+        assert loads and loads[0].imm == 24
+
+    def test_addi_immediate_form(self):
+        src = "int main() { int x = 10; return x + 5; }"
+        _, mf = machine_function(src, cleanup=False)
+        ops = [i.op for b in mf.blocks for i in b.instrs]
+        assert "addi" in ops
+
+
+class TestRegalloc:
+    def alloc(self, src, omit_fp=True):
+        module = compile_source(src)
+        cleanup_module(module)
+        mf = select_function(module.function("main"))
+        allocate_registers(mf, omit_fp)
+        return mf
+
+    def test_no_virtual_registers_remain(self):
+        mf = self.alloc(SIMPLE)
+        for b in mf.blocks:
+            for i in b.instrs:
+                for r in i.srcs:
+                    assert r < 64
+                if i.dst is not None:
+                    assert i.dst < 64
+
+    def test_high_pressure_spills(self):
+        # 30 simultaneously live (unfoldable) values exceed the pool.
+        src = _high_pressure_source(30)
+        mf = self.alloc(src)
+        assert mf.spill_slots > 0
+
+    def test_spill_code_uses_scratch_registers(self):
+        src = _high_pressure_source(30)
+        mf = self.alloc(src)
+        spill_ops = [
+            i
+            for b in mf.blocks
+            for i in b.instrs
+            if i.target == "__spill__"
+        ]
+        assert spill_ops
+        for i in spill_ops:
+            regs = [i.dst] if i.dst is not None else [i.srcs[1]]
+            assert all(
+                r in SCRATCH_INT or r in SCRATCH_FP for r in regs
+            )
+
+    def test_frame_pointer_not_allocated_when_reserved(self):
+        src = _high_pressure_source(25)
+        mf = self.alloc(src, omit_fp=False)
+        used = {
+            r
+            for b in mf.blocks
+            for i in b.instrs
+            if i.target != "__spill__"
+            for r in list(i.srcs) + ([i.dst] if i.dst is not None else [])
+        }
+        assert FP_REG not in used
+
+    def test_omit_fp_reduces_spills(self):
+        src = _high_pressure_source(22)
+        with_fp = self.alloc(src, omit_fp=False)
+        without_fp = self.alloc(src, omit_fp=True)
+        assert without_fp.spill_slots <= with_fp.spill_slots
+
+    def test_value_live_across_call_in_callee_saved(self):
+        src = """
+        int f(int x) { return x + 1; }
+        int main() {
+            int keep = 42;
+            int r = f(7);
+            return keep + r;
+        }
+        """
+        module = compile_source(src)
+        cleanup_module(module)
+        mf = select_function(module.function("main"))
+        allocate_registers(mf, True)
+        # Correctness is what matters; it is checked end-to-end below.
+        exe_val = run_program(src, CompilerConfig(omit_frame_pointer=True))
+        assert exe_val == 50
+
+
+class TestFrame:
+    def test_leaf_without_spills_has_no_frame(self):
+        src = "int main() { return 7; }"
+        module = compile_source(src)
+        cleanup_module(module)
+        mf = select_function(module.function("main"))
+        allocate_registers(mf, True)
+        lower_frame(mf, True)
+        ops = [i.op for b in mf.blocks for i in b.instrs]
+        assert "addi" not in ops or all(
+            i.dst != SP for b in mf.blocks for i in b.instrs
+            if i.op == "addi"
+        )
+
+    def test_frame_pointer_prologue(self):
+        src = """
+        int f(int x) { return x; }
+        int main() { return f(3); }
+        """
+        module = compile_source(src)
+        cleanup_module(module)
+        mf = select_function(module.function("main"))
+        allocate_registers(mf, False)
+        lower_frame(mf, False)
+        entry_ops = [i for i in mf.blocks[0].instrs[:8]]
+        # sp adjustment, ra save, fp save, fp establishment must appear.
+        assert any(i.op == "addi" and i.dst == SP for i in entry_ops)
+        assert any(
+            i.op == "st" and i.srcs[1] == RA for i in entry_ops
+        )
+        assert any(
+            i.op == "st" and i.srcs[1] == FP_REG for i in entry_ops
+        )
+        assert any(i.op == "addi" and i.dst == FP_REG for i in entry_ops)
+
+    def test_omit_fp_prologue_is_smaller(self):
+        src = """
+        int f(int x) { return x; }
+        int main() { return f(3) + f(4); }
+        """
+        module_a = compile_source(src)
+        cleanup_module(module_a)
+        mf_with = select_function(module_a.function("main"))
+        allocate_registers(mf_with, False)
+        lower_frame(mf_with, False)
+        module_b = compile_source(src)
+        cleanup_module(module_b)
+        mf_without = select_function(module_b.function("main"))
+        allocate_registers(mf_without, True)
+        lower_frame(mf_without, True)
+        assert mf_without.instruction_count() < mf_with.instruction_count()
+
+    def test_no_spill_placeholders_remain(self):
+        src = _high_pressure_source(30)
+        module = compile_source(src)
+        cleanup_module(module)
+        mf = select_function(module.function("main"))
+        allocate_registers(mf, True)
+        lower_frame(mf, True)
+        assert all(
+            i.target != "__spill__" for b in mf.blocks for i in b.instrs
+        )
+
+
+class TestScheduler:
+    def test_schedule_preserves_semantics(self):
+        for name, src in ALL_PROGRAMS.items():
+            plain = run_program(src, CompilerConfig())
+            sched = run_program(src, CompilerConfig(schedule_insns2=True))
+            assert plain == sched, name
+
+    def test_stores_not_reordered_past_loads(self):
+        src = """
+        int g = 1;
+        int main() {
+            g = 5;
+            int x = g;
+            g = 9;
+            return x * 10 + g;
+        }
+        """
+        assert run_program(src, CompilerConfig(schedule_insns2=True)) == 59
+
+    def test_separates_dependent_pairs(self):
+        mdesc = MachineDescription.for_issue_width(4)
+        from repro.codegen.scheduler import _schedule_region
+
+        region = [
+            MachineInstr("mul", dst=8, srcs=(9, 10)),   # 3-cycle
+            MachineInstr("add", dst=11, srcs=(8, 9)),   # depends on mul
+            MachineInstr("add", dst=12, srcs=(9, 10)),  # independent
+            MachineInstr("add", dst=13, srcs=(9, 10)),  # independent
+        ]
+        scheduled = _schedule_region(list(region), mdesc)
+        # The dependent add must not directly follow the mul.
+        mul_pos = next(
+            i for i, ins in enumerate(scheduled) if ins.op == "mul"
+        )
+        dep_pos = next(
+            i for i, ins in enumerate(scheduled) if ins.dst == 11
+        )
+        assert dep_pos > mul_pos + 1
+
+
+class TestLinkerAndMachineDesc:
+    def test_fu_scaling_with_issue_width(self):
+        narrow = MachineDescription.for_issue_width(2)
+        wide = MachineDescription.for_issue_width(4)
+        assert wide.units(OpClass.IALU) == 2 * narrow.units(OpClass.IALU)
+
+    def test_invalid_issue_width(self):
+        with pytest.raises(ValueError):
+            MachineDescription.for_issue_width(0)
+
+    def test_entry_stub_calls_main(self):
+        module = compile_source("int main() { return 3; }")
+        exe = compile_module(module, CompilerConfig())
+        assert exe.instrs[0].op == "jal"
+        assert exe.instrs[0].target_pc == exe.function_entries["main"]
+        assert exe.instrs[1].op == "halt"
+
+    def test_all_control_targets_resolved(self):
+        module = compile_source(ALL_PROGRAMS["calls_and_branches"])
+        exe = compile_module(module, O2)
+        for instr in exe.instrs:
+            if instr.op_class in (OpClass.BRANCH, OpClass.JUMP, OpClass.CALL):
+                assert instr.target_pc is not None
+                assert 0 <= instr.target_pc < len(exe.instrs)
+
+    def test_fallthrough_jumps_removed(self):
+        module = compile_source(ALL_PROGRAMS["sum_loop"])
+        exe = compile_module(module, CompilerConfig())
+        for pc, instr in enumerate(exe.instrs):
+            if instr.op_class is OpClass.JUMP:
+                assert instr.target_pc != pc + 1
+
+    def test_globals_laid_out_disjoint(self):
+        src = """
+        int a[10];
+        float b[5];
+        int c = 3;
+        int main() { return c; }
+        """
+        module = compile_source(src)
+        exe = compile_module(module, CompilerConfig())
+        spans = sorted(
+            (s.address, s.address + s.count * 8)
+            for s in exe.symbols.values()
+        )
+        for (a_start, a_end), (b_start, _b_end) in zip(spans, spans[1:]):
+            assert a_end <= b_start
+
+    def test_missing_main_rejected(self):
+        module = compile_source("int f() { return 1; }")
+        from repro.codegen.isel import select_module
+
+        with pytest.raises(ValueError):
+            link_module(module, select_module(module))
+
+    def test_disassembly_readable(self):
+        module = compile_source("int main() { return 3; }")
+        exe = compile_module(module, CompilerConfig())
+        text = exe.disassemble()
+        assert "main:" in text and "jr ra" in text

@@ -1,0 +1,160 @@
+"""Deeper backend tests: calling conventions, float paths, regions."""
+
+import pytest
+
+from repro.codegen import compile_module
+from repro.codegen.isa import FARG_REGS, FRV, OpClass, RV
+from repro.codegen.isel import select_function
+from repro.minic import compile_source
+from repro.opt import CompilerConfig, O2, cleanup_module
+from repro.sim.func import execute
+from tests.util import run_program
+
+
+class TestCallingConvention:
+    def test_mixed_int_float_args(self):
+        src = """
+        float mix(int a, float b, int c, float d) {
+            return (float)(a) * b + (float)(c) * d;
+        }
+        int main() { return (int)(mix(2, 1.5, 3, 2.0)); }
+        """
+        assert run_program(src) == 9
+
+    def test_six_int_args(self):
+        src = """
+        int six(int a, int b, int c, int d, int e, int f) {
+            return a + b * 2 + c * 3 + d * 4 + e * 5 + f * 6;
+        }
+        int main() { return six(1, 2, 3, 4, 5, 6); }
+        """
+        assert run_program(src) == 1 + 4 + 9 + 16 + 25 + 36
+
+    def test_too_many_args_rejected(self):
+        src = """
+        int many(int a, int b, int c, int d, int e, int f, int g) {
+            return a + g;
+        }
+        int main() { return many(1, 2, 3, 4, 5, 6, 7); }
+        """
+        module = compile_source(src)
+        cleanup_module(module)
+        with pytest.raises(NotImplementedError):
+            select_function(module.function("many"))
+
+    def test_float_return_register(self):
+        src = """
+        float half(float x) { return x * 0.5; }
+        int main() { return (int)(half(9.0) * 10.0); }
+        """
+        assert run_program(src) == 45
+
+    def test_void_function_call(self):
+        src = """
+        int g = 0;
+        void poke(int v) { g = v * 3; }
+        int main() { poke(7); return g; }
+        """
+        assert run_program(src) == 21
+
+    def test_recursive_deep_stack(self):
+        src = """
+        int depth(int n) {
+            if (n == 0) { return 0; }
+            return depth(n - 1) + 1;
+        }
+        int main() { return depth(200); }
+        """
+        assert run_program(src) == 200
+
+    def test_recursion_with_live_values(self):
+        """Values live across the recursive call must survive."""
+        src = """
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { return fib(12); }
+        """
+        assert run_program(src) == 144
+
+
+class TestFloatSpills:
+    def test_many_live_floats(self):
+        decls = "\n".join(
+            f"float f{i} = g + {float(i)};" for i in range(20)
+        )
+        uses = " + ".join(f"f{i} * f{i}" for i in range(20))
+        src = (
+            "float g = 1.5;\n"
+            f"int main() {{ {decls} return (int)({uses}); }}"
+        )
+        expected = int(sum((1.5 + i) ** 2 for i in range(20)))
+        assert run_program(src) == expected
+        assert run_program(
+            src, CompilerConfig(schedule_insns2=True)
+        ) == expected
+
+
+class TestSchedulerRegions:
+    def test_calls_are_barriers(self):
+        """Instructions must not migrate across a call."""
+        src = """
+        int g = 1;
+        int snapshot() { return g; }
+        int main() {
+            int before = snapshot();
+            g = 99;
+            int after = snapshot();
+            return before * 100 + after;
+        }
+        """
+        assert run_program(src, CompilerConfig(schedule_insns2=True)) == 199
+
+    def test_scheduling_large_block(self):
+        # A long straight-line block with mixed classes schedules and
+        # still computes correctly.
+        lines = []
+        expr = []
+        for i in range(40):
+            lines.append(f"int a{i} = (g + {i}) * {i % 7 + 1};")
+            expr.append(f"a{i}")
+        src = (
+            "int g = 3;\n"
+            "int main() { "
+            + " ".join(lines)
+            + " return "
+            + " + ".join(expr)
+            + "; }"
+        )
+        expected = sum((3 + i) * (i % 7 + 1) for i in range(40))
+        assert run_program(src, CompilerConfig(schedule_insns2=True)) == expected
+
+
+class TestIssueWidthBinaries:
+    def test_different_schedules_same_semantics(self):
+        src = """
+        float xs[16];
+        int main() {
+            int i;
+            float acc = 0.0;
+            for (i = 0; i < 16; i = i + 1) {
+                xs[i] = (float)(i * i) * 0.25;
+            }
+            for (i = 0; i < 16; i = i + 1) {
+                acc = acc + xs[i] * xs[i];
+            }
+            return (int)(acc);
+        }
+        """
+        config = CompilerConfig(schedule_insns2=True)
+        module = compile_source(src)
+        exe2 = compile_module(module, config, issue_width=2)
+        exe4 = compile_module(module, config, issue_width=4)
+        r2 = execute(exe2, collect_trace=False)
+        r4 = execute(exe4, collect_trace=False)
+        assert r2.return_value == r4.return_value
+        # The machine descriptions differ, so schedules usually differ.
+        ops2 = [i.op for i in exe2.instrs]
+        ops4 = [i.op for i in exe4.instrs]
+        assert len(ops2) == len(ops4)

@@ -1,0 +1,88 @@
+"""Tests for the co-design extension (inverse and joint searches)."""
+
+import numpy as np
+import pytest
+
+from repro.harness.corpus import Corpus, WorkloadData
+from repro.harness.experiments.codesign import (
+    frozen_compiler_objective,
+    run_joint_search,
+    run_microarch_search,
+)
+from repro.opt import O2
+from repro.sim.config import MicroarchConfig
+from repro.space import MICROARCH_VARIABLE_NAMES, full_space
+
+
+def synthetic_corpus(n=140, seed=0):
+    """A corpus measured against a known analytic response.
+
+    Response: faster with bigger RUU and lower memory latency; inlining
+    helps; no noise -- so searches have a known optimal direction.
+    """
+    space = full_space()
+    rng = np.random.default_rng(seed)
+    ruu = space.index_of("ruu_size")
+    mem = space.index_of("memory_latency")
+    inline = space.index_of("inline_functions")
+
+    def response(x):
+        return 1e6 - 2e5 * x[:, ruu] + 1.5e5 * x[:, mem] - 5e4 * x[:, inline]
+
+    def sample(k):
+        pts = space.random_points(k, rng)
+        coded = space.encode_matrix(pts)
+        return coded, response(coded)
+
+    x_train, y_train = sample(n)
+    x_test, y_test = sample(40)
+    data = {
+        "toy": WorkloadData("toy", x_train, y_train, x_test, y_test)
+    }
+    return Corpus(space=space, data=data, growth_steps=[n])
+
+
+class TestMicroarchSearch:
+    def test_finds_fast_machine(self):
+        corpus = synthetic_corpus()
+        outcomes = run_microarch_search(corpus, compiler=O2)
+        best = outcomes["toy"].best_microarch
+        # The analytic response rewards max RUU and min memory latency.
+        assert best.ruu_size == 128
+        assert best.memory_latency == 50
+
+    def test_prediction_is_finite(self):
+        corpus = synthetic_corpus()
+        outcomes = run_microarch_search(corpus, compiler=O2)
+        assert np.isfinite(outcomes["toy"].predicted_cycles)
+
+
+class TestJointSearch:
+    def test_beats_microarch_only(self):
+        corpus = synthetic_corpus()
+        joint = run_joint_search(corpus, "toy")
+        micro_only = run_microarch_search(corpus, compiler=O2)["toy"]
+        # Joint search can also flip inlining on, so it should predict at
+        # least as fast a configuration.
+        assert joint.best_value <= micro_only.predicted_cycles + 1e-6
+
+    def test_joint_point_is_legal(self):
+        corpus = synthetic_corpus()
+        joint = run_joint_search(corpus, "toy")
+        corpus.space.validate(joint.best_point)
+
+
+class TestFrozenCompilerObjective:
+    def test_freezes_compiler_slots(self):
+        space = full_space()
+        micro_space = space.subspace(MICROARCH_VARIABLE_NAMES)
+        gcse_idx = space.index_of("gcse")
+
+        class Probe:
+            def predict(self, x):
+                return x[:, gcse_idx]
+
+        objective = frozen_compiler_objective(Probe(), space, micro_space, O2)
+        coded = micro_space.encode(MicroarchConfig().to_point())
+        # O2 has gcse on -> frozen coded value +1.
+        assert objective(coded[None, :])[0] == pytest.approx(1.0)

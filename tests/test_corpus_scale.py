@@ -1,0 +1,53 @@
+"""Tests for corpus scaling and design growth plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.harness.corpus import build_design, scale_factor, scaled
+from repro.space import full_space
+
+
+class TestScale:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_factor() == 1.0
+        assert scaled(110) == 110
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.0")
+        assert scaled(110) == 220
+
+    def test_bad_scale_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "banana")
+        assert scale_factor() == 1.0
+
+    def test_minimum_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        assert scaled(110) == 8
+
+
+class TestBuildDesign:
+    def test_growth_steps_are_prefix_sizes(self):
+        space = full_space()
+        rng = np.random.default_rng(0)
+        design, steps = build_design(
+            space, 80, rng, n_candidates=300, initial=30, step=25
+        )
+        assert design.shape == (80, space.dim)
+        assert steps == [30, 55, 80]
+
+    def test_small_target_single_step(self):
+        space = full_space()
+        rng = np.random.default_rng(1)
+        design, steps = build_design(
+            space, 20, rng, n_candidates=200, initial=30, step=25
+        )
+        assert design.shape[0] == 20
+        assert steps == [20]
+
+    def test_rows_are_legal_points(self):
+        space = full_space()
+        rng = np.random.default_rng(2)
+        design, _ = build_design(space, 40, rng, n_candidates=200)
+        for row in design:
+            space.validate(space.decode(row))

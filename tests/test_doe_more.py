@@ -1,0 +1,80 @@
+"""Additional DoE behaviour: candidate quality, efficiency ordering."""
+
+import numpy as np
+import pytest
+
+from repro.doe import (
+    ModelMatrixBuilder,
+    d_efficiency,
+    d_optimal_design,
+    latin_hypercube_candidates,
+    log_det_information,
+    random_candidates,
+)
+from repro.space import ParameterSpace, Variable, VariableKind, full_space
+
+
+def small_space():
+    return ParameterSpace(
+        [
+            Variable("a", VariableKind.BINARY, 0, 1, 2),
+            Variable("b", VariableKind.DISCRETE, 0, 6, 7),
+            Variable("c", VariableKind.DISCRETE, 0, 4, 5),
+        ]
+    )
+
+
+class TestEfficiencyOrdering:
+    def test_bigger_design_is_more_informative(self):
+        space = small_space()
+        rng = np.random.default_rng(0)
+        cand = random_candidates(space, 200, rng)
+        builder = ModelMatrixBuilder(3, interactions=True)
+        small = d_optimal_design(cand, 12, rng, builder=builder)
+        big = d_optimal_design(cand, 24, rng, builder=builder)
+        assert big.log_det > small.log_det
+
+    def test_d_efficiency_identity(self):
+        space = small_space()
+        rng = np.random.default_rng(1)
+        cand = random_candidates(space, 100, rng)
+        res = d_optimal_design(cand, 15, rng)
+        assert d_efficiency(res.design, res.design, res.builder) == (
+            pytest.approx(1.0)
+        )
+
+    def test_corner_design_beats_center_design(self):
+        """Points at +-1 carry more information than near-zero points."""
+        builder = ModelMatrixBuilder(3, interactions=False)
+        rng = np.random.default_rng(2)
+        corners = rng.choice([-1.0, 1.0], size=(16, 3))
+        center = rng.uniform(-0.2, 0.2, size=(16, 3))
+        assert log_det_information(corners, builder) > log_det_information(
+            center, builder
+        )
+
+    def test_dopt_prefers_extreme_levels(self):
+        """The optimizer should load up on extreme coded levels."""
+        space = small_space()
+        rng = np.random.default_rng(3)
+        cand = random_candidates(space, 400, rng)
+        res = d_optimal_design(cand, 20, rng)
+        extremes = np.mean(np.abs(res.design) > 0.99)
+        random_extremes = np.mean(np.abs(cand) > 0.99)
+        assert extremes > random_extremes
+
+
+class TestBuilderEdgeCases:
+    def test_quadratic_column_values(self):
+        builder = ModelMatrixBuilder(1, interactions=False, quadratic=True)
+        f = builder.expand(np.array([[0.5], [-1.0]]))
+        assert f[:, 2].tolist() == [0.25, 1.0]
+
+    def test_term_order_property(self):
+        builder = ModelMatrixBuilder(4, interactions=True)
+        orders = [t.order for t in builder.terms]
+        assert orders == sorted(orders)
+
+    def test_paper_scale_term_count(self):
+        builder = ModelMatrixBuilder(25, interactions=True)
+        assert builder.n_terms == 1 + 25 + 25 * 24 // 2

@@ -1,0 +1,115 @@
+"""Unit tests for the experiment drivers on a synthetic corpus.
+
+The benchmarks exercise these against real simulations; here a known
+analytic response stands in for the oracle so the drivers' logic
+(fitting, slicing, reporting inputs) is tested in milliseconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.corpus import Corpus, WorkloadData
+from repro.harness.experiments import (
+    run_fig5_learning_curves,
+    run_fig6_scatter,
+    run_model_search,
+    run_table3,
+    run_table4_mars_effects,
+)
+from repro.harness.report import (
+    render_learning_curves,
+    render_mars_effects,
+    render_scatter,
+    render_search_settings,
+    render_table3,
+)
+from repro.space import full_space
+
+
+def synthetic_corpus(workloads=("art", "mcf"), n=120, seed=1):
+    space = full_space()
+    rng = np.random.default_rng(seed)
+    ruu = space.index_of("ruu_size")
+    mem = space.index_of("memory_latency")
+    unroll = space.index_of("max_unroll_times")
+
+    data = {}
+    for k, name in enumerate(workloads):
+        def response(x, k=k):
+            return (
+                1e6
+                - 1.5e5 * x[:, ruu]
+                + (1.0 + 0.2 * k) * 1e5 * x[:, mem]
+                + 4e4 * np.maximum(0, x[:, unroll] - 0.3) ** 2
+            )
+
+        x_train = space.encode_matrix(space.random_points(n, rng))
+        x_test = space.encode_matrix(space.random_points(40, rng))
+        data[name] = WorkloadData(
+            name, x_train, response(x_train), x_test, response(x_test)
+        )
+    return Corpus(space=space, data=data, growth_steps=[n // 2, n])
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return synthetic_corpus()
+
+
+class TestAccuracyDrivers:
+    def test_table3_structure(self, corpus):
+        result = run_table3(corpus)
+        assert set(result.errors) == {"art", "mcf"}
+        for errs in result.errors.values():
+            assert set(errs) == {"linear", "mars", "rbf-rt"}
+        text = render_table3(result)
+        assert "Average" in text
+
+    def test_fig5_uses_growth_steps(self, corpus):
+        curves = run_fig5_learning_curves(corpus)
+        for points in curves.values():
+            assert [p.n_samples for p in points] == corpus.growth_steps
+        assert "Figure 5" in render_learning_curves(curves)
+
+    def test_fig6_scatter_on_named_workloads(self, corpus):
+        results = run_fig6_scatter(corpus, workloads=("art",))
+        assert len(results) == 1
+        assert results[0].r2 > 0.8  # clean synthetic response
+        assert "r2" in render_scatter(results)
+
+
+class TestInterpretDrivers:
+    def test_table4_finds_the_planted_effects(self, corpus):
+        effects = run_table4_mars_effects(corpus)
+        art = effects["art"]
+        top_terms = dict(art.top(6))
+        assert any("ruu_size" in t for t in top_terms)
+        assert any("memory_latency" in t for t in top_terms)
+        # Planted signs: bigger RUU helps (negative), memlat hurts.
+        for term, value in top_terms.items():
+            if term == "ruu_size":
+                assert value < 0
+            if term == "memory_latency":
+                assert value > 0
+        assert "Table 4" in render_mars_effects(effects)
+
+
+class TestSearchDriver:
+    def test_model_search_prefers_low_unroll(self, corpus):
+        # The planted response penalizes high max_unroll_times.
+        searches = run_model_search(
+            corpus, generations=25, population=40
+        )
+        for per_config in searches.values():
+            for outcome in per_config.values():
+                assert outcome.best_settings.max_unroll_times <= 8
+        assert "Table 6" in render_search_settings(searches)
+
+    def test_predicted_speedup_sign_sane(self, corpus):
+        searches = run_model_search(corpus, generations=20, population=30)
+        for per_config in searches.values():
+            for outcome in per_config.values():
+                # The searched optimum cannot be predicted slower than O2.
+                assert outcome.predicted_cycles <= (
+                    outcome.predicted_o2_cycles + 1e-6
+                )

@@ -1,0 +1,55 @@
+"""Differential compiler fuzzing.
+
+Random MiniC programs (tests.fuzz_gen) are compiled at -O0 and at
+aggressive/random optimization settings; the checksums must agree.  This
+is the widest net for optimizer and backend miscompilations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.opt import CompilerConfig, O2, O3
+from repro.space import compiler_space
+from tests.fuzz_gen import generate_program
+from tests.util import run_program
+
+_SPACE = compiler_space()
+
+AGGRESSIVE = CompilerConfig(
+    inline_functions=True,
+    unroll_loops=True,
+    schedule_insns2=True,
+    loop_optimize=True,
+    gcse=True,
+    strength_reduce=True,
+    omit_frame_pointer=True,
+    reorder_blocks=True,
+    prefetch_loop_arrays=True,
+    max_unroll_times=6,
+)
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_fuzz_o0_vs_aggressive(seed):
+    source = generate_program(seed)
+    reference = run_program(source, CompilerConfig())
+    for config in (O2, O3, AGGRESSIVE):
+        for issue_width in (2, 4):
+            got = run_program(source, config, issue_width)
+            assert got == reference, (
+                f"seed={seed} config={config.describe()} iw={issue_width}\n"
+                f"{source}"
+            )
+
+
+@pytest.mark.parametrize("seed", range(30, 42))
+def test_fuzz_random_configs(seed):
+    source = generate_program(seed)
+    reference = run_program(source, CompilerConfig())
+    rng = np.random.default_rng(seed * 7 + 1)
+    for _ in range(3):
+        config = CompilerConfig.from_point(_SPACE.random_point(rng))
+        got = run_program(source, config)
+        assert got == reference, (
+            f"seed={seed} config={config.describe()}\n{source}"
+        )

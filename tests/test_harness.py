@@ -1,0 +1,111 @@
+"""Tests for the measurement engine and harness plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.harness.configs import (
+    TABLE5_CONFIGS,
+    joint_point,
+    microarch_point,
+    split_point,
+)
+from repro.harness.measure import MeasurementEngine
+from repro.opt import CompilerConfig, O2, O3
+from repro.sim.config import MicroarchConfig
+from repro.space import full_space
+
+
+class TestConfigs:
+    def test_split_point_roundtrip(self):
+        space = full_space()
+        rng = np.random.default_rng(0)
+        point = space.random_point(rng)
+        compiler, microarch = split_point(point)
+        rebuilt = joint_point(compiler, microarch)
+        assert rebuilt == point
+
+    def test_table5_configs_match_paper(self):
+        c = TABLE5_CONFIGS["constrained"]
+        assert c.issue_width == 2
+        assert c.ruu_size == 16
+        assert c.l2_size == 256 * 1024
+        a = TABLE5_CONFIGS["aggressive"]
+        assert a.bpred_size == 8192
+        assert a.memory_latency == 150
+        t = TABLE5_CONFIGS["typical"]
+        assert t.l2_size == 1024 * 1024
+
+    def test_o3_is_o2_plus_inline_prefetch(self):
+        assert not O2.inline_functions and not O2.prefetch_loop_arrays
+        assert O3.inline_functions and O3.prefetch_loop_arrays
+        assert O3.schedule_insns2 and O3.gcse
+
+    def test_compiler_config_from_point_rounding(self):
+        cfg = CompilerConfig.from_point(
+            {"inline_functions": 1.0, "max_unroll_times": 8.0}
+        )
+        assert cfg.inline_functions is True
+        assert cfg.max_unroll_times == 8
+
+    def test_microarch_from_point_partial(self):
+        mc = MicroarchConfig.from_point({"ruu_size": 128.0})
+        assert mc.ruu_size == 128
+        assert mc.issue_width == 4  # default retained
+
+
+class TestMeasurementEngine:
+    def test_measure_caches_results(self):
+        engine = MeasurementEngine()
+        space = full_space()
+        point = space.decode(np.zeros(space.dim))
+        a = engine.measure("art", point)
+        sims_after_first = engine.simulations
+        b = engine.measure("art", point)
+        assert engine.simulations == sims_after_first
+        assert a.cycles == b.cycles
+
+    def test_trace_shared_across_microarch(self):
+        engine = MeasurementEngine()
+        o2 = O2
+        m1 = engine.measure_configs("art", o2, TABLE5_CONFIGS["typical"])
+        compilations = engine.compilations
+        m2 = engine.measure_configs("art", o2, TABLE5_CONFIGS["constrained"])
+        # Different issue width -> new binary; same width -> reuse.
+        m3 = engine.measure_configs("art", o2, TABLE5_CONFIGS["aggressive"])
+        assert engine.compilations == compilations + 1  # constrained only
+        assert m1.checksum == m2.checksum == m3.checksum
+
+    def test_checksum_invariant_across_points(self):
+        engine = MeasurementEngine()
+        space = full_space()
+        rng = np.random.default_rng(3)
+        checksums = {
+            engine.measure("gzip", space.random_point(rng)).checksum
+            for _ in range(3)
+        }
+        assert len(checksums) == 1
+
+    def test_disk_cache_roundtrip(self, tmp_path):
+        space = full_space()
+        point = space.decode(np.zeros(space.dim))
+        engine1 = MeasurementEngine(cache_dir=str(tmp_path))
+        a = engine1.measure("art", point)
+        engine1.save()
+        engine2 = MeasurementEngine(cache_dir=str(tmp_path))
+        b = engine2.measure("art", point)
+        assert engine2.simulations == 0
+        assert a.cycles == b.cycles
+
+    def test_oracle_interface(self):
+        engine = MeasurementEngine()
+        space = full_space()
+        oracle = engine.oracle("art")
+        point = space.decode(np.zeros(space.dim))
+        assert oracle(point) == engine.cycles("art", point)
+
+    def test_detailed_mode(self):
+        engine = MeasurementEngine(mode="detailed")
+        space = full_space()
+        point = space.decode(np.zeros(space.dim))
+        m = engine.measure("art", point)
+        assert m.sampling_error == 0.0

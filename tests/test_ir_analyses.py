@@ -1,0 +1,235 @@
+"""Tests for CFG, dominators, loops, dataflow and the call graph."""
+
+import pytest
+
+from repro.ir import (
+    BinOp,
+    Branch,
+    Call,
+    Const,
+    Copy,
+    Function,
+    IRBuilder,
+    Jump,
+    Module,
+    Return,
+    Temp,
+    Type,
+    build_callgraph,
+    dominates,
+    ensure_preheader,
+    immediate_dominators,
+    liveness,
+    natural_loops,
+    predecessors,
+    reaching_definitions,
+    reverse_postorder,
+    successors,
+)
+from repro.ir.cfg import remove_unreachable
+from repro.minic import compile_source
+
+
+def diamond():
+    """entry -> (left|right) -> join -> exit."""
+    f = Function("d", [Temp("c", Type.INT)], Type.INT)
+    b = IRBuilder(f)
+    entry = f.new_block("entry")
+    left = f.new_block("left")
+    right = f.new_block("right")
+    join = f.new_block("join")
+    b.set_block(entry)
+    b.branch(Temp("c", Type.INT), left.label, right.label)
+    b.set_block(left)
+    x = f.new_temp(Type.INT)
+    b.copy_to(x, Const(1, Type.INT))
+    b.jump(join.label)
+    b.set_block(right)
+    b.copy_to(x, Const(2, Type.INT))
+    b.jump(join.label)
+    b.set_block(join)
+    b.ret(x)
+    return f, entry, left, right, join
+
+
+def loop_function():
+    src = """
+    int N = 10;
+    int main() {
+        int i;
+        int s = 0;
+        for (i = 0; i < N; i = i + 1) {
+            s = s + i;
+        }
+        return s;
+    }
+    """
+    return compile_source(src).function("main")
+
+
+class TestCfg:
+    def test_successors_and_predecessors(self):
+        f, entry, left, right, join = diamond()
+        succ = successors(f)
+        assert set(succ[entry.label]) == {left.label, right.label}
+        preds = predecessors(f)
+        assert set(preds[join.label]) == {left.label, right.label}
+
+    def test_reverse_postorder_starts_at_entry(self):
+        f, entry, *_ = diamond()
+        order = reverse_postorder(f)
+        assert order[0] == entry.label
+        assert len(order) == 4
+
+    def test_remove_unreachable(self):
+        f, *_ = diamond()
+        dead = f.new_block("dead")
+        IRBuilder(f).set_block(dead)
+        dead.set_terminator(Return(Const(0, Type.INT)))
+        assert remove_unreachable(f) == 1
+        assert not f.has_block("dead")
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        f, entry, left, right, join = diamond()
+        idom = immediate_dominators(f)
+        assert idom[entry.label] is None
+        assert idom[left.label] == entry.label
+        assert idom[right.label] == entry.label
+        assert idom[join.label] == entry.label
+
+    def test_dominates(self):
+        f, entry, left, right, join = diamond()
+        assert dominates(f, entry.label, join.label)
+        assert not dominates(f, left.label, join.label)
+        assert dominates(f, join.label, join.label)
+
+
+class TestLoops:
+    def test_for_loop_detected(self):
+        f = loop_function()
+        loops = natural_loops(f)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header in loop.body
+        assert len(loop.latches) == 1
+
+    def test_nested_loops(self):
+        src = """
+        int main() {
+            int i; int j; int s = 0;
+            for (i = 0; i < 5; i = i + 1) {
+                for (j = 0; j < 5; j = j + 1) {
+                    s = s + 1;
+                }
+            }
+            return s;
+        }
+        """
+        f = compile_source(src).function("main")
+        loops = natural_loops(f)
+        assert len(loops) == 2
+        inner = max(loops, key=lambda l: l.depth)
+        outer = min(loops, key=lambda l: l.depth)
+        assert inner.parent is outer
+        assert inner.header in outer.body
+        assert inner.depth == 2
+
+    def test_loop_exits(self):
+        f = loop_function()
+        loop = natural_loops(f)[0]
+        exits = loop.exits(f)
+        assert len(exits) == 1
+        assert exits[0] not in loop.body
+
+    def test_ensure_preheader_idempotent(self):
+        f = loop_function()
+        loop = natural_loops(f)[0]
+        pre1 = ensure_preheader(f, loop)
+        loop2 = natural_loops(f)[0]
+        pre2 = ensure_preheader(f, loop2)
+        assert pre1 == pre2
+
+    def test_preheader_is_unique_outside_pred(self):
+        f = loop_function()
+        loop = natural_loops(f)[0]
+        pre = ensure_preheader(f, loop)
+        preds = predecessors(f)
+        outside = [p for p in preds[loop.header] if p not in loop.body]
+        assert outside == [pre]
+
+
+class TestLiveness:
+    def test_param_live_into_use(self):
+        f, entry, left, right, join = diamond()
+        live = liveness(f)
+        cond = Temp("c", Type.INT)
+        assert cond in live.live_in[entry.label]
+        assert cond not in live.live_in[join.label]
+
+    def test_value_live_across_branch(self):
+        f, entry, left, right, join = diamond()
+        live = liveness(f)
+        # x is defined in both arms and used at join.
+        x_temps = {
+            i.defs() for i in f.block(left.label).instrs
+        }
+        assert x_temps & live.live_in[join.label]
+
+    def test_loop_carried_liveness(self):
+        f = loop_function()
+        loop = natural_loops(f)[0]
+        live = liveness(f)
+        # Something must be live around the back edge (i and s).
+        assert len(live.live_in[loop.header]) >= 2
+
+
+class TestReachingDefs:
+    def test_merge_of_two_defs(self):
+        f, entry, left, right, join = diamond()
+        reach = reaching_definitions(f)
+        reach_join = reach.reach_in[join.label]
+        x = [i.defs() for i in f.block(left.label).instrs][0]
+        assert len(reach_join[x]) == 2
+
+    def test_params_reach_entry(self):
+        f, entry, *_ = diamond()
+        reach = reaching_definitions(f)
+        assert Temp("c", Type.INT) in reach.reach_in[entry.label]
+
+
+class TestCallGraph:
+    def test_edges_and_counts(self):
+        src = """
+        int leaf(int x) { return x + 1; }
+        int mid(int x) { return leaf(x) + leaf(x + 1); }
+        int main() { return mid(3); }
+        """
+        module = compile_source(src)
+        graph = build_callgraph(module)
+        assert graph.callees("mid") == {"leaf": 2}
+        assert graph.callers("leaf") == ["mid"]
+        assert not graph.is_recursive("leaf")
+
+    def test_recursion_detected(self):
+        src = """
+        int fact(int n) {
+            if (n <= 1) { return 1; }
+            return n * fact(n - 1);
+        }
+        int main() { return fact(5); }
+        """
+        graph = build_callgraph(compile_source(src))
+        assert graph.is_recursive("fact")
+        assert not graph.is_recursive("main")
+
+    def test_topo_order_callees_first(self):
+        src = """
+        int leaf(int x) { return x; }
+        int mid(int x) { return leaf(x); }
+        int main() { return mid(1); }
+        """
+        graph = build_callgraph(compile_source(src))
+        order = graph.topo_order()
+        assert order.index("leaf") < order.index("mid") < order.index("main")

@@ -1,0 +1,176 @@
+"""Tests for IR construction, verification and printing."""
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    BinOp,
+    Branch,
+    Call,
+    Const,
+    Copy,
+    Function,
+    GlobalVar,
+    IRBuilder,
+    IRVerificationError,
+    Jump,
+    Module,
+    Return,
+    Temp,
+    Type,
+    format_function,
+    verify_function,
+    verify_module,
+)
+
+
+def simple_function():
+    f = Function("f", [Temp("a", Type.INT)], Type.INT)
+    b = IRBuilder(f)
+    entry = f.new_block("entry")
+    b.set_block(entry)
+    t = b.binop("add", Temp("a", Type.INT), Const(1, Type.INT), Type.INT)
+    b.ret(t)
+    return f
+
+
+class TestConstruction:
+    def test_builder_emits_in_order(self):
+        f = simple_function()
+        assert len(f.entry.instrs) == 1
+        assert isinstance(f.entry.terminator, Return)
+
+    def test_terminating_twice_fails(self):
+        f = Function("g", [], Type.VOID)
+        b = IRBuilder(f)
+        b.set_block(f.new_block())
+        b.ret()
+        with pytest.raises(RuntimeError):
+            b.ret()
+
+    def test_emit_after_terminator_fails(self):
+        f = Function("g", [], Type.VOID)
+        b = IRBuilder(f)
+        b.set_block(f.new_block())
+        b.ret()
+        with pytest.raises(RuntimeError):
+            b.copy(Const(1, Type.INT))
+
+    def test_fresh_labels_unique(self):
+        f = Function("g", [], Type.VOID)
+        labels = {f.new_block().label for _ in range(20)}
+        assert len(labels) == 20
+
+    def test_duplicate_block_label_rejected(self):
+        f = Function("g", [], Type.VOID)
+        f.add_block(BasicBlock("x"))
+        with pytest.raises(ValueError):
+            f.add_block(BasicBlock("x"))
+
+    def test_instruction_count(self):
+        f = simple_function()
+        assert f.instruction_count() == 2  # add + return
+
+    def test_const_type_check(self):
+        with pytest.raises(TypeError):
+            Const(1.5, Type.INT)
+        with pytest.raises(TypeError):
+            Const(1, Type.FLOAT)
+
+
+class TestVerifier:
+    def test_accepts_valid(self):
+        verify_function(simple_function())
+
+    def test_missing_terminator(self):
+        f = Function("g", [], Type.VOID)
+        f.new_block("entry")
+        with pytest.raises(IRVerificationError):
+            verify_function(f)
+
+    def test_dangling_target(self):
+        f = Function("g", [], Type.VOID)
+        block = f.new_block("entry")
+        block.set_terminator(Jump("nowhere"))
+        with pytest.raises(IRVerificationError):
+            verify_function(f)
+
+    def test_undefined_temp_use(self):
+        f = Function("g", [], Type.INT)
+        block = f.new_block("entry")
+        block.set_terminator(Return(Temp("ghost", Type.INT)))
+        with pytest.raises(IRVerificationError):
+            verify_function(f)
+
+    def test_void_return_with_value(self):
+        f = Function("g", [], Type.VOID)
+        block = f.new_block("entry")
+        block.set_terminator(Return(Const(1, Type.INT)))
+        with pytest.raises(IRVerificationError):
+            verify_function(f)
+
+    def test_module_checks_call_arity(self):
+        m = Module()
+        callee = Function("callee", [Temp("x", Type.INT)], Type.INT)
+        blk = callee.new_block("entry")
+        blk.set_terminator(Return(Const(0, Type.INT)))
+        m.add_function(callee)
+
+        caller = Function("main", [], Type.INT)
+        blk = caller.new_block("entry")
+        blk.append(Call(Temp("r", Type.INT), "callee", []))  # missing arg
+        blk.set_terminator(Return(Temp("r", Type.INT)))
+        m.add_function(caller)
+        with pytest.raises(IRVerificationError):
+            verify_module(m)
+
+    def test_module_checks_unknown_callee(self):
+        m = Module()
+        caller = Function("main", [], Type.INT)
+        blk = caller.new_block("entry")
+        blk.append(Call(Temp("r", Type.INT), "ghost", []))
+        blk.set_terminator(Return(Temp("r", Type.INT)))
+        m.add_function(caller)
+        with pytest.raises(IRVerificationError):
+            verify_module(m)
+
+
+class TestInstructionProtocol:
+    def test_replace_uses_substitutes(self):
+        a = Temp("a", Type.INT)
+        b = Temp("b", Type.INT)
+        instr = BinOp(Temp("d", Type.INT), "add", a, a)
+        replaced = instr.replace_uses({a: b})
+        assert replaced.a == b and replaced.b == b
+        assert instr.a == a  # original untouched
+
+    def test_branch_retarget(self):
+        br = Branch(Temp("c", Type.INT), "x", "y")
+        moved = br.retarget({"x": "z"})
+        assert moved.targets() == ["z", "y"]
+
+    def test_store_has_side_effects(self):
+        from repro.ir import Store
+
+        assert Store(Temp("b", Type.INT), Const(0, Type.INT),
+                     Const(1, Type.INT)).has_side_effects
+
+    def test_format_function_roundtrips_names(self):
+        text = format_function(simple_function())
+        assert "func f" in text and "return" in text
+
+
+class TestGlobals:
+    def test_sizes(self):
+        g = GlobalVar("arr", Type.INT, count=10)
+        assert g.size_bytes == 80
+        assert g.is_array
+
+    def test_module_duplicate_names(self):
+        m = Module()
+        m.add_global(GlobalVar("x", Type.INT))
+        with pytest.raises(ValueError):
+            m.add_global(GlobalVar("x", Type.FLOAT))
+        f = Function("x", [], Type.VOID)
+        with pytest.raises(ValueError):
+            m.add_function(f)

@@ -1,0 +1,101 @@
+"""Tests for the shared operator semantics (repro.ir.semantics)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.semantics import (
+    eval_cmp,
+    eval_float_binop,
+    eval_int_binop,
+    eval_unop,
+    wrap_int,
+)
+
+I64 = st.integers(-(2**63), 2**63 - 1)
+
+
+class TestWrap:
+    def test_identity_in_range(self):
+        assert wrap_int(42) == 42
+        assert wrap_int(-42) == -42
+
+    def test_overflow_wraps(self):
+        assert wrap_int(2**63) == -(2**63)
+        assert wrap_int(2**64) == 0
+        assert wrap_int(-(2**63) - 1) == 2**63 - 1
+
+    @given(I64, I64)
+    @settings(max_examples=100, deadline=None)
+    def test_add_matches_two_complement(self, a, b):
+        expected = (a + b) & ((1 << 64) - 1)
+        if expected >= 1 << 63:
+            expected -= 1 << 64
+        assert eval_int_binop("add", a, b) == expected
+
+
+class TestIntOps:
+    def test_div_truncates_toward_zero(self):
+        assert eval_int_binop("div", 7, 2) == 3
+        assert eval_int_binop("div", -7, 2) == -3
+        assert eval_int_binop("div", 7, -2) == -3
+        assert eval_int_binop("div", -7, -2) == 3
+
+    def test_div_by_zero_is_zero(self):
+        assert eval_int_binop("div", 5, 0) == 0
+        assert eval_int_binop("mod", 5, 0) == 0
+
+    def test_mod_sign_follows_dividend(self):
+        assert eval_int_binop("mod", 7, 3) == 1
+        assert eval_int_binop("mod", -7, 3) == -1
+        assert eval_int_binop("mod", 7, -3) == 1
+
+    @given(I64, st.integers(-(2**31), 2**31 - 1).filter(lambda b: b != 0))
+    @settings(max_examples=100, deadline=None)
+    def test_div_mod_identity(self, a, b):
+        q = eval_int_binop("div", a, b)
+        r = eval_int_binop("mod", a, b)
+        assert wrap_int(q * b + r) == a
+
+    def test_shift_masking(self):
+        assert eval_int_binop("shl", 1, 64) == 1  # count masked to 0
+        assert eval_int_binop("shl", 1, 65) == 2
+        assert eval_int_binop("shr", -8, 1) == -4  # arithmetic
+
+    def test_bitwise(self):
+        assert eval_int_binop("and", 12, 10) == 8
+        assert eval_int_binop("or", 12, 10) == 14
+        assert eval_int_binop("xor", 12, 10) == 6
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            eval_int_binop("pow", 2, 3)
+
+
+class TestFloatOps:
+    def test_basic(self):
+        assert eval_float_binop("fadd", 1.5, 2.5) == 4.0
+        assert eval_float_binop("fsub", 1.5, 2.5) == -1.0
+        assert eval_float_binop("fmul", 3.0, 2.0) == 6.0
+        assert eval_float_binop("fdiv", 3.0, 2.0) == 1.5
+
+    def test_fdiv_by_zero_is_zero(self):
+        assert eval_float_binop("fdiv", 3.0, 0.0) == 0.0
+
+
+class TestCmpAndUnops:
+    def test_comparisons(self):
+        assert eval_cmp("lt", 1, 2) == 1
+        assert eval_cmp("ge", 2, 2) == 1
+        assert eval_cmp("ne", 1.5, 1.5) == 0
+
+    def test_unops(self):
+        assert eval_unop("neg", 5) == -5
+        assert eval_unop("not", 0) == 1
+        assert eval_unop("not", 17) == 0
+        assert eval_unop("itof", 3) == 3.0
+        assert eval_unop("ftoi", 3.9) == 3
+        assert eval_unop("ftoi", -3.9) == -3  # truncation toward zero
+
+    def test_neg_min_int_wraps(self):
+        assert eval_unop("neg", -(2**63)) == -(2**63)

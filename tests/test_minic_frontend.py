@@ -1,0 +1,226 @@
+"""Tests for the MiniC lexer, parser and semantic analysis."""
+
+import pytest
+
+from repro.minic import (
+    LexerError,
+    ParseError,
+    SemanticError,
+    analyze,
+    compile_source,
+    parse,
+    tokenize,
+)
+from repro.minic import ast
+from repro.minic.lexer import TokenKind
+from repro.ir.types import Type
+
+
+class TestLexer:
+    def test_keywords_vs_idents(self):
+        toks = tokenize("int foo while whilex")
+        kinds = [t.kind for t in toks[:-1]]
+        assert kinds == [
+            TokenKind.KEYWORD,
+            TokenKind.IDENT,
+            TokenKind.KEYWORD,
+            TokenKind.IDENT,
+        ]
+
+    def test_numbers(self):
+        toks = tokenize("42 3.5 1e3 2.5e-2")
+        assert toks[0].kind is TokenKind.INT_LIT and toks[0].value == 42
+        assert toks[1].kind is TokenKind.FLOAT_LIT and toks[1].value == 3.5
+        assert toks[2].value == 1000.0
+        assert toks[3].value == pytest.approx(0.025)
+
+    def test_two_char_operators(self):
+        toks = tokenize("<= >= == != && || << >>")
+        assert [t.text for t in toks[:-1]] == [
+            "<=", ">=", "==", "!=", "&&", "||", "<<", ">>",
+        ]
+
+    def test_comments_skipped(self):
+        toks = tokenize("a // line comment\n /* block\ncomment */ b")
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("/* never ends")
+
+    def test_unknown_character(self):
+        with pytest.raises(LexerError):
+            tokenize("a @ b")
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n  c")
+        assert [t.line for t in toks[:-1]] == [1, 2, 3]
+
+    def test_malformed_exponent(self):
+        with pytest.raises(LexerError):
+            tokenize("1e+")
+
+
+class TestParser:
+    def test_global_and_function(self):
+        prog = parse(tokenize("int g = 5; int main() { return g; }"))
+        assert len(prog.globals) == 1
+        assert prog.globals[0].init == 5
+        assert len(prog.functions) == 1
+
+    def test_array_global(self):
+        prog = parse(tokenize("float a[16]; int main() { return 0; }"))
+        assert prog.globals[0].array_size == 16
+
+    def test_negative_global_init(self):
+        prog = parse(tokenize("int g = -3; int main() { return 0; }"))
+        assert prog.globals[0].init == -3
+
+    def test_zero_array_size_rejected(self):
+        with pytest.raises(ParseError):
+            parse(tokenize("int a[0]; int main() { return 0; }"))
+
+    def test_precedence(self):
+        prog = parse(tokenize("int main() { return 1 + 2 * 3; }"))
+        ret = prog.functions[0].body[0]
+        assert isinstance(ret.value, ast.Binary) and ret.value.op == "+"
+        assert ret.value.right.op == "*"
+
+    def test_shift_binds_tighter_than_and(self):
+        prog = parse(tokenize("int main() { return 1 >> 2 & 3; }"))
+        expr = prog.functions[0].body[0].value
+        assert expr.op == "&"
+        assert expr.left.op == ">>"
+
+    def test_if_else_chain(self):
+        src = """
+        int main() {
+            int x = 1;
+            if (x == 0) { x = 1; } else if (x == 1) { x = 2; } else { x = 3; }
+            return x;
+        }
+        """
+        prog = parse(tokenize(src))
+        stmt = prog.functions[0].body[1]
+        assert isinstance(stmt, ast.IfStmt)
+        assert isinstance(stmt.else_body[0], ast.IfStmt)
+
+    def test_for_with_decl_init(self):
+        src = "int main() { int s = 0; for (int i = 0; i < 3; i = i + 1) { s = s + i; } return s; }"
+        prog = parse(tokenize(src))
+        loop = prog.functions[0].body[1]
+        assert isinstance(loop.init, ast.DeclStmt)
+
+    def test_cast_expression(self):
+        prog = parse(tokenize("int main() { return (int)(1.5); }"))
+        ret = prog.functions[0].body[0]
+        assert isinstance(ret.value, ast.Cast)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse(tokenize("int main() { 1 = 2; return 0; }"))
+
+    def test_expression_statement_must_be_call(self):
+        with pytest.raises(ParseError):
+            parse(tokenize("int main() { 1 + 2; return 0; }"))
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse(tokenize("int main() { return 0;"))
+
+
+class TestSema:
+    def check(self, src):
+        prog = parse(tokenize(src))
+        analyze(prog)
+        return prog
+
+    def test_undefined_variable(self):
+        with pytest.raises(SemanticError):
+            self.check("int main() { return ghost; }")
+
+    def test_undefined_function(self):
+        with pytest.raises(SemanticError):
+            self.check("int main() { return f(1); }")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SemanticError):
+            self.check(
+                "int f(int a, int b) { return a + b; } "
+                "int main() { return f(1); }"
+            )
+
+    def test_int_to_float_promotion_ok(self):
+        self.check(
+            "float g = 0.0; int main() { g = 3; return 0; }"
+        )
+
+    def test_float_to_int_requires_cast(self):
+        with pytest.raises(SemanticError):
+            self.check("int main() { int x = 1.5; return x; }")
+        self.check("int main() { int x = (int)(1.5); return x; }")
+
+    def test_mod_requires_ints(self):
+        with pytest.raises(SemanticError):
+            self.check("int main() { return (int)(1.5 % 2.0); }")
+
+    def test_condition_must_be_int(self):
+        with pytest.raises(SemanticError):
+            self.check("int main() { if (1.5) { return 1; } return 0; }")
+
+    def test_missing_return_detected(self):
+        with pytest.raises(SemanticError):
+            self.check("int main() { int x = 1; }")
+
+    def test_return_in_both_branches_ok(self):
+        self.check(
+            "int main() { if (1) { return 1; } else { return 2; } }"
+        )
+
+    def test_void_function_returning_value(self):
+        with pytest.raises(SemanticError):
+            self.check("void f() { return 1; } int main() { f(); return 0; }")
+
+    def test_array_indexed_without_subscript(self):
+        with pytest.raises(SemanticError):
+            self.check("int a[4]; int main() { a = 3; return 0; }")
+
+    def test_scalar_indexed(self):
+        with pytest.raises(SemanticError):
+            self.check("int g = 1; int main() { return g[0]; }")
+
+    def test_float_array_index_rejected(self):
+        with pytest.raises(SemanticError):
+            self.check("int a[4]; int main() { return a[1.5]; }")
+
+    def test_redeclaration_in_scope(self):
+        with pytest.raises(SemanticError):
+            self.check("int main() { int x = 1; int x = 2; return x; }")
+
+    def test_shadowing_in_inner_scope_ok(self):
+        self.check(
+            "int main() { int x = 1; if (x) { int y = 2; x = y; } return x; }"
+        )
+
+    def test_types_annotated(self):
+        prog = self.check("float g = 1.0; int main() { return (int)(g * 2.0); }")
+        ret = prog.functions[0].body[0]
+        assert ret.value.type is Type.INT
+        assert ret.value.operand.type is Type.FLOAT
+
+
+class TestLoweringSmoke:
+    def test_compile_source_verifies(self):
+        module = compile_source(
+            """
+            int N = 4;
+            int a[4];
+            int main() {
+                int i;
+                for (i = 0; i < N; i = i + 1) { a[i] = i; }
+                return a[2];
+            }
+            """
+        )
+        assert "main" in module.functions
+        assert module.globals["a"].count == 4

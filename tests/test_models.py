@@ -1,0 +1,328 @@
+"""Tests for the regression model families."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import (
+    LinearModel,
+    MarsModel,
+    RbfModel,
+    RegressionTree,
+    bic,
+    gcv,
+    mean_absolute_percentage_error,
+    r_squared,
+    rmse,
+    sse,
+)
+from repro.models.rbf import KERNELS
+
+
+def make_linear_data(rng, n=120, k=6, noise=0.1):
+    x = rng.uniform(-1, 1, (n, k))
+    y = 50 + 10 * x[:, 0] - 6 * x[:, 1] + 4 * x[:, 0] * x[:, 1] + rng.normal(
+        0, noise, n
+    )
+    return x, y
+
+
+def make_nonlinear_data(rng, n=200, k=6):
+    x = rng.uniform(-1, 1, (n, k))
+    y = (
+        100
+        + 20 * np.maximum(0, x[:, 0] - 0.2)
+        + 10 * np.abs(x[:, 1])
+        + 5 * x[:, 2] * x[:, 3]
+    )
+    return x, y
+
+
+class TestMetrics:
+    def test_sse_zero_for_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert sse(y, y) == 0.0
+
+    def test_rmse(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_mape_percent_units(self):
+        y = np.array([100.0, 200.0])
+        pred = np.array([110.0, 180.0])
+        assert mean_absolute_percentage_error(y, pred) == pytest.approx(10.0)
+
+    def test_mape_zero_response_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_percentage_error(np.array([0.0]), np.array([1.0]))
+
+    def test_r_squared_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == 1.0
+
+    def test_bic_penalizes_complexity(self):
+        assert bic(100.0, 50, 10) < bic(100.0, 50, 20)
+
+    def test_bic_infinite_at_saturation(self):
+        assert bic(1.0, 10, 10) == np.inf
+
+    def test_gcv_penalizes_complexity(self):
+        assert gcv(100.0, 50, 5) < gcv(100.0, 50, 25)
+
+
+class TestBaseValidation:
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearModel().predict(np.zeros((1, 3)))
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            LinearModel().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_wrong_feature_count_at_predict(self):
+        rng = np.random.default_rng(0)
+        x, y = make_linear_data(rng)
+        model = LinearModel().fit(x, y)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((2, x.shape[1] + 1)))
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            LinearModel().fit(np.zeros((0, 3)), np.zeros(0))
+
+
+class TestLinearModel:
+    def test_recovers_coefficients(self):
+        rng = np.random.default_rng(1)
+        x, y = make_linear_data(rng, noise=0.0)
+        model = LinearModel(variable_names=[f"v{i}" for i in range(6)])
+        model.fit(x, y)
+        coefs = model.coefficients()
+        assert coefs["v0"] == pytest.approx(10.0, abs=1e-6)
+        assert coefs["v1"] == pytest.approx(-6.0, abs=1e-6)
+        assert coefs["v0 * v1"] == pytest.approx(4.0, abs=1e-6)
+
+    def test_bic_selection_is_sparse(self):
+        rng = np.random.default_rng(2)
+        x, y = make_linear_data(rng, n=80)
+        full = LinearModel().fit(x, y)
+        sparse = LinearModel(selection="bic").fit(x, y)
+        assert sparse.n_params < full.n_params
+
+    def test_bic_selection_accuracy(self):
+        rng = np.random.default_rng(3)
+        x, y = make_linear_data(rng)
+        x_test, y_test = make_linear_data(rng, n=60, noise=0.0)
+        model = LinearModel(selection="bic").fit(x, y)
+        err = mean_absolute_percentage_error(y_test, model.predict(x_test))
+        assert err < 1.0
+
+    def test_significant_terms_ranked(self):
+        rng = np.random.default_rng(4)
+        x, y = make_linear_data(rng, noise=0.0)
+        model = LinearModel(variable_names=[f"v{i}" for i in range(6)])
+        model.fit(x, y)
+        assert model.significant_terms(2) == ["v0", "v1"]
+
+    def test_unknown_selection_rejected(self):
+        with pytest.raises(ValueError):
+            LinearModel(selection="stepwise")
+
+    def test_underdetermined_ridge_fallback(self):
+        """More terms than samples must not crash (ridge fallback)."""
+        rng = np.random.default_rng(5)
+        x = rng.uniform(-1, 1, (10, 8))
+        y = rng.uniform(0, 1, 10)
+        model = LinearModel(interactions=True).fit(x, y)
+        assert np.all(np.isfinite(model.predict(x)))
+
+
+class TestRegressionTree:
+    def test_step_function_recovery(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, (300, 3))
+        y = np.where(x[:, 0] > 0.25, 10.0, -5.0)
+        tree = RegressionTree(max_leaves=4).fit(x, y)
+        pred = tree.predict(x)
+        assert np.mean(np.abs(pred - y)) < 0.5
+
+    def test_max_leaves_respected(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, (200, 3))
+        y = rng.normal(0, 1, 200)
+        tree = RegressionTree(max_leaves=8).fit(x, y)
+        assert tree.n_leaves <= 8
+
+    def test_min_samples_leaf(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-1, 1, (60, 2))
+        y = rng.normal(0, 1, 60)
+        tree = RegressionTree(max_leaves=64, min_samples_leaf=10).fit(x, y)
+        for indices, _lo, _hi in tree.leaf_regions():
+            assert len(indices) >= 10
+
+    def test_leaf_regions_partition_data(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, (100, 3))
+        y = x[:, 0] * 5 + x[:, 1]
+        tree = RegressionTree(max_leaves=10).fit(x, y)
+        all_indices = np.concatenate(
+            [idx for idx, _lo, _hi in tree.leaf_regions()]
+        )
+        assert sorted(all_indices.tolist()) == list(range(100))
+
+    def test_leaf_regions_contain_their_points(self):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(-1, 1, (120, 3))
+        y = np.sin(3 * x[:, 0]) + x[:, 1]
+        tree = RegressionTree(max_leaves=12).fit(x, y)
+        for indices, lo, hi in tree.leaf_regions():
+            pts = x[indices]
+            assert np.all(pts >= lo - 1e-9) and np.all(pts <= hi + 1e-9)
+
+    def test_prediction_is_leaf_mean(self):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(-1, 1, (80, 2))
+        y = x[:, 0] * 3
+        tree = RegressionTree(max_leaves=6).fit(x, y)
+        for indices, lo, hi in tree.leaf_regions():
+            center = (lo + hi) / 2
+            assert tree.predict(center[None, :])[0] == pytest.approx(
+                y[indices].mean()
+            )
+
+    def test_constant_response_single_leaf(self):
+        x = np.linspace(-1, 1, 50)[:, None]
+        y = np.full(50, 7.0)
+        tree = RegressionTree(max_leaves=16).fit(x, y)
+        assert tree.n_leaves == 1
+
+    def test_invalid_max_leaves(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_leaves=0)
+
+
+class TestMars:
+    def test_hinge_recovery(self):
+        rng = np.random.default_rng(0)
+        x, y = make_nonlinear_data(rng)
+        model = MarsModel().fit(x, y)
+        x_test, y_test = make_nonlinear_data(rng, n=100)
+        err = mean_absolute_percentage_error(y_test, model.predict(x_test))
+        assert err < 2.0
+
+    def test_outperforms_linear_on_nonlinear(self):
+        rng = np.random.default_rng(1)
+        x, y = make_nonlinear_data(rng)
+        x_test, y_test = make_nonlinear_data(rng, n=100)
+        mars_err = mean_absolute_percentage_error(
+            y_test, MarsModel().fit(x, y).predict(x_test)
+        )
+        lin_err = mean_absolute_percentage_error(
+            y_test, LinearModel().fit(x, y).predict(x_test)
+        )
+        assert mars_err < lin_err
+
+    def test_max_degree_limits_interactions(self):
+        rng = np.random.default_rng(2)
+        x, y = make_nonlinear_data(rng)
+        model = MarsModel(max_degree=1).fit(x, y)
+        assert all(b.degree <= 1 for b in model.basis)
+
+    def test_effect_coefficients_match_linear_truth(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, (250, 4))
+        y = 100 + 8 * x[:, 0] - 3 * x[:, 1] + 6 * x[:, 2] * x[:, 3]
+        model = MarsModel(variable_names=["a", "b", "c", "d"]).fit(x, y)
+        eff = model.named_effects()
+        assert eff.get("a", 0) == pytest.approx(8.0, abs=1.0)
+        assert eff.get("b", 0) == pytest.approx(-3.0, abs=1.0)
+        assert eff.get("c * d", 0) == pytest.approx(6.0, abs=1.5)
+
+    def test_describe_mentions_variables(self):
+        rng = np.random.default_rng(4)
+        x, y = make_nonlinear_data(rng, n=120)
+        model = MarsModel(variable_names=[f"v{i}" for i in range(6)])
+        model.fit(x, y)
+        assert "v0" in model.describe()
+
+    def test_backward_prunes_forward_basis(self):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(-1, 1, (150, 6))
+        y = 10 + 5 * x[:, 0] + rng.normal(0, 0.2, 150)
+        model = MarsModel(max_terms=31).fit(x, y)
+        assert model.n_terms <= len(model._forward_basis)
+
+    def test_constant_response(self):
+        x = np.linspace(-1, 1, 40)[:, None]
+        y = np.full(40, 3.0)
+        model = MarsModel().fit(x, y)
+        assert model.predict(x) == pytest.approx(y)
+
+
+class TestRbf:
+    def test_accuracy_on_nonlinear(self):
+        rng = np.random.default_rng(0)
+        x, y = make_nonlinear_data(rng, n=300)
+        x_test, y_test = make_nonlinear_data(rng, n=100)
+        model = RbfModel().fit(x, y)
+        err = mean_absolute_percentage_error(y_test, model.predict(x_test))
+        assert err < 4.0
+
+    def test_all_kernels_fit(self):
+        rng = np.random.default_rng(1)
+        x, y = make_nonlinear_data(rng, n=150)
+        for kernel in KERNELS:
+            model = RbfModel(kernel=kernel).fit(x, y)
+            assert np.all(np.isfinite(model.predict(x)))
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            RbfModel(kernel="sigmoid")
+
+    def test_tree_centers_fewer_than_data(self):
+        rng = np.random.default_rng(2)
+        x, y = make_nonlinear_data(rng, n=200)
+        model = RbfModel().fit(x, y)
+        assert model.n_neurons < 200
+
+    def test_data_centers_overfit_vs_tree(self):
+        """Section 4.4: all-points networks generalize worse on small data."""
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, (40, 8))
+        y = 100 + 10 * x[:, 0] + 5 * x[:, 1] + rng.normal(0, 1.0, 40)
+        x_test = rng.uniform(-1, 1, (100, 8))
+        y_test = 100 + 10 * x_test[:, 0] + 5 * x_test[:, 1]
+        tree_err = mean_absolute_percentage_error(
+            y_test, RbfModel(center_mode="tree").fit(x, y).predict(x_test)
+        )
+        data_err = mean_absolute_percentage_error(
+            y_test, RbfModel(center_mode="data").fit(x, y).predict(x_test)
+        )
+        assert tree_err < data_err
+
+    def test_bic_selects_a_size(self):
+        rng = np.random.default_rng(4)
+        x, y = make_nonlinear_data(rng, n=150)
+        model = RbfModel().fit(x, y)
+        assert model.selected_size is not None
+        assert model.bic_score is not None
+
+    def test_tiny_training_set_rejected_gracefully(self):
+        x = np.zeros((3, 2))
+        y = np.zeros(3)
+        with pytest.raises(ValueError):
+            RbfModel(candidate_sizes=[8]).fit(x, y)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_models_are_deterministic(seed):
+    """Same data -> same predictions (no hidden randomness)."""
+    rng = np.random.default_rng(seed)
+    x, y = make_nonlinear_data(rng, n=60)
+    p1 = RbfModel().fit(x, y).predict(x[:5])
+    p2 = RbfModel().fit(x, y).predict(x[:5])
+    assert np.array_equal(p1, p2)

@@ -1,0 +1,183 @@
+"""Edge-case tests for optimization passes and cleanups."""
+
+import pytest
+
+from repro.ir import BinOp, Branch, Const, Copy, Jump, Return, Temp, Type
+from repro.ir.interp import interpret
+from repro.minic import compile_source
+from repro.opt import (
+    CompilerConfig,
+    cleanup_module,
+    inline_functions,
+    optimize_module,
+    unroll_loops,
+)
+from tests.util import run_program
+
+
+class TestInlineEdgeCases:
+    def test_mutual_recursion_not_inlined(self):
+        src = """
+        int is_even(int n) {
+            if (n == 0) { return 1; }
+            return is_odd(n - 1);
+        }
+        int is_odd(int n) {
+            if (n == 0) { return 0; }
+            return is_even(n - 1);
+        }
+        int main() { return is_even(10) * 10 + is_odd(7); }
+        """
+        module = compile_source(src)
+        cleanup_module(module)
+        config = CompilerConfig(inline_functions=True)
+        assert inline_functions(module, config) == 0
+        assert run_program(src, config) == 11
+
+    def test_call_in_condition(self):
+        src = """
+        int pred(int x) { return x > 3; }
+        int main() {
+            int i;
+            int n = 0;
+            for (i = 0; i < 10; i = i + 1) {
+                if (pred(i) == 1) { n = n + 1; }
+            }
+            return n;
+        }
+        """
+        config = CompilerConfig(inline_functions=True)
+        assert run_program(src, config) == run_program(src) == 6
+
+    def test_chained_inlining(self):
+        """a calls b calls c: both layers inline within budget."""
+        src = """
+        int c(int x) { return x + 1; }
+        int b(int x) { return c(x) * 2; }
+        int a(int x) { return b(x) + 3; }
+        int main() { return a(5); }
+        """
+        module = compile_source(src)
+        cleanup_module(module)
+        config = CompilerConfig(
+            inline_functions=True, inline_unit_growth=75
+        )
+        inlined = inline_functions(module, config)
+        assert inlined >= 2
+        assert run_program(src, config) == 15
+
+    def test_two_calls_same_block(self):
+        src = """
+        int f(int x) { return x * x; }
+        int main() { return f(3) + f(4); }
+        """
+        config = CompilerConfig(inline_functions=True)
+        assert run_program(src, config) == 25
+
+
+class TestUnrollEdgeCases:
+    def test_step_two_loop(self):
+        src = """
+        int a[64];
+        int main() {
+            int i;
+            int s = 0;
+            for (i = 0; i < 63; i = i + 2) { a[i] = i; }
+            for (i = 0; i < 64; i = i + 1) { s = s + a[i]; }
+            return s;
+        }
+        """
+        config = CompilerConfig(unroll_loops=True, max_unroll_times=4)
+        assert run_program(src, config) == run_program(src)
+
+    def test_le_comparison_loop(self):
+        src = """
+        int main() {
+            int i;
+            int s = 0;
+            for (i = 1; i <= 17; i = i + 1) { s = s + i; }
+            return s;
+        }
+        """
+        config = CompilerConfig(unroll_loops=True, max_unroll_times=5)
+        assert run_program(src, config) == 153
+
+    def test_reversed_operands_comparison(self):
+        # Continue while bound > iv -- iv on the right.
+        src = """
+        int bound = 23;
+        int main() {
+            int i = 0;
+            int s = 0;
+            while (bound > i) {
+                s = s + i;
+                i = i + 1;
+            }
+            return s;
+        }
+        """
+        config = CompilerConfig(
+            unroll_loops=True, loop_optimize=True, max_unroll_times=4
+        )
+        assert run_program(src, config) == 253
+
+    def test_nested_only_inner_unrolled(self):
+        src = """
+        int main() {
+            int i; int j; int s = 0;
+            for (i = 0; i < 6; i = i + 1) {
+                for (j = 0; j < 11; j = j + 1) {
+                    s = s + i * j;
+                }
+            }
+            return s;
+        }
+        """
+        module = compile_source(src)
+        cleanup_module(module)
+        config = CompilerConfig(unroll_loops=True, max_unroll_times=4)
+        unrolled = unroll_loops(module, config)
+        assert unrolled >= 1
+        assert interpret(module).return_value == sum(
+            i * j for i in range(6) for j in range(11)
+        )
+
+    def test_zero_step_loop_not_unrolled(self):
+        # An IV updated by zero makes no progress; the direction check
+        # must reject it (the loop itself never runs: 5 < 5 is false).
+        src = """
+        int main() {
+            int i = 5;
+            int s = 0;
+            while (i < 5) { s = s + 1; i = i + 0; }
+            return s;
+        }
+        """
+        config = CompilerConfig(unroll_loops=True)
+        assert run_program(src, config) == 0
+
+
+class TestPipelineIdempotence:
+    def test_optimize_twice_same_result(self):
+        import copy
+
+        src = """
+        int N = 20;
+        int a[32];
+        int main() {
+            int i;
+            int s = 0;
+            for (i = 0; i < N; i = i + 1) { a[i] = i * 4; }
+            for (i = 0; i < N; i = i + 1) { s = s + a[i]; }
+            return s;
+        }
+        """
+        config = CompilerConfig(
+            loop_optimize=True, gcse=True, strength_reduce=True
+        )
+        module = compile_source(src)
+        once = copy.deepcopy(module)
+        optimize_module(once, config)
+        twice = copy.deepcopy(once)
+        optimize_module(twice, config)
+        assert interpret(once).return_value == interpret(twice).return_value

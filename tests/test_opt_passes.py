@@ -1,0 +1,509 @@
+"""Tests for the flag-controlled optimization passes.
+
+Every pass test checks two things: the transformation *happened* (the IR
+has the expected new shape) and the transformation is *correct* (the
+compiled program still computes the same checksum).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.ir import (
+    BinOp,
+    Call,
+    Const,
+    Copy,
+    Load,
+    Prefetch,
+    Type,
+    verify_module,
+)
+from repro.ir.loops import natural_loops
+from repro.minic import compile_source
+from repro.opt import (
+    CompilerConfig,
+    cleanup_module,
+    global_cse,
+    inline_functions,
+    loop_optimize,
+    prefetch_loop_arrays,
+    reorder_blocks,
+    strength_reduce,
+    unroll_loops,
+)
+from tests.util import ALL_PROGRAMS, run_program
+
+
+def count_instrs(module, predicate):
+    total = 0
+    for func in module.functions.values():
+        for block in func.blocks:
+            for instr in block.instrs:
+                if predicate(instr):
+                    total += 1
+    return total
+
+
+class TestInline:
+    SRC = """
+    int small(int x) { return x * 2 + 1; }
+    int main() {
+        int i;
+        int s = 0;
+        for (i = 0; i < 20; i = i + 1) {
+            s = s + small(i);
+        }
+        return s;
+    }
+    """
+
+    def test_call_disappears(self):
+        module = compile_source(self.SRC)
+        cleanup_module(module)
+        config = CompilerConfig(inline_functions=True)
+        inlined = inline_functions(module, config)
+        assert inlined == 1
+        assert count_instrs(module, lambda i: isinstance(i, Call)) == 0
+        verify_module(module)
+
+    def test_semantics_preserved(self):
+        expected = run_program(self.SRC, CompilerConfig())
+        got = run_program(self.SRC, CompilerConfig(inline_functions=True))
+        assert got == expected
+
+    def test_size_threshold_respected(self):
+        module = compile_source(self.SRC)
+        cleanup_module(module)
+        # Callee has ~6 instructions; force it over the threshold and
+        # make the always-beneficial rule tight too.
+        config = CompilerConfig(
+            inline_functions=True,
+            max_inline_insns_auto=1,
+            inline_call_cost=0,
+        )
+        assert inline_functions(module, config) == 0
+
+    def test_recursive_not_inlined(self):
+        src = """
+        int fact(int n) {
+            if (n <= 1) { return 1; }
+            return n * fact(n - 1);
+        }
+        int main() { return fact(6); }
+        """
+        module = compile_source(src)
+        config = CompilerConfig(inline_functions=True)
+        assert inline_functions(module, config) == 0
+        assert run_program(src, config) == 720
+
+    def test_unit_growth_cap(self):
+        src = """
+        int f(int x) { return x * 3 + x / 2 + x % 7 + (x << 1) + (x >> 2); }
+        int main() {
+            int s = 0;
+            s = s + f(1); s = s + f(2); s = s + f(3); s = s + f(4);
+            s = s + f(5); s = s + f(6); s = s + f(7); s = s + f(8);
+            return s;
+        }
+        """
+        module = compile_source(src)
+        cleanup_module(module)
+        before = module.instruction_count()
+        config = CompilerConfig(inline_functions=True, inline_unit_growth=25)
+        inline_functions(module, config)
+        after = module.instruction_count()
+        assert after <= before * 1.25 + 2
+
+    def test_void_callee(self):
+        src = """
+        int g = 0;
+        void bump(int x) { g = g + x; }
+        int main() {
+            int i;
+            for (i = 0; i < 5; i = i + 1) { bump(i); }
+            return g;
+        }
+        """
+        config = CompilerConfig(inline_functions=True)
+        assert run_program(src, config) == 10
+
+    def test_more_inlining_with_higher_thresholds(self):
+        src = """
+        int big(int x) {
+            int a = x * 3;
+            int b = a + x / 2;
+            int c = b * b - a;
+            int d = c % 100 + (x << 2);
+            int e = d + a * b - c / 3;
+            return a + b + c + d + e;
+        }
+        int main() { return big(5) + big(6); }
+        """
+        low = compile_source(src)
+        cleanup_module(low)
+        high = compile_source(src)
+        cleanup_module(high)
+        n_low = inline_functions(
+            low, CompilerConfig(inline_functions=True,
+                                max_inline_insns_auto=5, inline_call_cost=1)
+        )
+        n_high = inline_functions(
+            high, CompilerConfig(inline_functions=True,
+                                 max_inline_insns_auto=150)
+        )
+        assert n_high >= n_low
+
+
+class TestLicm:
+    SRC = """
+    int N = 30;
+    int bound = 7;
+    int a[32];
+    int main() {
+        int i;
+        int s = 0;
+        for (i = 0; i < N; i = i + 1) {
+            a[i] = bound * 3 + i;
+        }
+        for (i = 0; i < N; i = i + 1) {
+            s = s + a[i];
+        }
+        return s;
+    }
+    """
+
+    def test_invariant_load_hoisted(self):
+        module = compile_source(self.SRC)
+        cleanup_module(module)
+        main = module.function("main")
+        loops_before = natural_loops(main)
+        in_loop_loads_before = sum(
+            1
+            for loop in loops_before
+            for label in loop.body
+            for i in main.block(label).instrs
+            if isinstance(i, Load)
+        )
+        hoisted = loop_optimize(module)
+        assert hoisted > 0
+        loops_after = natural_loops(main)
+        in_loop_loads_after = sum(
+            1
+            for loop in loops_after
+            for label in loop.body
+            for i in main.block(label).instrs
+            if isinstance(i, Load)
+        )
+        # The loads of N and bound leave the loops; a[i] stays.
+        assert in_loop_loads_after < in_loop_loads_before
+        verify_module(module)
+
+    def test_store_aliased_load_not_hoisted(self):
+        src = """
+        int g = 1;
+        int main() {
+            int i;
+            int s = 0;
+            for (i = 0; i < 10; i = i + 1) {
+                s = s + g;
+                g = g + 1;
+            }
+            return s;
+        }
+        """
+        module = compile_source(src)
+        cleanup_module(module)
+        main = module.function("main")
+        loop_optimize(module)
+        # g is stored in the loop: its load must remain inside.
+        loop = natural_loops(main)[0]
+        loads_in_loop = [
+            i
+            for label in loop.body
+            for i in main.block(label).instrs
+            if isinstance(i, Load)
+        ]
+        assert loads_in_loop
+        assert run_program(src, CompilerConfig(loop_optimize=True)) == \
+            run_program(src, CompilerConfig())
+
+    def test_semantics(self):
+        cfg = CompilerConfig(loop_optimize=True)
+        assert run_program(self.SRC, cfg) == run_program(self.SRC)
+
+
+class TestGcse:
+    def test_redundant_expression_removed(self):
+        src = """
+        int a = 6;
+        int b = 7;
+        int main() {
+            int x = a * b + 1;
+            int y = a * b + 1;
+            return x + y;
+        }
+        """
+        module = compile_source(src)
+        cleanup_module(module)
+        before = count_instrs(
+            module, lambda i: isinstance(i, BinOp) and i.op == "mul"
+        )
+        global_cse(module)
+        cleanup_module(module)
+        after = count_instrs(
+            module, lambda i: isinstance(i, BinOp) and i.op == "mul"
+        )
+        assert after < before
+        verify_module(module)
+
+    def test_dominated_use_reuses_value(self):
+        src = """
+        int main() {
+            int a = 5;
+            int b = 9;
+            int x = a * b;
+            int y = 0;
+            if (x > 10) {
+                y = a * b;
+            } else {
+                y = 1;
+            }
+            return x + y;
+        }
+        """
+        cfg = CompilerConfig(gcse=True)
+        assert run_program(src, cfg) == run_program(src)
+
+    def test_load_cse_within_block_only(self):
+        src = """
+        int g = 3;
+        int main() {
+            int x = g + g;
+            g = 10;
+            int y = g + g;
+            return x * 100 + y;
+        }
+        """
+        cfg = CompilerConfig(gcse=True)
+        assert run_program(src, cfg) == run_program(src) == 620
+
+    def test_all_programs_semantics(self):
+        cfg = CompilerConfig(gcse=True)
+        for name, src in ALL_PROGRAMS.items():
+            assert run_program(src, cfg) == run_program(src), name
+
+
+class TestStrengthReduce:
+    SRC = """
+    int N = 25;
+    int a[32];
+    int main() {
+        int i;
+        int s = 0;
+        for (i = 0; i < N; i = i + 1) {
+            a[i] = i * 12;
+        }
+        for (i = 0; i < N; i = i + 1) {
+            s = s + a[i];
+        }
+        return s;
+    }
+    """
+
+    def test_iv_multiplies_rewritten(self):
+        module = compile_source(self.SRC)
+        cleanup_module(module)
+        before = count_instrs(
+            module, lambda i: isinstance(i, BinOp) and i.op == "mul"
+        )
+        rewritten = strength_reduce(module)
+        assert rewritten > 0
+        # The rewritten multiplies moved to preheaders; loop bodies now
+        # use adds.  Count multiplies inside loops.
+        main = module.function("main")
+        in_loop_muls = sum(
+            1
+            for loop in natural_loops(main)
+            for label in loop.body
+            for i in main.block(label).instrs
+            if isinstance(i, BinOp) and i.op == "mul"
+        )
+        assert in_loop_muls == 0
+        verify_module(module)
+
+    def test_semantics(self):
+        cfg = CompilerConfig(strength_reduce=True)
+        assert run_program(self.SRC, cfg) == run_program(self.SRC)
+
+    def test_downward_counting_loop(self):
+        src = """
+        int a[32];
+        int main() {
+            int i;
+            int s = 0;
+            for (i = 20; i > 0; i = i - 1) {
+                a[i] = i * 8;
+            }
+            for (i = 0; i < 32; i = i + 1) { s = s + a[i]; }
+            return s;
+        }
+        """
+        cfg = CompilerConfig(strength_reduce=True)
+        assert run_program(src, cfg) == run_program(src)
+
+
+class TestUnroll:
+    SRC = """
+    int N = 37;
+    int a[64];
+    int main() {
+        int i;
+        int s = 0;
+        for (i = 0; i < N; i = i + 1) {
+            a[i] = i * 2 + 1;
+        }
+        for (i = 0; i < N; i = i + 1) {
+            s = s + a[i];
+        }
+        return s;
+    }
+    """
+
+    def test_loops_unrolled(self):
+        module = compile_source(self.SRC)
+        cleanup_module(module)
+        config = CompilerConfig(unroll_loops=True, max_unroll_times=4)
+        unrolled = unroll_loops(module, config)
+        assert unrolled >= 1
+        verify_module(module)
+
+    @pytest.mark.parametrize("n", [0, 1, 3, 4, 5, 37, 64])
+    def test_remainder_loop_any_trip_count(self, n):
+        src = self.SRC.replace("int N = 37;", f"int N = {n};")
+        cfg = CompilerConfig(unroll_loops=True, max_unroll_times=4)
+        assert run_program(src, cfg) == run_program(src)
+
+    def test_unroll_factor_capped_by_insns(self):
+        module = compile_source(self.SRC)
+        cleanup_module(module)
+        tight = CompilerConfig(
+            unroll_loops=True, max_unroll_times=12, max_unrolled_insns=1
+        )
+        assert unroll_loops(module, tight) == 0
+
+    def test_loop_with_call_not_miscompiled(self):
+        src = """
+        int f(int x) { return x + 1; }
+        int main() {
+            int i;
+            int s = 0;
+            for (i = 0; i < 13; i = i + 1) { s = s + f(i); }
+            return s;
+        }
+        """
+        cfg = CompilerConfig(unroll_loops=True)
+        assert run_program(src, cfg) == run_program(src)
+
+    def test_bound_modified_in_loop_not_unrolled(self):
+        src = """
+        int n = 16;
+        int main() {
+            int i;
+            int s = 0;
+            for (i = 0; i < n; i = i + 1) {
+                s = s + 1;
+                if (s == 5) { n = 10; }
+            }
+            return s;
+        }
+        """
+        module = compile_source(src)
+        cleanup_module(module)
+        config = CompilerConfig(unroll_loops=True)
+        assert unroll_loops(module, config) == 0
+        assert run_program(src, config) == run_program(src)
+
+    def test_all_programs_semantics(self):
+        cfg = CompilerConfig(unroll_loops=True, max_unroll_times=6)
+        for name, src in ALL_PROGRAMS.items():
+            assert run_program(src, cfg) == run_program(src), name
+
+
+class TestReorderBlocks:
+    def test_layout_changes_but_semantics_hold(self):
+        cfg = CompilerConfig(reorder_blocks=True)
+        for name, src in ALL_PROGRAMS.items():
+            assert run_program(src, cfg) == run_program(src), name
+
+    def test_loop_body_contiguous(self):
+        src = """
+        int main() {
+            int i;
+            int s = 0;
+            for (i = 0; i < 10; i = i + 1) { s = s + i; }
+            return s;
+        }
+        """
+        module = compile_source(src)
+        cleanup_module(module)
+        reorder_blocks(module)
+        main = module.function("main")
+        loop = natural_loops(main)[0]
+        positions = [
+            i for i, b in enumerate(main.blocks) if b.label in loop.body
+        ]
+        assert positions == list(range(min(positions), max(positions) + 1))
+
+
+class TestPrefetch:
+    SRC = """
+    int N = 400;
+    int big[512];
+    int main() {
+        int i;
+        int s = 0;
+        for (i = 0; i < N; i = i + 1) {
+            s = s + big[i];
+        }
+        return s;
+    }
+    """
+
+    def test_prefetch_inserted_for_large_array(self):
+        module = compile_source(self.SRC)
+        cleanup_module(module)
+        inserted = prefetch_loop_arrays(module)
+        assert inserted == 1
+        assert count_instrs(module, lambda i: isinstance(i, Prefetch)) == 1
+        verify_module(module)
+
+    def test_small_array_not_prefetched(self):
+        src = self.SRC.replace("int big[512];", "int big[64];").replace(
+            "int N = 400;", "int N = 60;"
+        )
+        module = compile_source(src)
+        cleanup_module(module)
+        assert prefetch_loop_arrays(module) == 0
+
+    def test_one_prefetch_per_stream(self):
+        src = """
+        int N = 300;
+        int xs[512];
+        int main() {
+            int i;
+            int s = 0;
+            for (i = 0; i < N; i = i + 1) {
+                s = s + xs[i] + xs[i] * 2;
+            }
+            return s;
+        }
+        """
+        module = compile_source(src)
+        cleanup_module(module)
+        # Same (array, iv, scale) stream accessed twice -> one prefetch.
+        assert prefetch_loop_arrays(module) == 1
+
+    def test_semantics(self):
+        cfg = CompilerConfig(prefetch_loop_arrays=True)
+        assert run_program(self.SRC, cfg) == run_program(self.SRC)

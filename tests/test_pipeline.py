@@ -1,0 +1,160 @@
+"""Tests for the Figure-1 iterative model-building pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.models import RbfModel, LinearModel
+from repro.pipeline import (
+    build_model,
+    evaluate_model,
+    learning_curve,
+    measure_points,
+)
+from repro.space import ParameterSpace, Variable, VariableKind
+
+
+def toy_space():
+    return ParameterSpace(
+        [
+            Variable("a", VariableKind.BINARY, 0, 1, 2),
+            Variable("n", VariableKind.DISCRETE, 0, 20, 21),
+            Variable("c", VariableKind.LOG2, 1, 64, 7),
+        ]
+    )
+
+
+def toy_oracle(space):
+    def oracle(point):
+        coded = space.encode(point)
+        return float(
+            1000 + 200 * coded[0] - 150 * coded[1] + 80 * coded[0] * coded[2]
+        )
+
+    return oracle
+
+
+class TestMeasurePoints:
+    def test_shapes_and_values(self):
+        space = toy_space()
+        oracle = toy_oracle(space)
+        rng = np.random.default_rng(0)
+        coded = space.encode_matrix(space.random_points(7, rng))
+        y = measure_points(oracle, space, coded)
+        assert y.shape == (7,)
+        assert np.all(np.isfinite(y))
+
+
+class TestBuildModel:
+    def test_converges_on_smooth_response(self):
+        space = toy_space()
+        result = build_model(
+            toy_oracle(space),
+            space,
+            lambda: RbfModel(),
+            np.random.default_rng(1),
+            initial_size=25,
+            batch_size=15,
+            max_samples=70,
+            target_error=2.0,
+            n_candidates=200,
+            test_size=30,
+        )
+        assert result.test_error < 8.0
+        assert result.error_history[0][0] == 25
+
+    def test_stops_at_target(self):
+        space = toy_space()
+        result = build_model(
+            toy_oracle(space),
+            space,
+            lambda: LinearModel(),
+            np.random.default_rng(2),
+            initial_size=30,
+            batch_size=10,
+            max_samples=100,
+            target_error=50.0,  # trivially met
+            n_candidates=200,
+            test_size=20,
+        )
+        assert len(result.error_history) == 1
+
+    def test_respects_max_samples(self):
+        space = toy_space()
+
+        def noisy_oracle(point):
+            # Unlearnably noisy response forces the loop to its cap.
+            h = hash(tuple(sorted(point.items()))) % 1000
+            return 1000.0 + h
+
+        result = build_model(
+            noisy_oracle,
+            space,
+            lambda: LinearModel(),
+            np.random.default_rng(3),
+            initial_size=20,
+            batch_size=10,
+            max_samples=50,
+            target_error=0.001,
+            n_candidates=150,
+            test_size=10,
+        )
+        assert result.n_samples <= 50
+
+    def test_external_test_set(self):
+        space = toy_space()
+        oracle = toy_oracle(space)
+        rng = np.random.default_rng(4)
+        x_test = space.encode_matrix(space.random_points(15, rng))
+        y_test = measure_points(oracle, space, x_test)
+        result = build_model(
+            oracle,
+            space,
+            lambda: RbfModel(),
+            rng,
+            initial_size=30,
+            max_samples=30,
+            n_candidates=150,
+            test_set=(x_test, y_test),
+        )
+        assert np.array_equal(result.x_test, x_test)
+
+
+class TestLearningCurve:
+    def test_points_ordered_and_sane(self):
+        space = toy_space()
+        oracle = toy_oracle(space)
+        rng = np.random.default_rng(5)
+        x = space.encode_matrix(space.random_points(80, rng))
+        y = measure_points(oracle, space, x)
+        x_test = space.encode_matrix(space.random_points(30, rng))
+        y_test = measure_points(oracle, space, x_test)
+        curve = learning_curve(
+            x, y, x_test, y_test, lambda: RbfModel(), [20, 40, 80]
+        )
+        assert [p.n_samples for p in curve] == [20, 40, 80]
+        # Largest training set should be at least as good as the smallest.
+        assert curve[-1].mean_error <= curve[0].mean_error + 1.0
+
+    def test_sizes_beyond_data_skipped(self):
+        space = toy_space()
+        oracle = toy_oracle(space)
+        rng = np.random.default_rng(6)
+        x = space.encode_matrix(space.random_points(30, rng))
+        y = measure_points(oracle, space, x)
+        curve = learning_curve(
+            x, y, x[:10], y[:10], lambda: LinearModel(), [20, 500]
+        )
+        assert [p.n_samples for p in curve] == [20]
+
+
+class TestEvaluateModel:
+    def test_mean_and_std(self):
+        space = toy_space()
+        oracle = toy_oracle(space)
+        rng = np.random.default_rng(7)
+        x = space.encode_matrix(space.random_points(50, rng))
+        y = measure_points(oracle, space, x)
+        model = LinearModel().fit(x, y)
+        mean, std = evaluate_model(model, x, y)
+        assert mean == pytest.approx(0.0, abs=1e-6)
+        assert std == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,142 @@
+"""Property-based tests of algorithmic internals.
+
+* The list scheduler must emit a topological order of its dependence DAG
+  for arbitrary instruction sequences.
+* The Fedorov-exchange incremental state (inverse, leverages, log-det)
+  must match direct recomputation after arbitrary add/remove sequences.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.isa import MachineInstr
+from repro.codegen.machine_desc import MachineDescription
+from repro.codegen.scheduler import _build_dag, _schedule_region
+from repro.doe.doptimal import _ExchangeState
+from repro.doe.model_matrix import ModelMatrixBuilder
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+_OPS = ["add", "mul", "ld", "st", "fadd"]
+
+
+def _random_region(rng, n):
+    instrs = []
+    for _ in range(n):
+        op = _OPS[rng.integers(len(_OPS))]
+        if op == "ld":
+            instrs.append(
+                MachineInstr(
+                    "ld",
+                    dst=int(rng.integers(8, 16)),
+                    srcs=(int(rng.integers(8, 16)),),
+                    imm=0,
+                )
+            )
+        elif op == "st":
+            instrs.append(
+                MachineInstr(
+                    "st",
+                    srcs=(int(rng.integers(8, 16)), int(rng.integers(8, 16))),
+                    imm=0,
+                )
+            )
+        elif op == "fadd":
+            instrs.append(
+                MachineInstr(
+                    "fadd",
+                    dst=int(rng.integers(40, 48)),
+                    srcs=(int(rng.integers(40, 48)), int(rng.integers(40, 48))),
+                )
+            )
+        else:
+            instrs.append(
+                MachineInstr(
+                    op,
+                    dst=int(rng.integers(8, 16)),
+                    srcs=(int(rng.integers(8, 16)), int(rng.integers(8, 16))),
+                )
+            )
+    return instrs
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000), st.integers(2, 24))
+def test_schedule_is_topological_order(seed, n):
+    rng = np.random.default_rng(seed)
+    region = _random_region(rng, n)
+    succs, _preds = _build_dag(region)
+    mdesc = MachineDescription.for_issue_width(4)
+    scheduled = _schedule_region(list(region), mdesc)
+
+    # Same multiset of instructions.
+    assert sorted(id(i) for i in scheduled) == sorted(id(i) for i in region)
+    # Dependence edges all point forward in the new order.
+    position = {id(instr): k for k, instr in enumerate(scheduled)}
+    for a, kids in enumerate(succs):
+        for b in kids:
+            assert position[id(region[a])] < position[id(region[b])]
+
+
+def test_dag_captures_raw_war_waw():
+    region = [
+        MachineInstr("add", dst=8, srcs=(9, 10)),
+        MachineInstr("add", dst=11, srcs=(8, 9)),   # RAW on r8
+        MachineInstr("add", dst=9, srcs=(12, 12)),  # WAR on r9 (read by 0,1)
+        MachineInstr("add", dst=8, srcs=(12, 12)),  # WAW on r8
+    ]
+    succs, _ = _build_dag(region)
+    assert 1 in succs[0]  # RAW
+    assert 2 in succs[0] and 2 in succs[1]  # WAR
+    assert 3 in succs[1] or 3 in succs[0]  # WAW/WAR chain keeps order
+
+
+def test_memory_ordering_edges():
+    region = [
+        MachineInstr("ld", dst=8, srcs=(9,), imm=0),
+        MachineInstr("st", srcs=(9, 8), imm=0),
+        MachineInstr("ld", dst=10, srcs=(9,), imm=8),
+    ]
+    succs, _ = _build_dag(region)
+    assert 1 in succs[0]  # load before store
+    assert 2 in succs[1]  # store before later load
+
+
+# ----------------------------------------------------------------------
+# D-optimal incremental state
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_exchange_state_matches_recomputation(seed):
+    rng = np.random.default_rng(seed)
+    k = 4
+    builder = ModelMatrixBuilder(k, interactions=True)
+    cand = rng.uniform(-1, 1, (40, k))
+    f_cand = builder.expand(cand)
+    # Keep the information matrix comfortably full-rank (rows >> terms),
+    # otherwise its inverse is ridge-dominated and numerically huge.
+    rows = list(rng.choice(40, size=30, replace=False))
+    ridge = 1e-4
+
+    state = _ExchangeState(f_cand, f_cand[rows], ridge)
+    # Random swaps.
+    for _ in range(6):
+        out_i = int(rng.integers(len(rows)))
+        in_j = int(rng.integers(40))
+        state.add(f_cand[in_j])
+        state.remove(f_cand[rows[out_i]])
+        rows[out_i] = in_j
+
+    m_direct = f_cand[rows].T @ f_cand[rows] + ridge * np.eye(builder.n_terms)
+    sign, logdet = np.linalg.slogdet(m_direct)
+    assert sign > 0
+    assert state.log_det == pytest.approx(logdet, rel=1e-6)
+    inv_direct = np.linalg.inv(m_direct)
+    scale = max(1.0, float(np.abs(inv_direct).max()))
+    assert np.allclose(state.m_inv, inv_direct, atol=1e-6 * scale)
+    d_direct = np.einsum("ij,jk,ik->i", f_cand, inv_direct, f_cand)
+    assert np.allclose(state.d, d_direct, atol=1e-5 * max(1.0, d_direct.max()))

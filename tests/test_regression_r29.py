@@ -1,0 +1,91 @@
+"""Regression test: r29 must be caller-visible-safe under -fomit-frame-pointer.
+
+With the frame pointer omitted, r29 joins the callee-saved pool.  A
+callee that allocates it must save and restore it; a historical bug
+omitted it from the save list, so a register-hungry callee silently
+clobbered the caller's r29 (observed as an infinite frame loop in the
+mesa workload).
+"""
+
+from repro.codegen import compile_module
+from repro.codegen.frame import lower_frame
+from repro.codegen.isa import FP_REG
+from repro.codegen.isel import select_function
+from repro.codegen.regalloc import allocate_registers
+from repro.minic import compile_source
+from repro.opt import CompilerConfig, cleanup_module
+from repro.sim.func import execute
+
+# The callee needs > 11 call-crossing-free callee-saved values so the
+# allocator reaches r29; the caller keeps a loop counter alive across
+# the call.
+SRC = """
+int g = 9;
+
+int hungry(int x) {
+    int v0 = g + x;      int v1 = g + x * 2;  int v2 = g + x * 3;
+    int v3 = g + x * 4;  int v4 = g + x * 5;  int v5 = g + x * 6;
+    int v6 = g + x * 7;  int v7 = g + x * 8;  int v8 = g + x * 9;
+    int v9 = g + x * 10; int v10 = g + x * 11; int v11 = g + x * 12;
+    int v12 = g + x * 13; int v13 = g + x * 14;
+    int w0 = v0 * v1 + v2 * v3;
+    int w1 = v4 * v5 + v6 * v7;
+    int w2 = v8 * v9 + v10 * v11;
+    int w3 = v12 * v13;
+    return w0 + w1 + w2 + w3 + v0 + v5 + v13;
+}
+
+int main() {
+    int i;
+    int total = 0;
+    for (i = 0; i < 25; i = i + 1) {
+        total = total + hungry(i) % 1000;
+    }
+    return total;
+}
+"""
+
+
+def test_callee_allocating_r29_saves_it():
+    module = compile_source(SRC)
+    cleanup_module(module)
+    mf = select_function(module.function("hungry"))
+    allocate_registers(mf, omit_frame_pointer=True)
+    lower_frame(mf, omit_frame_pointer=True)
+    if FP_REG in mf.used_callee_saved:
+        # The prologue must contain a save of r29.
+        entry_stores = [
+            i
+            for i in mf.blocks[0].instrs
+            if i.op == "st" and len(i.srcs) > 1 and i.srcs[1] == FP_REG
+        ]
+        assert entry_stores, "r29 used but never saved"
+
+
+def test_omit_fp_program_terminates_and_matches():
+    expected = None
+    for omit in (False, True):
+        config = CompilerConfig(omit_frame_pointer=omit)
+        exe = compile_module(compile_source(SRC), config)
+        result = execute(exe, collect_trace=False, max_instructions=500_000)
+        if expected is None:
+            expected = result.return_value
+        assert result.return_value == expected, f"omit_fp={omit}"
+
+
+def test_mesa_shaped_cross_call_counter_survives():
+    """Distilled mesa hang: outer counter in r29, callee clobbers it."""
+    src = SRC.replace("i < 25", "i < 7")
+    config = CompilerConfig(
+        omit_frame_pointer=True,
+        unroll_loops=True,
+        loop_optimize=True,
+        reorder_blocks=True,
+    )
+    exe = compile_module(compile_source(src), config, issue_width=2)
+    result = execute(exe, collect_trace=False, max_instructions=500_000)
+    base = execute(
+        compile_module(compile_source(src), CompilerConfig()),
+        collect_trace=False,
+    )
+    assert result.return_value == base.return_value

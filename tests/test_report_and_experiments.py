@@ -1,0 +1,116 @@
+"""Tests for reporting, model zoo and cheap experiment plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.harness import paper_values
+from repro.harness.experiments.search import frozen_microarch_objective
+from repro.harness.model_zoo import standard_factories
+from repro.harness.report import (
+    render_speedups,
+    render_table3,
+    table,
+)
+from repro.harness.experiments.accuracy import Table3Result
+from repro.harness.experiments.search import SpeedupRow
+from repro.models import LinearModel
+from repro.sim.config import TYPICAL
+from repro.space import COMPILER_VARIABLE_NAMES, full_space
+
+
+class TestTableRendering:
+    def test_alignment(self):
+        text = table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # all rows equal width
+
+    def test_table3_rendering_includes_paper_values(self):
+        result = Table3Result(
+            errors={"art": {"linear": 10.0, "mars": 5.0, "rbf-rt": 3.0}},
+            averages={"linear": 10.0, "mars": 5.0, "rbf-rt": 3.0},
+        )
+        text = render_table3(result)
+        assert "26.44" in text  # paper's art linear error
+        assert "REPRODUCED" in text
+
+    def test_speedup_rendering_summary(self):
+        rows = [
+            SpeedupRow("art", "typical", 100.0, 95.0, 90.0, 12.0),
+            SpeedupRow("mcf", "typical", 200.0, 210.0, 180.0, 8.0),
+        ]
+        text = render_speedups(rows, "title")
+        assert "title" in text
+        assert "average actual speedup" in text
+
+
+class TestModelZoo:
+    def test_three_families(self):
+        space = full_space()
+        factories = standard_factories(space.names, 100)
+        assert set(factories) == {"linear", "mars", "rbf-rt"}
+
+    def test_linear_uses_full_expansion_at_paper_scale(self):
+        space = full_space()
+        small = standard_factories(space.names, 100)["linear"]()
+        large = standard_factories(space.names, 400)["linear"]()
+        assert small.selection == "bic"
+        assert large.selection == "none"
+
+    def test_factories_produce_fresh_models(self):
+        space = full_space()
+        factory = standard_factories(space.names, 50)["rbf-rt"]
+        assert factory() is not factory()
+
+
+class TestFrozenObjective:
+    def test_joint_vector_assembly(self):
+        space = full_space()
+        compiler_subspace = space.subspace(COMPILER_VARIABLE_NAMES)
+
+        # A fake "model" that returns the coded value of ruu_size plus
+        # the coded value of inline_functions, exposing exactly which
+        # slots were frozen vs searched.
+        ruu_idx = space.index_of("ruu_size")
+        inline_idx = space.index_of("inline_functions")
+
+        class Probe:
+            def predict(self, x):
+                return x[:, ruu_idx] * 10 + x[:, inline_idx]
+
+        objective = frozen_microarch_objective(
+            Probe(), space, compiler_subspace, TYPICAL
+        )
+        point = {name: 0.0 for name in COMPILER_VARIABLE_NAMES}
+        point.update(
+            {
+                "max_inline_insns_auto": 50,
+                "inline_unit_growth": 25,
+                "inline_call_cost": 12,
+                "max_unroll_times": 4,
+                "max_unrolled_insns": 100,
+            }
+        )
+        coded = compiler_subspace.encode(point)
+        value = objective(coded[None, :])[0]
+        expected_ruu = space["ruu_size"].encode(TYPICAL.ruu_size)
+        assert value == pytest.approx(expected_ruu * 10 + (-1.0))
+
+
+class TestPaperValues:
+    def test_table3_complete(self):
+        assert set(paper_values.TABLE3) == {
+            "gzip", "vpr", "mesa", "art", "mcf", "vortex", "bzip2",
+        }
+        for errs in paper_values.TABLE3.values():
+            assert set(errs) == {"linear", "mars", "rbf-rt"}
+
+    def test_paper_ranking_holds_in_reference_data(self):
+        avg = paper_values.TABLE3_AVERAGE
+        assert avg["rbf-rt"] < avg["mars"] < avg["linear"]
+
+    def test_table7_averages_consistent(self):
+        for config, avg in paper_values.TABLE7_AVERAGE.items():
+            values = [row[config] for row in paper_values.TABLE7.values()]
+            assert np.mean(values) == pytest.approx(avg, abs=0.05)

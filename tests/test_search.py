@@ -1,0 +1,106 @@
+"""Tests for the genetic algorithm and baseline searches."""
+
+import numpy as np
+import pytest
+
+from repro.search import GeneticSearch, exhaustive_search, random_search
+from repro.space import ParameterSpace, Variable, VariableKind
+
+
+def search_space():
+    return ParameterSpace(
+        [
+            Variable("a", VariableKind.BINARY, 0, 1, 2),
+            Variable("b", VariableKind.BINARY, 0, 1, 2),
+            Variable("n", VariableKind.DISCRETE, 0, 12, 13),
+            Variable("m", VariableKind.DISCRETE, 4, 12, 9),
+            Variable("p", VariableKind.LOG2, 1, 16, 5),
+        ]
+    )
+
+
+def quadratic_objective(space):
+    target = space.encode({"a": 1.0, "b": 0.0, "n": 9.0, "m": 6.0, "p": 4.0})
+
+    def objective(coded):
+        coded = np.atleast_2d(coded)
+        return np.sum((coded - target) ** 2, axis=1)
+
+    return objective
+
+
+class TestGeneticSearch:
+    def test_finds_global_optimum_on_small_space(self):
+        space = search_space()
+        objective = quadratic_objective(space)
+        truth = exhaustive_search(space, objective)
+        ga = GeneticSearch(space, population=40, generations=60)
+        found = ga.run(objective, np.random.default_rng(0))
+        assert found.best_value == pytest.approx(truth.best_value, abs=1e-9)
+        assert found.best_point == truth.best_point
+
+    def test_history_is_monotone_nonincreasing(self):
+        space = search_space()
+        ga = GeneticSearch(space, population=20, generations=30)
+        res = ga.run(quadratic_objective(space), np.random.default_rng(1))
+        assert all(
+            later <= earlier + 1e-12
+            for earlier, later in zip(res.history, res.history[1:])
+        )
+
+    def test_patience_stops_early(self):
+        space = search_space()
+        ga = GeneticSearch(space, population=30, generations=500, patience=5)
+        res = ga.run(quadratic_objective(space), np.random.default_rng(2))
+        assert len(res.history) < 500
+
+    def test_result_point_is_on_grid(self):
+        space = search_space()
+        ga = GeneticSearch(space, population=15, generations=10)
+        res = ga.run(quadratic_objective(space), np.random.default_rng(3))
+        space.validate(res.best_point)
+
+    def test_beats_equal_budget_random_search_on_average(self):
+        space = search_space()
+        objective = quadratic_objective(space)
+        ga_wins = 0
+        for seed in range(5):
+            ga = GeneticSearch(space, population=20, generations=15,
+                               patience=None)
+            ga_res = ga.run(objective, np.random.default_rng(seed))
+            rs_res = random_search(
+                space, objective, ga_res.evaluations,
+                np.random.default_rng(seed + 100),
+            )
+            if ga_res.best_value <= rs_res.best_value:
+                ga_wins += 1
+        assert ga_wins >= 3
+
+    def test_invalid_population(self):
+        with pytest.raises(ValueError):
+            GeneticSearch(search_space(), population=1)
+
+    def test_elite_bound(self):
+        with pytest.raises(ValueError):
+            GeneticSearch(search_space(), population=10, elite=10)
+
+
+class TestBaselines:
+    def test_exhaustive_enumerates_all(self):
+        space = search_space()
+        res = exhaustive_search(space, quadratic_objective(space))
+        assert res.evaluations == space.size()
+        assert res.best_value == pytest.approx(0.0)
+
+    def test_exhaustive_guard(self):
+        space = search_space()
+        with pytest.raises(ValueError):
+            exhaustive_search(space, quadratic_objective(space), max_points=10)
+
+    def test_random_search_respects_budget(self):
+        space = search_space()
+        res = random_search(
+            space, quadratic_objective(space), 333, np.random.default_rng(0)
+        )
+        assert res.evaluations == 333
+        space.validate(res.best_point)

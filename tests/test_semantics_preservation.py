@@ -1,0 +1,111 @@
+"""Property-based semantics preservation: the compiler's master invariant.
+
+For ANY setting of the 14 Table 1 knobs (and either issue width), a
+compiled program must compute exactly the same checksum as the
+unoptimized build.  hypothesis drives random points of the compiler
+subspace through a set of structurally diverse programs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.opt import CompilerConfig
+from repro.space import compiler_space
+from tests.util import ALL_PROGRAMS, run_program
+
+_SPACE = compiler_space()
+
+# Reference results, computed once at -O0.
+_REFERENCE = {
+    name: run_program(src, CompilerConfig())
+    for name, src in ALL_PROGRAMS.items()
+}
+
+
+def config_from_seed(seed: int) -> CompilerConfig:
+    rng = np.random.default_rng(seed)
+    return CompilerConfig.from_point(_SPACE.random_point(rng))
+
+
+@pytest.mark.parametrize("program", sorted(ALL_PROGRAMS))
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_random_configs_preserve_semantics(program, seed):
+    config = config_from_seed(seed)
+    for issue_width in (2, 4):
+        got = run_program(ALL_PROGRAMS[program], config, issue_width)
+        assert got == _REFERENCE[program], (
+            f"{program} miscompiled at {config.describe()} "
+            f"iw={issue_width}"
+        )
+
+
+@pytest.mark.parametrize(
+    "flag",
+    [
+        "inline_functions",
+        "unroll_loops",
+        "schedule_insns2",
+        "loop_optimize",
+        "gcse",
+        "strength_reduce",
+        "omit_frame_pointer",
+        "reorder_blocks",
+        "prefetch_loop_arrays",
+    ],
+)
+@pytest.mark.parametrize("program", sorted(ALL_PROGRAMS))
+def test_each_flag_alone_preserves_semantics(flag, program):
+    config = CompilerConfig(**{flag: True})
+    assert run_program(ALL_PROGRAMS[program], config) == _REFERENCE[program]
+
+
+def test_all_flags_on_preserves_semantics():
+    config = CompilerConfig(
+        inline_functions=True,
+        unroll_loops=True,
+        schedule_insns2=True,
+        loop_optimize=True,
+        gcse=True,
+        strength_reduce=True,
+        omit_frame_pointer=True,
+        reorder_blocks=True,
+        prefetch_loop_arrays=True,
+    )
+    for program, src in ALL_PROGRAMS.items():
+        assert run_program(src, config) == _REFERENCE[program], program
+
+
+@pytest.mark.parametrize("unroll_times", [4, 8, 12])
+@pytest.mark.parametrize("unrolled_insns", [100, 300])
+def test_unroll_heuristic_extremes(unroll_times, unrolled_insns):
+    config = CompilerConfig(
+        unroll_loops=True,
+        strength_reduce=True,
+        max_unroll_times=unroll_times,
+        max_unrolled_insns=unrolled_insns,
+    )
+    for program, src in ALL_PROGRAMS.items():
+        assert run_program(src, config) == _REFERENCE[program], program
+
+
+@pytest.mark.parametrize("insns,growth,cost", [
+    (50, 25, 12),
+    (150, 75, 20),
+    (100, 50, 16),
+])
+def test_inline_heuristic_extremes(insns, growth, cost):
+    config = CompilerConfig(
+        inline_functions=True,
+        max_inline_insns_auto=insns,
+        inline_unit_growth=growth,
+        inline_call_cost=cost,
+    )
+    for program, src in ALL_PROGRAMS.items():
+        assert run_program(src, config) == _REFERENCE[program], program

@@ -1,0 +1,151 @@
+"""Micro-behaviour tests of the timing model's structures."""
+
+import dataclasses
+
+import pytest
+
+from repro.codegen import compile_module
+from repro.minic import compile_source
+from repro.opt import CompilerConfig, O2
+from repro.sim import MicroarchConfig, OooTimingModel
+from repro.sim.cache import CacheHierarchy
+from repro.sim.func import execute
+
+
+def cycles_for(src, config=None, **microarch_kw):
+    mc = MicroarchConfig(**microarch_kw)
+    exe = compile_module(
+        compile_source(src), config or O2, issue_width=mc.issue_width
+    )
+    fr = execute(exe)
+    return OooTimingModel(exe, mc).simulate_trace(fr.trace).cycles
+
+
+class TestMemoryBus:
+    def test_bus_serializes_misses(self):
+        h = CacheHierarchy(MicroarchConfig())
+        # Two back-to-back memory misses at the same request time: the
+        # second is delayed by the bus transfer of the first.
+        lat1 = h.data_latency(0, now=0)
+        lat2 = h.data_latency(1 << 20, now=0)
+        assert lat2 > lat1
+
+    def test_bus_frees_over_time(self):
+        h = CacheHierarchy(MicroarchConfig())
+        h.data_latency(0, now=0)
+        much_later = h.data_latency(1 << 20, now=10_000)
+        base = (
+            h.config.dcache_latency
+            + h.config.l2_latency
+            + h.config.memory_latency
+        )
+        assert much_later == base
+
+    def test_reset_bus(self):
+        h = CacheHierarchy(MicroarchConfig())
+        h.data_latency(0, now=0)
+        h.reset_bus()
+        assert h.bus_free == 0
+
+    def test_memory_access_counter(self):
+        h = CacheHierarchy(MicroarchConfig())
+        h.data_latency(0)
+        h.data_latency(0)  # hit
+        assert h.memory_accesses == 1
+
+
+class TestStoreBufferEffects:
+    STORE_STORM = """
+    int big[32768];
+    int main() {
+        int i;
+        for (i = 0; i < 8192; i = i + 1) {
+            big[i * 4] = i;
+        }
+        return big[0];
+    }
+    """
+
+    def test_store_storm_throttled_by_memory(self):
+        fast = cycles_for(self.STORE_STORM, memory_latency=50)
+        slow = cycles_for(self.STORE_STORM, memory_latency=150)
+        # Stores drain in the background but the buffer must fill and
+        # throttle: slower memory must cost cycles.
+        assert slow > fast
+
+
+class TestReturnPrediction:
+    def test_call_heavy_code_faster_with_matching_ras(self):
+        # Deep call chains: the RAS predicts returns, so the penalty
+        # shows only via the (small) per-call redirect.  Sanity: CPI
+        # stays reasonable on call-heavy code.
+        src = """
+        int f3(int x) { return x + 1; }
+        int f2(int x) { return f3(x) + 1; }
+        int f1(int x) { return f2(x) + 1; }
+        int main() {
+            int i;
+            int s = 0;
+            for (i = 0; i < 500; i = i + 1) { s = s + f1(i); }
+            return s;
+        }
+        """
+        exe = compile_module(compile_source(src), O2, issue_width=4)
+        fr = execute(exe)
+        model = OooTimingModel(exe, MicroarchConfig())
+        result = model.simulate_trace(fr.trace)
+        assert result.cpi < 2.0
+
+
+class TestFrontEnd:
+    def test_smaller_icache_hurts_big_code(self):
+        # Aggressive inlining + unrolling to inflate hot code size.
+        body = []
+        for k in range(24):
+            body.append(
+                f"int h{k}(int x) {{ return (x * {k + 3} + {k}) % 251; }}"
+            )
+        calls = " + ".join(f"h{k}(i + {k})" for k in range(24))
+        src = (
+            "\n".join(body)
+            + """
+        int main() {
+            int i;
+            int s = 0;
+            for (i = 0; i < 400; i = i + 1) {
+                s = s + """
+            + calls
+            + """;
+            }
+            return s;
+        }
+        """
+        )
+        config = CompilerConfig(
+            inline_functions=True,
+            unroll_loops=True,
+            inline_unit_growth=75,
+            max_unroll_times=8,
+            max_unrolled_insns=300,
+        )
+        tiny = cycles_for(src, config, icache_size=8 * 1024, issue_width=4)
+        big = cycles_for(src, config, icache_size=128 * 1024, issue_width=4)
+        assert tiny >= big  # at minimum never better
+
+    def test_mispredict_penalty_scales(self):
+        src = """
+        int main() {
+            int i;
+            int s = 0;
+            int state = 99;
+            for (i = 0; i < 3000; i = i + 1) {
+                state = (state * 1103515245 + 12345) & 1073741823;
+                if ((state >> 13 & 1) == 1) { s = s + 2; }
+                else { s = s - 1; }
+            }
+            return s;
+        }
+        """
+        gentle = cycles_for(src, mispredict_penalty=1)
+        harsh = cycles_for(src, mispredict_penalty=12)
+        assert harsh > gentle

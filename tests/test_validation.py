@@ -1,0 +1,51 @@
+"""Tests for cross-validation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.models import LinearModel, RbfModel
+from repro.models.validation import compare_models, k_fold_cv
+
+
+def data(rng, n=100):
+    x = rng.uniform(-1, 1, (n, 4))
+    y = 100 + 10 * x[:, 0] - 5 * x[:, 1] + rng.normal(0, 0.5, n)
+    return x, y
+
+
+class TestKFold:
+    def test_returns_k_folds(self):
+        rng = np.random.default_rng(0)
+        x, y = data(rng)
+        result = k_fold_cv(lambda: LinearModel(), x, y, k=5)
+        assert len(result.fold_errors) == 5
+        assert result.mean_error < 3.0
+
+    def test_invalid_k(self):
+        rng = np.random.default_rng(1)
+        x, y = data(rng, n=10)
+        with pytest.raises(ValueError):
+            k_fold_cv(lambda: LinearModel(), x, y, k=1)
+        with pytest.raises(ValueError):
+            k_fold_cv(lambda: LinearModel(), x, y, k=11)
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(2)
+        x, y = data(rng)
+        a = k_fold_cv(lambda: LinearModel(), x, y, seed=7)
+        b = k_fold_cv(lambda: LinearModel(), x, y, seed=7)
+        assert a.fold_errors == b.fold_errors
+
+    def test_good_model_beats_bad_model(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, (150, 4))
+        # Strongly nonlinear response: the linear model must lose.
+        y = 100 + 40 * np.abs(x[:, 0]) + 20 * np.maximum(0, x[:, 1]) ** 2
+        results = compare_models(
+            {"linear": lambda: LinearModel(interactions=False),
+             "rbf": lambda: RbfModel()},
+            x,
+            y,
+            k=4,
+        )
+        assert results["rbf"].mean_error < results["linear"].mean_error

@@ -1,0 +1,58 @@
+"""Source-level checks on the workload programs themselves."""
+
+import re
+
+import pytest
+
+from repro.minic import analyze, parse, tokenize
+from repro.workloads import WORKLOADS, get_workload
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+class TestSources:
+    def test_parses_and_typechecks(self, name):
+        for inp in ("train", "ref"):
+            program = parse(tokenize(get_workload(name).source(inp)))
+            analyze(program)
+
+    def test_has_main_returning_int(self, name):
+        program = parse(tokenize(get_workload(name).source("train")))
+        mains = [f for f in program.functions if f.name == "main"]
+        assert len(mains) == 1
+        assert mains[0].params == []
+
+    def test_ref_params_strictly_larger(self, name):
+        w = get_workload(name)
+        train = w.inputs["train"]
+        ref = w.inputs["ref"]
+        assert set(train) == set(ref)
+        # At least one size parameter grows; seeds may differ freely.
+        grows = [
+            k for k in train if k != "SEED" and ref[k] > train[k]
+        ]
+        assert grows, f"{name}: ref input does not grow any parameter"
+
+    def test_description_mentions_spec_ancestor(self, name):
+        description = get_workload(name).description
+        assert re.search(r"1\d\d\.|2\d\d\.", description), description
+
+
+class TestStructuralDiversity:
+    def test_mesa_is_call_heavy(self):
+        source = get_workload("mesa").source("train")
+        # Many distinct helper functions beyond main.
+        assert source.count("float transform_") >= 3
+
+    def test_vortex_has_crud_operations(self):
+        source = get_workload("vortex").source("train")
+        for op in ("insert", "lookup", "remove_key", "free_record"):
+            assert op in source
+
+    def test_bzip2_has_sort_and_bit_work(self):
+        source = get_workload("bzip2").source("train")
+        assert "gap" in source  # shell sort
+        assert ">>" in source and "&" in source  # bit manipulation
+
+    def test_gzip_has_hash_chains(self):
+        source = get_workload("gzip").source("train")
+        assert "head[" in source and "prev[" in source

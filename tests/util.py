@@ -1,0 +1,121 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.codegen import compile_module
+from repro.minic import compile_source
+from repro.opt import CompilerConfig
+from repro.sim.func import execute
+
+
+def run_program(
+    source: str,
+    config: Optional[CompilerConfig] = None,
+    issue_width: int = 4,
+) -> int:
+    """Compile MiniC source with ``config`` and return main's result."""
+    module = compile_source(source)
+    exe = compile_module(module, config or CompilerConfig(), issue_width)
+    return execute(exe, collect_trace=False).return_value
+
+
+SUM_LOOP = """
+int N = 50;
+int data[64];
+
+int main() {
+    int i;
+    int total = 0;
+    for (i = 0; i < N; i = i + 1) {
+        data[i] = i * 3 + 1;
+    }
+    for (i = 0; i < N; i = i + 1) {
+        total = total + data[i];
+    }
+    return total;
+}
+"""
+
+CALLS_AND_BRANCHES = """
+int N = 40;
+int acc[64];
+
+int f(int x) {
+    if (x % 3 == 0) {
+        return x * 2;
+    }
+    return x + 7;
+}
+
+int g(int x, int y) {
+    return f(x) + f(y) * 2;
+}
+
+int main() {
+    int i;
+    int total = 0;
+    for (i = 0; i < N; i = i + 1) {
+        acc[i] = g(i, N - i);
+    }
+    for (i = 0; i < N; i = i + 1) {
+        if (acc[i] > 50 && acc[i] % 2 == 1) {
+            total = total + acc[i];
+        } else {
+            total = total - 1;
+        }
+    }
+    return total;
+}
+"""
+
+FLOAT_KERNEL = """
+int N = 32;
+float xs[32];
+float ys[32];
+
+float poly(float v) {
+    return v * v * 0.5 - v * 1.5 + 2.0;
+}
+
+int main() {
+    int i;
+    float total = 0.0;
+    for (i = 0; i < N; i = i + 1) {
+        xs[i] = (float)(i) * 0.25;
+    }
+    for (i = 0; i < N; i = i + 1) {
+        ys[i] = poly(xs[i]);
+        total = total + ys[i];
+    }
+    return (int)(total * 100.0);
+}
+"""
+
+NESTED_LOOPS = """
+int M = 8;
+int grid[64];
+
+int main() {
+    int i;
+    int j;
+    int total = 0;
+    for (i = 0; i < M; i = i + 1) {
+        for (j = 0; j < M; j = j + 1) {
+            grid[i * M + j] = i * j + i - j;
+        }
+    }
+    for (i = 0; i < M * M; i = i + 1) {
+        total = total + grid[i] * grid[i];
+    }
+    return total;
+}
+"""
+
+ALL_PROGRAMS = {
+    "sum_loop": SUM_LOOP,
+    "calls_and_branches": CALLS_AND_BRANCHES,
+    "float_kernel": FLOAT_KERNEL,
+    "nested_loops": NESTED_LOOPS,
+}
