@@ -1,0 +1,60 @@
+"""Telemetry overhead: tracing disabled vs enabled on the measure path.
+
+The obs layer's contract is that disabled instrumentation is free (the
+unit suite bounds it at <5% of a build_model run); this benchmark
+records the actual enabled-vs-disabled wall time of a full measurement
+(compile + functional run + SMARTS simulation) into the BENCH
+trajectory, so any future instrumentation creep shows up in
+``results/obs_overhead.txt``.
+"""
+
+import time
+
+from repro.harness.configs import TABLE5_CONFIGS
+from repro.harness.measure import MeasurementEngine
+from repro.obs import get_tracer
+from repro.opt import O2
+
+
+def _one_measurement() -> None:
+    # A fresh engine each time: every run pays compile + trace + simulate.
+    engine = MeasurementEngine(cache_dir=None)
+    engine.measure_configs("gzip", O2, TABLE5_CONFIGS["typical"])
+
+
+def _timed(repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        _one_measurement()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_obs_overhead(report_sink):
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    tracer.disable()
+    tracer.reset()
+    try:
+        disabled = _timed()
+        tracer.enable()
+        enabled = _timed()
+        n_spans = len(tracer.spans)
+    finally:
+        tracer.reset()
+        tracer.enabled = was_enabled
+
+    overhead_pct = (enabled / disabled - 1.0) * 100.0
+    text = (
+        "telemetry overhead on the measure path (gzip, O2, typical, SMARTS)\n"
+        f"  tracing disabled   {disabled * 1e3:9.1f} ms\n"
+        f"  tracing enabled    {enabled * 1e3:9.1f} ms "
+        f"({n_spans} spans over 3 runs)\n"
+        f"  enabled overhead   {overhead_pct:+9.1f} %"
+    )
+    report_sink("obs_overhead", text)
+
+    # Loose sanity bound -- enabled tracing spans per-SMARTS-unit work,
+    # it must still stay within 2x of the untraced run.
+    assert enabled < disabled * 2.0

@@ -17,12 +17,21 @@ Commands
 ``tune``
     Model-based GA search of the compiler flags for a Table 5 machine,
     verified by actual simulation (the paper's Section 6.3 use case).
+``trace``
+    Run any other command with tracing enabled and dump the spans as
+    JSONL + Chrome ``trace_event`` JSON + a self-timing text report
+    (equivalent to ``REPRO_TRACE=1 python -m repro <cmd>``).
+``stats``
+    Print the telemetry counters/histograms accumulated in
+    ``<cache_dir>/metrics.json`` across runs (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
@@ -100,16 +109,16 @@ def cmd_workloads(_args) -> int:
 
 
 def cmd_measure(args) -> int:
-    from repro.codegen import compile_module
-    from repro.sim.func import execute
+    from repro.harness.measure import default_engine
     from repro.sim.stats import detailed_statistics
-    from repro.workloads import get_workload
 
     compiler = _compiler_config(args)
     microarch = _microarch(args)
-    module = get_workload(args.workload).module(args.input)
-    exe = compile_module(module, compiler, issue_width=microarch.issue_width)
-    functional = execute(exe)
+    # Route through the shared engine so the binary+trace cache (and its
+    # hit/miss telemetry) covers interactive measurements too.
+    exe, functional = default_engine().compile_and_trace(
+        args.workload, args.input, compiler, microarch.issue_width
+    )
     stats = detailed_statistics(exe, microarch, functional.trace)
     print(f"workload  {args.workload} ({args.input})")
     print(f"compiler  {compiler.describe()}")
@@ -206,6 +215,97 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def _metrics_path() -> Optional[Path]:
+    """Where cross-run metrics accumulate; None when persistence is off."""
+    cache_dir = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+    if cache_dir.lower() in ("0", "off", "none", ""):
+        return None
+    return Path(cache_dir) / "metrics.json"
+
+
+def _trace_out_dir() -> Path:
+    return Path(os.environ.get("REPRO_TRACE_DIR", ".repro_trace"))
+
+
+def _dump_trace(out_dir: Path) -> None:
+    """Write trace.jsonl / trace.chrome.json / report.txt and print the
+    self-timing report.  No-op if no spans were collected."""
+    from repro.obs import get_tracer, self_timing_report, to_chrome_trace, to_jsonl
+
+    spans = get_tracer().spans
+    if not spans:
+        return
+    out_dir.mkdir(parents=True, exist_ok=True)
+    to_jsonl(spans, out_dir / "trace.jsonl")
+    to_chrome_trace(spans, out_dir / "trace.chrome.json")
+    report = self_timing_report(spans)
+    (out_dir / "report.txt").write_text(report + "\n")
+    print(
+        f"\n[trace] {len(spans)} spans -> {out_dir / 'trace.jsonl'}, "
+        f"{out_dir / 'trace.chrome.json'} (open in chrome://tracing or Perfetto)"
+    )
+    print(report)
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import get_tracer
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        raise SystemExit("usage: repro trace [--out DIR] <command> [args...]")
+    tracer = get_tracer()
+    tracer.reset()
+    tracer.enable()
+    try:
+        rc = main(rest)
+    finally:
+        _dump_trace(Path(args.out) if args.out else _trace_out_dir())
+    return rc
+
+
+def cmd_stats(args) -> int:
+    from repro.obs import get_registry
+    from repro.obs.metrics import MetricsRegistry, format_report
+
+    path = _metrics_path()
+    if args.reset:
+        get_registry().reset()
+        if path is not None and path.exists():
+            path.unlink()
+        print("metrics reset")
+        return 0
+    persisted = MetricsRegistry.load_persisted(path) if path is not None else None
+    live = get_registry().snapshot()
+    has_live = bool(live["counters"]) or any(
+        s.get("count") for s in live["histograms"].values()
+    )
+    if persisted:
+        print(f"cumulative metrics ({path})")
+        print(format_report(persisted))
+        if has_live:
+            print("\nthis process")
+            print(format_report(live))
+    elif has_live:
+        print(format_report(live))
+    else:
+        print("(no metrics recorded; run a measurement command first)")
+    return 0
+
+
+def _persist_metrics() -> None:
+    from repro.obs import get_registry
+
+    path = _metrics_path()
+    if path is None:
+        return
+    try:
+        get_registry().persist(path)
+    except OSError:
+        pass  # telemetry must never break the command itself
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -239,6 +339,24 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["constrained", "typical", "aggressive"],
         default="typical",
     )
+
+    p = sub.add_parser(
+        "trace", help="run a command with tracing on and dump the spans"
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="output directory (default $REPRO_TRACE_DIR or .repro_trace)",
+    )
+    p.add_argument("rest", nargs=argparse.REMAINDER, metavar="command ...")
+
+    p = sub.add_parser("stats", help="print accumulated telemetry metrics")
+    p.add_argument(
+        "--reset",
+        action="store_true",
+        help="zero the in-process registry and delete the persisted file",
+    )
     return parser
 
 
@@ -251,9 +369,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         "disasm": cmd_disasm,
         "model": cmd_model,
         "tune": cmd_tune,
+        "trace": cmd_trace,
+        "stats": cmd_stats,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    finally:
+        if args.command not in ("trace", "stats"):
+            # Accumulate counters across processes next to the
+            # measurement cache, and honour REPRO_TRACE=1 runs by
+            # dumping the collected spans (`repro trace` dumps itself).
+            _persist_metrics()
+            from repro.obs.trace import _env_truthy
+
+            if _env_truthy(os.environ.get("REPRO_TRACE")):
+                _dump_trace(_trace_out_dir())
+
+
+def stats_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-stats`` console script."""
+    if argv is None:
+        argv = sys.argv[1:]
+    return main(["stats"] + list(argv))
 
 
 if __name__ == "__main__":
     sys.exit(main())
+

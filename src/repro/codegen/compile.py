@@ -21,8 +21,11 @@ from repro.codegen.regalloc import allocate_registers
 from repro.codegen.scheduler import schedule_function
 from repro.ir import Module, verify_module
 from repro.minic import compile_source
+from repro.obs import counter, span
 from repro.opt.flags import CompilerConfig
 from repro.opt.pipeline import optimize_module
+
+_COMPILATIONS = counter("codegen.compilations")
 
 
 def compile_module(
@@ -34,16 +37,24 @@ def compile_module(
     """Optimize and compile an IR module into an executable.
 
     The input module is deep-copied first: compilation at many design
-    points reuses one parsed module.
+    points reuses one parsed module.  Each phase (opt pipeline, isel,
+    pre/post-RA scheduling, register allocation, frame lowering, link)
+    runs under a ``codegen.*`` tracing span; the backend phases are
+    independent per function, so they are looped phase-major to give
+    each phase a single span.
     """
-    module = copy.deepcopy(module)
-    optimize_module(module, config)
-    if verify:
-        verify_module(module)
+    _COMPILATIONS.inc()
+    with span("codegen.compile", issue_width=issue_width) as top:
+        module = copy.deepcopy(module)
+        optimize_module(module, config)
+        if verify:
+            with span("codegen.verify"):
+                verify_module(module)
 
-    mdesc = MachineDescription.for_issue_width(issue_width)
-    machine_funcs = select_module(module)
-    for mf in machine_funcs.values():
+        mdesc = MachineDescription.for_issue_width(issue_width)
+        with span("codegen.isel"):
+            machine_funcs = select_module(module)
+        funcs = list(machine_funcs.values())
         # Table 1 describes -fschedule-insns2 as scheduling "before and
         # after register allocation".  The pre-RA pass interleaves
         # independent work (e.g. renamed unrolled iterations) over
@@ -51,12 +62,23 @@ def compile_module(
         # register pressure; the post-RA pass tidies up around the
         # allocator's spill code.
         if config.schedule_insns2:
-            schedule_function(mf, mdesc)
-        allocate_registers(mf, config.omit_frame_pointer)
-        lower_frame(mf, config.omit_frame_pointer)
+            with span("codegen.sched_pre_ra"):
+                for mf in funcs:
+                    schedule_function(mf, mdesc)
+        with span("codegen.regalloc"):
+            for mf in funcs:
+                allocate_registers(mf, config.omit_frame_pointer)
+        with span("codegen.frame"):
+            for mf in funcs:
+                lower_frame(mf, config.omit_frame_pointer)
         if config.schedule_insns2:
-            schedule_function(mf, mdesc)
-    return link_module(module, machine_funcs)
+            with span("codegen.sched_post_ra"):
+                for mf in funcs:
+                    schedule_function(mf, mdesc)
+        with span("codegen.link"):
+            exe = link_module(module, machine_funcs)
+        top.set_attrs(n_functions=len(funcs), code_size=len(exe.instrs))
+    return exe
 
 
 def compile_program(

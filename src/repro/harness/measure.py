@@ -21,17 +21,28 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro.codegen import COMPILER_VERSION, compile_module
 from repro.harness.configs import split_point
+from repro.obs import counter, span
 from repro.opt.flags import CompilerConfig
 from repro.sim import simulate
 from repro.sim.config import MicroarchConfig
 from repro.sim.func import execute
 from repro.workloads import get_workload
+
+_TRACE_HITS = counter("measure.trace_cache.hits")
+_TRACE_MISSES = counter("measure.trace_cache.misses")
+_TRACE_EVICTIONS = counter("measure.trace_cache.evictions")
+_RESULT_HITS = counter("measure.result_cache.hits")
+_RESULT_MISSES = counter("measure.result_cache.misses")
+_COMPILATIONS = counter("measure.compilations")
+_SIMULATIONS = counter("measure.simulations")
 
 
 @dataclass
@@ -73,7 +84,9 @@ class MeasurementEngine:
         self.mode = mode
         self.smarts_interval = smarts_interval
         self.max_cached_traces = max_cached_traces
-        self._trace_cache: "dict[tuple, tuple]" = {}
+        #: LRU of (exe, functional) keyed on (workload, input, compiler
+        #: key, issue width); hits move the entry to the MRU end.
+        self._trace_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
         self._result_cache: Dict[str, Measurement] = {}
         self._dirty = False
         self.simulations = 0
@@ -98,7 +111,13 @@ class MeasurementEngine:
             self._result_cache[key] = Measurement(**value)
 
     def save(self) -> None:
-        """Flush the measurement cache to disk (no-op without cache_dir)."""
+        """Flush the measurement cache to disk (no-op without cache_dir).
+
+        The write is atomic: the payload goes to a temporary file in the
+        same directory and is ``os.replace``-d over ``measurements.json``,
+        so a crash mid-flush leaves either the old cache or the new one,
+        never a truncated file for ``_load_disk_cache`` to discard.
+        """
         if self._cache_path is None or not self._dirty:
             return
         self._cache_path.parent.mkdir(parents=True, exist_ok=True)
@@ -112,7 +131,19 @@ class MeasurementEngine:
             }
             for key, m in self._result_cache.items()
         }
-        self._cache_path.write_text(json.dumps(payload))
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self._cache_path.parent),
+            prefix=self._cache_path.name,
+            suffix=".tmp",
+        )
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(payload, f)
+            os.replace(tmp, self._cache_path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
         self._dirty = False
 
     # ------------------------------------------------------------------
@@ -158,18 +189,39 @@ class MeasurementEngine:
         self, workload: str, input_name: str, compiler: CompilerConfig, issue_width: int
     ):
         key = (workload, input_name, compiler.cache_key(), issue_width)
-        if key in self._trace_cache:
-            return self._trace_cache[key]
+        hit = self._trace_cache.get(key)
+        if hit is not None:
+            # True LRU: refresh recency on hit so a hot trace is never
+            # evicted just because it was inserted first.
+            self._trace_cache.move_to_end(key)
+            _TRACE_HITS.inc()
+            return hit
+        _TRACE_MISSES.inc()
         module = get_workload(workload).module(input_name)
-        exe = compile_module(module, compiler, issue_width=issue_width)
+        with span(
+            "measure.compile",
+            workload=workload,
+            input=input_name,
+            issue_width=issue_width,
+        ):
+            exe = compile_module(module, compiler, issue_width=issue_width)
         self.compilations += 1
-        functional = execute(exe, collect_trace=True)
+        _COMPILATIONS.inc()
+        with span("measure.functional", workload=workload, input=input_name) as sp:
+            functional = execute(exe, collect_trace=True)
+            sp.set_attrs(instructions=functional.instruction_count)
         if len(self._trace_cache) >= self.max_cached_traces:
-            # Evict the oldest entry (insertion order).
-            oldest = next(iter(self._trace_cache))
-            del self._trace_cache[oldest]
-        self._trace_cache[key] = (exe, functional)
-        return exe, functional
+            self._trace_cache.popitem(last=False)  # evict the LRU entry
+            _TRACE_EVICTIONS.inc()
+        entry = (exe, functional)
+        self._trace_cache[key] = entry
+        return entry
+
+    def compile_and_trace(
+        self, workload: str, input_name: str, compiler: CompilerConfig, issue_width: int
+    ):
+        """Public cached access to a workload's (binary, functional run)."""
+        return self._binary_and_trace(workload, input_name, compiler, issue_width)
 
     # ------------------------------------------------------------------
     def measure(
@@ -194,18 +246,28 @@ class MeasurementEngine:
         )
         cached = self._result_cache.get(key)
         if cached is not None:
+            _RESULT_HITS.inc()
             return cached
+        _RESULT_MISSES.inc()
         exe, functional = self._binary_and_trace(
             workload, input_name, compiler, microarch.issue_width
         )
-        outcome = simulate(
-            exe,
-            microarch,
+        with span(
+            "measure.simulate",
+            workload=workload,
+            input=input_name,
             mode=self.mode,
             interval=self.smarts_interval,
-            functional=functional,
-        )
+        ):
+            outcome = simulate(
+                exe,
+                microarch,
+                mode=self.mode,
+                interval=self.smarts_interval,
+                functional=functional,
+            )
         self.simulations += 1
+        _SIMULATIONS.inc()
         result = Measurement(
             cycles=outcome.cycles,
             checksum=outcome.return_value,

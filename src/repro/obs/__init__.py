@@ -1,0 +1,66 @@
+"""Zero-dependency observability: tracing spans, metrics, exporters.
+
+The pipeline's cost lives inside the compile+simulate oracle; this
+package makes that cost visible.  Three pieces:
+
+:mod:`repro.obs.trace`
+    Nested wall-clock spans (``with span("measure.compile", ...)``)
+    collected by a thread-safe in-process :class:`Tracer`.  Disabled by
+    default; the disabled fast path is a single attribute check.  Enable
+    with ``REPRO_TRACE=1`` or :func:`enable_tracing`.
+:mod:`repro.obs.metrics`
+    Always-on named counters and histograms (cache hits/misses,
+    compilations, simulations, SMARTS sampled/skipped units, per-pass IR
+    deltas, GA generations/evaluations).
+:mod:`repro.obs.export`
+    JSONL dumps, Chrome ``trace_event`` JSON (open in ``chrome://tracing``
+    or Perfetto), and a hierarchical self-timing text report.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and usage.
+"""
+
+from repro.obs.trace import (
+    SpanRecord,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    reset_tracing,
+    span,
+    tracing_enabled,
+)
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    get_registry,
+    histogram,
+)
+from repro.obs.export import (
+    from_jsonl,
+    self_timing_report,
+    to_chrome_trace,
+    to_jsonl,
+)
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "span",
+    "get_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "reset_tracing",
+    "tracing_enabled",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "histogram",
+    "get_registry",
+    "to_jsonl",
+    "from_jsonl",
+    "to_chrome_trace",
+    "self_timing_report",
+]

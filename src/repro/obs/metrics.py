@@ -1,0 +1,261 @@
+"""Named counters and histograms for pipeline-wide bookkeeping.
+
+Unlike spans, metrics are *always on*: an increment is a lock plus an
+integer add, cheap enough for every cache lookup and SMARTS unit.  The
+registry is process-global; call-sites typically cache the metric object
+at import time (``_HITS = counter("measure.trace_cache.hits")``) so the
+hot path skips the registry lookup.
+
+The CLI persists counter *deltas* into ``<cache_dir>/metrics.json``
+after each command (see :meth:`MetricsRegistry.persist`), which is what
+``repro stats`` reads -- so cache hit/miss and compilation/simulation
+counts accumulate across processes alongside the measurement cache.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+
+class Counter:
+    """A monotonically increasing named integer."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Histogram:
+    """A named distribution; reports count/mean/p50/p95/max on demand.
+
+    Raw observations are kept (these are low-rate series: one value per
+    pass, per build iteration, per GA generation), so percentiles are
+    exact.
+    """
+
+    __slots__ = ("name", "_values", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: List[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> List[float]:
+        with self._lock:
+            return list(self._values)
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile by the nearest-rank method (p in [0, 100])."""
+        with self._lock:
+            if not self._values:
+                return math.nan
+            ordered = sorted(self._values)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def summary(self) -> Dict[str, float]:
+        with self._lock:
+            values = list(self._values)
+        if not values:
+            return {"count": 0}
+        return {
+            "count": len(values),
+            "mean": sum(values) / len(values),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "max": max(values),
+        }
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+
+Metric = Union[Counter, Histogram]
+
+
+class MetricsRegistry:
+    """Process-global store of named metrics.
+
+    ``reset()`` zeroes metrics *in place* so objects cached by
+    instrumentation call-sites stay valid.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
+        #: Counter values as of the last ``persist()``; persistence
+        #: writes only the delta so repeated calls never double-count.
+        self._persisted: Dict[str, int] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = Counter(name)
+            elif not isinstance(metric, Counter):
+                raise TypeError(f"{name!r} is already a {type(metric).__name__}")
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = Histogram(name)
+            elif not isinstance(metric, Histogram):
+                raise TypeError(f"{name!r} is already a {type(metric).__name__}")
+            return metric
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """``{"counters": {name: int}, "histograms": {name: summary}}``."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        counters: Dict[str, int] = {}
+        histograms: Dict[str, Dict[str, float]] = {}
+        for metric in metrics:
+            if isinstance(metric, Counter):
+                counters[metric.name] = metric.value
+            else:
+                histograms[metric.name] = metric.summary()
+        return {"counters": counters, "histograms": histograms}
+
+    def reset(self) -> None:
+        with self._lock:
+            metrics = list(self._metrics.values())
+            self._persisted.clear()
+        for metric in metrics:
+            metric._reset()
+
+    # -- persistence ---------------------------------------------------
+    def persist(self, path: Union[str, Path]) -> None:
+        """Merge counter deltas (and current histogram summaries) into
+        the JSON file at ``path``, atomically."""
+        snap = self.snapshot()
+        deltas = {
+            name: value - self._persisted.get(name, 0)
+            for name, value in snap["counters"].items()
+        }
+        deltas = {name: d for name, d in deltas.items() if d}
+        histograms = {
+            name: s for name, s in snap["histograms"].items() if s.get("count")
+        }
+        if not deltas and not histograms:
+            return
+        path = Path(path)
+        stored: Dict[str, Any] = {"counters": {}, "histograms": {}}
+        if path.exists():
+            try:
+                raw = json.loads(path.read_text())
+                if isinstance(raw, dict):
+                    stored["counters"] = dict(raw.get("counters", {}))
+                    stored["histograms"] = dict(raw.get("histograms", {}))
+            except (json.JSONDecodeError, OSError):
+                pass
+        for name, delta in deltas.items():
+            stored["counters"][name] = stored["counters"].get(name, 0) + delta
+        # Exact cross-process percentile merging is impossible from
+        # summaries; keep the latest process's distribution summary.
+        stored["histograms"].update(histograms)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(stored, f, indent=1)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self._persisted.update(snap["counters"])
+
+    @staticmethod
+    def load_persisted(path: Union[str, Path]) -> Optional[Dict[str, Any]]:
+        """Read a persisted metrics file; None if missing/corrupt."""
+        path = Path(path)
+        if not path.exists():
+            return None
+        try:
+            raw = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            return None
+        if not isinstance(raw, dict):
+            return None
+        return {
+            "counters": dict(raw.get("counters", {})),
+            "histograms": dict(raw.get("histograms", {})),
+        }
+
+
+def format_report(snapshot: Dict[str, Dict[str, Any]]) -> str:
+    """Human-readable rendering of a :meth:`MetricsRegistry.snapshot`."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        lines.append("counters")
+        width = max(len(n) for n in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {counters[name]}")
+    if histograms:
+        if lines:
+            lines.append("")
+        lines.append("histograms (count / mean / p50 / p95 / max)")
+        width = max(len(n) for n in histograms)
+        for name in sorted(histograms):
+            s = histograms[name]
+            if not s.get("count"):
+                lines.append(f"  {name:<{width}}  (empty)")
+                continue
+            lines.append(
+                f"  {name:<{width}}  {s['count']:d} / {s['mean']:.3g} / "
+                f"{s['p50']:.3g} / {s['p95']:.3g} / {s['max']:.3g}"
+            )
+    if not lines:
+        return "(no metrics recorded)"
+    return "\n".join(lines)
+
+
+#: The process-wide registry used by all instrumentation call-sites.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    return _REGISTRY.counter(name)
+
+
+def histogram(name: str) -> Histogram:
+    return _REGISTRY.histogram(name)

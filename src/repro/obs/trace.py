@@ -1,0 +1,211 @@
+"""In-process tracing: nested spans with monotonic timestamps.
+
+A *span* measures one named region of wall-clock time.  Spans nest: the
+span opened most recently on the current thread becomes the parent of
+the next one, so a dump reconstructs the full call tree (compile ->
+opt passes -> isel/regalloc/sched, simulate -> sampled units, ...).
+
+Tracing is off by default and the disabled path is deliberately cheap:
+``span()`` performs one attribute check and returns a shared no-op
+handle, so instrumentation can stay in hot-ish code (per SMARTS unit,
+per optimization pass) without a measurable tax -- the regression test
+in ``tests/test_obs.py`` holds it under 5% of a small ``build_model``
+run.
+
+Enable with the ``REPRO_TRACE`` environment variable (any value other
+than ``0/off/false/no/none``), programmatically via
+:func:`enable_tracing`, or through the CLI wrapper ``repro trace <cmd>``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+def _env_truthy(value: Optional[str]) -> bool:
+    if value is None:
+        return False
+    return value.strip().lower() not in ("", "0", "off", "false", "no", "none")
+
+
+@dataclass
+class SpanRecord:
+    """One finished span, as stored by the tracer and the exporters."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    thread_id: int
+    #: Seconds on the tracer's monotonic clock (``time.perf_counter``).
+    start: float
+    #: Wall-clock duration in seconds.
+    duration: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+class _NullSpan:
+    """Shared no-op span handle returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set_attr(self, name: str, value: Any) -> None:
+        pass
+
+    def set_attrs(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """A live span; records itself on the tracer when the block exits."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self._start = 0.0
+
+    def set_attr(self, name: str, value: Any) -> None:
+        self.attrs[name] = value
+
+    def set_attrs(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_ActiveSpan":
+        tracer = self._tracer
+        stack = tracer._stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        self.span_id = next(tracer._ids)
+        stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        duration = time.perf_counter() - self._start
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # unbalanced exit (generator abandoned, ...): best effort
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+        self._tracer._record(
+            SpanRecord(
+                name=self.name,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                thread_id=threading.get_ident(),
+                start=self._start,
+                duration=duration,
+                attrs=self.attrs,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Thread-safe collector of finished :class:`SpanRecord` objects.
+
+    Each thread keeps its own span stack (parenting never crosses
+    threads); the finished-span list is shared under a lock.
+    """
+
+    def __init__(self, enabled: Optional[bool] = None):
+        if enabled is None:
+            enabled = _env_truthy(os.environ.get("REPRO_TRACE"))
+        self.enabled = enabled
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._spans: List[SpanRecord] = []
+
+    # -- internal ------------------------------------------------------
+    def _stack(self) -> List[_ActiveSpan]:
+        try:
+            return self._local.stack
+        except AttributeError:
+            stack: List[_ActiveSpan] = []
+            self._local.stack = stack
+            return stack
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._spans.append(record)
+
+    # -- public --------------------------------------------------------
+    def span(self, name: str, **attrs: Any):
+        """Open a span; use as ``with tracer.span("name", k=v) as sp:``."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, name, attrs)
+
+    @property
+    def spans(self) -> List[SpanRecord]:
+        """A snapshot copy of all finished spans."""
+        with self._lock:
+            return list(self._spans)
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop collected spans (and this thread's open-span stack)."""
+        with self._lock:
+            self._spans.clear()
+        self._local.stack = []
+
+    def current_span_id(self) -> Optional[int]:
+        stack = self._stack()
+        return stack[-1].span_id if stack else None
+
+
+#: The process-wide tracer used by all instrumentation call-sites.
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    return _TRACER
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the global tracer (no-op unless tracing is on)."""
+    if not _TRACER.enabled:  # the entire disabled fast path
+        return _NULL_SPAN
+    return _ActiveSpan(_TRACER, name, attrs)
+
+
+def enable_tracing() -> None:
+    _TRACER.enable()
+
+
+def disable_tracing() -> None:
+    _TRACER.disable()
+
+
+def reset_tracing() -> None:
+    _TRACER.reset()
+
+
+def tracing_enabled() -> bool:
+    return _TRACER.enabled

@@ -4,11 +4,20 @@ Pass order follows gcc's: interprocedural (inlining) first, then scalar
 and loop optimizations on the IR, with always-on cleanups between passes,
 and layout last so nothing disturbs it.  ``-fschedule-insns2`` and
 ``-fomit-frame-pointer`` act in the backend and are not dispatched here.
+
+Every dispatched pass runs inside an ``opt.<pass>`` tracing span carrying
+the module's IR instruction count before and after (the interleaved
+cleanup is attributed to the pass that made it necessary), and the size
+delta feeds the ``opt.delta.<pass>`` histogram — so a trace dump shows
+both where compile time goes and which pass grows or shrinks the IR.
 """
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.ir import Module
+from repro.obs import histogram, span
 from repro.opt.cleanup import cleanup_module
 from repro.opt.flags import CompilerConfig
 from repro.opt.gcse import global_cse
@@ -20,28 +29,54 @@ from repro.opt.strength import strength_reduce
 from repro.opt.unroll import unroll_loops
 
 
+def _run_pass(module: Module, name: str, fn: Callable[[], None]) -> None:
+    """Run one pass under a span, recording the IR-size delta."""
+    with span("opt." + name) as sp:
+        before = module.instruction_count()
+        fn()
+        after = module.instruction_count()
+        sp.set_attrs(instrs_before=before, instrs_after=after)
+    histogram("opt.delta." + name).observe(after - before)
+
+
 def optimize_module(module: Module, config: CompilerConfig) -> Module:
     """Run the flag-selected optimization pipeline in place."""
-    cleanup_module(module)
-    if config.inline_functions:
-        inline_functions(module, config)
-        cleanup_module(module)
-    if config.loop_optimize:
-        loop_optimize(module)
-        cleanup_module(module)
-    if config.gcse:
-        global_cse(module)
-        cleanup_module(module)
-    # Prefetching must see the raw iv*scale address arithmetic, so it
-    # runs before strength reduction rewrites those multiplies.
-    if config.prefetch_loop_arrays:
-        prefetch_loop_arrays(module)
-    if config.strength_reduce:
-        strength_reduce(module)
-        cleanup_module(module)
-    if config.unroll_loops:
-        unroll_loops(module, config)
-        cleanup_module(module)
-    if config.reorder_blocks:
-        reorder_blocks(module)
+    with span("opt.pipeline"):
+        _run_pass(module, "cleanup", lambda: cleanup_module(module))
+        if config.inline_functions:
+            _run_pass(
+                module,
+                "inline",
+                lambda: (inline_functions(module, config), cleanup_module(module)),
+            )
+        if config.loop_optimize:
+            _run_pass(
+                module,
+                "loopopt",
+                lambda: (loop_optimize(module), cleanup_module(module)),
+            )
+        if config.gcse:
+            _run_pass(
+                module,
+                "gcse",
+                lambda: (global_cse(module), cleanup_module(module)),
+            )
+        # Prefetching must see the raw iv*scale address arithmetic, so it
+        # runs before strength reduction rewrites those multiplies.
+        if config.prefetch_loop_arrays:
+            _run_pass(module, "prefetch", lambda: prefetch_loop_arrays(module))
+        if config.strength_reduce:
+            _run_pass(
+                module,
+                "strength",
+                lambda: (strength_reduce(module), cleanup_module(module)),
+            )
+        if config.unroll_loops:
+            _run_pass(
+                module,
+                "unroll",
+                lambda: (unroll_loops(module, config), cleanup_module(module)),
+            )
+        if config.reorder_blocks:
+            _run_pass(module, "reorder", lambda: reorder_blocks(module))
     return module

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -14,7 +15,12 @@ from repro.doe import (
 )
 from repro.models.base import RegressionModel
 from repro.models.metrics import mean_absolute_percentage_error
+from repro.obs import counter, span
 from repro.space import ParameterSpace
+
+_ITERATIONS = counter("pipeline.iterations")
+_ORACLE_MEASUREMENTS = counter("pipeline.oracle_measurements")
+_ZERO_RESPONSES = counter("pipeline.zero_test_responses")
 
 #: An oracle measures the system response (execution time in cycles) at a
 #: raw design point; in the full system this is "compile the program with
@@ -26,9 +32,12 @@ def measure_points(
     oracle: Oracle, space: ParameterSpace, coded: np.ndarray
 ) -> np.ndarray:
     """Measure the oracle at every row of a coded design matrix."""
+    coded = np.atleast_2d(coded)
     responses = np.empty(coded.shape[0])
-    for i, row in enumerate(np.atleast_2d(coded)):
-        responses[i] = oracle(space.decode(row))
+    with span("pipeline.measure_points", n_points=coded.shape[0]):
+        for i, row in enumerate(coded):
+            responses[i] = oracle(space.decode(row))
+    _ORACLE_MEASUREMENTS.inc(coded.shape[0])
     return responses
 
 
@@ -37,8 +46,29 @@ def evaluate_model(
     x_test: np.ndarray,
     y_test: np.ndarray,
 ) -> Tuple[float, float]:
-    """(mean, std) of absolute percentage prediction error on a test set."""
-    pred = model.predict(x_test)
+    """(mean, std) of absolute percentage prediction error on a test set.
+
+    Test points whose measured response is exactly zero are excluded
+    (percentage error is undefined there -- dividing would inject
+    inf/nan into the error history); each exclusion increments the
+    ``pipeline.zero_test_responses`` counter and the first occurrence
+    warns.  Returns ``(nan, nan)`` if every response is zero.
+    """
+    y_test = np.asarray(y_test, dtype=float)
+    pred = np.asarray(model.predict(x_test), dtype=float)
+    nonzero = y_test != 0.0
+    if not nonzero.all():
+        n_zero = int((~nonzero).sum())
+        _ZERO_RESPONSES.inc(n_zero)
+        warnings.warn(
+            f"evaluate_model: ignoring {n_zero} test point(s) with zero "
+            "response (undefined percentage error)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        if not nonzero.any():
+            return float("nan"), float("nan")
+        pred, y_test = pred[nonzero], y_test[nonzero]
     errors = np.abs((pred - y_test) / y_test) * 100.0
     return float(errors.mean()), float(errors.std())
 
@@ -93,34 +123,54 @@ def build_model(
         omitted an independent random design of ``test_size`` points is
         generated and measured through the oracle.
     """
-    candidates = random_candidates(space, n_candidates, rng)
+    with span(
+        "pipeline.build_model",
+        initial_size=initial_size,
+        batch_size=batch_size,
+        max_samples=max_samples,
+    ) as top:
+        candidates = random_candidates(space, n_candidates, rng)
 
-    if test_set is None:
-        x_test = random_candidates(space, test_size, rng)
-        y_test = measure_points(oracle, space, x_test)
-    else:
-        x_test, y_test = test_set
+        if test_set is None:
+            with span("pipeline.test_set", n_points=test_size):
+                x_test = random_candidates(space, test_size, rng)
+                y_test = measure_points(oracle, space, x_test)
+        else:
+            x_test, y_test = test_set
 
-    design = d_optimal_design(candidates, initial_size, rng)
-    x_train = design.design
-    y_train = measure_points(oracle, space, x_train)
-
-    history: List[Tuple[int, float, float]] = []
-    model = model_factory()
-    model.fit(x_train, y_train)
-    mean_err, std_err = evaluate_model(model, x_test, y_test)
-    history.append((x_train.shape[0], mean_err, std_err))
-
-    while mean_err > target_error and x_train.shape[0] + batch_size <= max_samples:
-        extra = augment_design(x_train, candidates, batch_size, rng)
-        x_new = extra.design
-        y_new = measure_points(oracle, space, x_new)
-        x_train = np.vstack([x_train, x_new])
-        y_train = np.concatenate([y_train, y_new])
-        model = model_factory()
-        model.fit(x_train, y_train)
-        mean_err, std_err = evaluate_model(model, x_test, y_test)
+        history: List[Tuple[int, float, float]] = []
+        with span("pipeline.iteration", index=0) as it:
+            with span("pipeline.initial_design", n_points=initial_size):
+                design = d_optimal_design(candidates, initial_size, rng)
+            x_train = design.design
+            y_train = measure_points(oracle, space, x_train)
+            with span("pipeline.fit", n_samples=x_train.shape[0]):
+                model = model_factory()
+                model.fit(x_train, y_train)
+            mean_err, std_err = evaluate_model(model, x_test, y_test)
+            it.set_attrs(n_samples=x_train.shape[0], mean_err=mean_err)
+        _ITERATIONS.inc()
         history.append((x_train.shape[0], mean_err, std_err))
+
+        iteration = 0
+        while mean_err > target_error and x_train.shape[0] + batch_size <= max_samples:
+            iteration += 1
+            with span("pipeline.iteration", index=iteration) as it:
+                with span("pipeline.augment_design", n_points=batch_size):
+                    extra = augment_design(x_train, candidates, batch_size, rng)
+                x_new = extra.design
+                y_new = measure_points(oracle, space, x_new)
+                x_train = np.vstack([x_train, x_new])
+                y_train = np.concatenate([y_train, y_new])
+                with span("pipeline.fit", n_samples=x_train.shape[0]):
+                    model = model_factory()
+                    model.fit(x_train, y_train)
+                mean_err, std_err = evaluate_model(model, x_test, y_test)
+                it.set_attrs(n_samples=x_train.shape[0], mean_err=mean_err)
+            _ITERATIONS.inc()
+            history.append((x_train.shape[0], mean_err, std_err))
+
+        top.set_attrs(n_samples=x_train.shape[0], final_error=mean_err)
 
     return ModelBuildResult(
         model=model,

@@ -15,7 +15,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import counter, span
 from repro.space import ParameterSpace
+
+_GENERATIONS = counter("ga.generations")
+_EVALUATIONS = counter("ga.evaluations")
 
 #: An objective maps a coded design matrix (n, k) to responses (n,);
 #: the GA minimizes it.
@@ -125,37 +129,45 @@ class GeneticSearch:
         best_value = np.inf
         stall = 0
 
-        for _ in range(self.generations):
-            coded = self._decode_genomes(genomes)
-            fitness = np.asarray(objective(coded), dtype=float)
-            evaluations += self.population
-            gen_best = int(np.argmin(fitness))
-            if fitness[gen_best] < best_value - 1e-12:
-                best_value = float(fitness[gen_best])
-                best_genome = genomes[gen_best].copy()
-                stall = 0
-            else:
-                stall += 1
-            history.append(best_value)
-            if self.patience is not None and stall >= self.patience:
-                break
+        with span(
+            "ga.run", population=self.population, generations=self.generations
+        ) as top:
+            for generation in range(self.generations):
+                with span("ga.generation", index=generation) as gen_span:
+                    coded = self._decode_genomes(genomes)
+                    fitness = np.asarray(objective(coded), dtype=float)
+                    evaluations += self.population
+                    _GENERATIONS.inc()
+                    _EVALUATIONS.inc(self.population)
+                    gen_best = int(np.argmin(fitness))
+                    if fitness[gen_best] < best_value - 1e-12:
+                        best_value = float(fitness[gen_best])
+                        best_genome = genomes[gen_best].copy()
+                        stall = 0
+                    else:
+                        stall += 1
+                    history.append(best_value)
+                    gen_span.set_attrs(best_value=best_value, stall=stall)
+                if self.patience is not None and stall >= self.patience:
+                    break
 
-            # Next generation: elitism + tournament/crossover/mutation.
-            order = np.argsort(fitness)
-            next_genomes = [genomes[i].copy() for i in order[: self.elite]]
-            while len(next_genomes) < self.population:
-                pa = genomes[self._select(fitness, rng)]
-                pb = genomes[self._select(fitness, rng)]
-                if rng.random() < self.crossover_rate:
-                    mask = rng.random(genomes.shape[1]) < 0.5
-                    child = np.where(mask, pa, pb)
-                else:
-                    child = pa.copy()
-                mutate = rng.random(genomes.shape[1]) < self.mutation_rate
-                for j in np.flatnonzero(mutate):
-                    child[j] = rng.integers(self._n_levels[j])
-                next_genomes.append(child)
-            genomes = np.vstack(next_genomes)
+                # Next generation: elitism + tournament/crossover/mutation.
+                order = np.argsort(fitness)
+                next_genomes = [genomes[i].copy() for i in order[: self.elite]]
+                while len(next_genomes) < self.population:
+                    pa = genomes[self._select(fitness, rng)]
+                    pb = genomes[self._select(fitness, rng)]
+                    if rng.random() < self.crossover_rate:
+                        mask = rng.random(genomes.shape[1]) < 0.5
+                        child = np.where(mask, pa, pb)
+                    else:
+                        child = pa.copy()
+                    mutate = rng.random(genomes.shape[1]) < self.mutation_rate
+                    for j in np.flatnonzero(mutate):
+                        child[j] = rng.integers(self._n_levels[j])
+                    next_genomes.append(child)
+                genomes = np.vstack(next_genomes)
+            top.set_attrs(evaluations=evaluations, best_value=best_value)
 
         best_coded = self._decode_genomes(best_genome[None, :])[0]
         return SearchResult(

@@ -6,10 +6,14 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from repro.codegen.linker import Executable
+from repro.obs import counter, span
 from repro.sim.config import MicroarchConfig
 from repro.sim.func import FunctionalResult, execute
 from repro.sim.ooo import OooTimingModel
 from repro.sim.smarts import SmartsResult, smarts_simulate
+
+_DETAILED_RUNS = counter("sim.detailed_runs")
+_SMARTS_RUNS = counter("sim.smarts_runs")
 
 
 @dataclass
@@ -45,12 +49,16 @@ def simulate(
     functional run across microarchitectures.
     """
     if functional is None:
-        functional = execute(exe, collect_trace=True)
+        with span("sim.functional") as sp:
+            functional = execute(exe, collect_trace=True)
+            sp.set_attrs(instructions=functional.instruction_count)
     if trace is None:
         trace = functional.trace
     if mode == "detailed":
-        model = OooTimingModel(exe, config)
-        timing = model.simulate_trace(trace)
+        _DETAILED_RUNS.inc()
+        with span("sim.detailed", instructions=len(trace)):
+            model = OooTimingModel(exe, config)
+            timing = model.simulate_trace(trace)
         return SimulationOutcome(
             cycles=float(timing.cycles),
             return_value=functional.return_value,
@@ -59,9 +67,20 @@ def simulate(
             sampling_error=0.0,
         )
     if mode == "smarts":
-        est = smarts_simulate(
-            exe, config, trace, unit_size=unit_size, interval=interval
-        )
+        _SMARTS_RUNS.inc()
+        with span(
+            "sim.smarts",
+            instructions=len(trace),
+            unit_size=unit_size,
+            interval=interval,
+        ) as sp:
+            est = smarts_simulate(
+                exe, config, trace, unit_size=unit_size, interval=interval
+            )
+            sp.set_attrs(
+                sampled_units=est.sampled_units,
+                relative_error=est.relative_error,
+            )
         return SimulationOutcome(
             cycles=est.estimated_cycles,
             return_value=functional.return_value,

@@ -21,8 +21,12 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.codegen.linker import Executable
+from repro.obs import counter, span
 from repro.sim.config import MicroarchConfig
 from repro.sim.ooo import OooTimingModel, TimingResult
+
+_UNITS_SAMPLED = counter("smarts.units.sampled")
+_UNITS_SKIPPED = counter("smarts.units.skipped")
 
 #: z-value for 99.7% confidence (three sigma), as the paper quotes.
 Z_997 = 3.0
@@ -89,22 +93,27 @@ def smarts_simulate(
         if unit_index % interval == offset % interval:
             warm_start = max(0, pos - detailed_warmup)
             cool_end = min(n, end + detailed_cooldown)
-            result = model.simulate_window(
-                trace, warm_start, cool_end, measure_from=pos, measure_to=end
-            )
+            with span("smarts.detailed_unit", unit=unit_index, instructions=end - pos):
+                result = model.simulate_window(
+                    trace, warm_start, cool_end, measure_from=pos, measure_to=end
+                )
+            _UNITS_SAMPLED.inc()
             # Keep cache/predictor state consistent: the cooldown
             # instructions were simulated in detail, which already warmed
             # them; skip re-warming only for the unit itself.
             if result.instructions > 0:
                 unit_cpis.append(result.cycles / result.instructions)
         else:
-            model.warm(trace, pos, end)
+            with span("smarts.warm", unit=unit_index, instructions=end - pos):
+                model.warm(trace, pos, end)
+            _UNITS_SKIPPED.inc()
         pos = end
         unit_index += 1
 
     if not unit_cpis:
         # Degenerate short trace: fall back to detailed simulation.
-        result = model.simulate_trace(trace)
+        with span("smarts.fallback_detailed", instructions=n):
+            result = model.simulate_trace(trace)
         return SmartsResult(
             estimated_cycles=float(result.cycles),
             cpi=result.cpi,
