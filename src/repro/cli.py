@@ -60,6 +60,17 @@ def _add_flag_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for batch measurements "
+        "(default $REPRO_JOBS or 1; 0 = all cores)",
+    )
+
+
 def _compiler_config(args):
     from repro.opt import O0, O2, O3
 
@@ -148,19 +159,24 @@ def cmd_model(args) -> int:
 
     space = full_space()
     engine = default_engine()
-    result = build_model(
-        oracle=engine.oracle(args.workload, args.input),
-        space=space,
-        model_factory=lambda: RbfModel(variable_names=space.names),
-        rng=np.random.default_rng(args.seed),
-        initial_size=args.samples // 2,
-        batch_size=max(10, args.samples // 4),
-        max_samples=args.samples,
-        target_error=args.target_error,
-        n_candidates=max(300, 4 * args.samples),
-        test_size=max(15, args.samples // 4),
-    )
-    engine.save()
+    if args.jobs is not None:
+        engine.jobs = (os.cpu_count() or 1) if args.jobs <= 0 else args.jobs
+    # finally: a crash or Ctrl-C mid-sweep keeps the measurements taken.
+    try:
+        result = build_model(
+            oracle=engine.oracle(args.workload, args.input),
+            space=space,
+            model_factory=lambda: RbfModel(variable_names=space.names),
+            rng=np.random.default_rng(args.seed),
+            initial_size=args.samples // 2,
+            batch_size=max(10, args.samples // 4),
+            max_samples=args.samples,
+            target_error=args.target_error,
+            n_candidates=max(300, 4 * args.samples),
+            test_size=max(15, args.samples // 4),
+        )
+    finally:
+        engine.save()
     for n, err, std in result.error_history:
         print(f"{n:5d} samples -> {err:6.2f}% (±{std:.2f}) test error")
     return 0
@@ -177,38 +193,45 @@ def cmd_tune(args) -> int:
 
     space = full_space()
     engine = default_engine()
+    if args.jobs is not None:
+        engine.jobs = (os.cpu_count() or 1) if args.jobs <= 0 else args.jobs
     microarch = _microarch(args)
     rng = np.random.default_rng(args.seed)
 
-    print(f"Building a model for {args.workload} ({args.samples} sims)...")
-    built = build_model(
-        oracle=engine.oracle(args.workload, args.input),
-        space=space,
-        model_factory=lambda: RbfModel(variable_names=space.names),
-        rng=rng,
-        initial_size=args.samples,
-        batch_size=args.samples,
-        max_samples=args.samples,
-        n_candidates=max(300, 4 * args.samples),
-        test_size=max(15, args.samples // 5),
-    )
-    print(f"  model test error {built.test_error:.2f}%")
+    # finally: a crash or Ctrl-C mid-sweep keeps the measurements taken.
+    try:
+        print(f"Building a model for {args.workload} ({args.samples} sims)...")
+        built = build_model(
+            oracle=engine.oracle(args.workload, args.input),
+            space=space,
+            model_factory=lambda: RbfModel(variable_names=space.names),
+            rng=rng,
+            initial_size=args.samples,
+            batch_size=args.samples,
+            max_samples=args.samples,
+            n_candidates=max(300, 4 * args.samples),
+            test_size=max(15, args.samples // 5),
+        )
+        print(f"  model test error {built.test_error:.2f}%")
 
-    compiler_space = space.subspace(COMPILER_VARIABLE_NAMES)
-    objective = frozen_microarch_objective(
-        built.model, space, compiler_space, microarch
-    )
-    ga = GeneticSearch(compiler_space, population=60, generations=40)
-    result = ga.run(objective, rng)
-    settings = CompilerConfig.from_point(result.best_point)
-    print(f"prescribed settings: {settings.describe()}")
+        compiler_space = space.subspace(COMPILER_VARIABLE_NAMES)
+        objective = frozen_microarch_objective(
+            built.model, space, compiler_space, microarch
+        )
+        ga = GeneticSearch(compiler_space, population=60, generations=40)
+        result = ga.run(objective, rng)
+        settings = CompilerConfig.from_point(result.best_point)
+        print(f"prescribed settings: {settings.describe()}")
 
-    o2 = engine.measure_configs(args.workload, O2, microarch, args.input)
-    o3 = engine.measure_configs(args.workload, O3, microarch, args.input)
-    best = engine.measure_configs(
-        args.workload, settings, microarch, args.input
-    )
-    engine.save()
+        o2, o3, best = engine.measure_many(
+            [
+                (args.workload, O2, microarch, args.input),
+                (args.workload, O3, microarch, args.input),
+                (args.workload, settings, microarch, args.input),
+            ]
+        )
+    finally:
+        engine.save()
     print(f"-O2      {o2.cycles:12.0f} cycles")
     print(f"-O3      {o3.cycles:12.0f} cycles ({(o2.cycles/o3.cycles-1)*100:+.2f}%)")
     print(f"searched {best.cycles:12.0f} cycles ({(o2.cycles/best.cycles-1)*100:+.2f}%)")
@@ -328,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=100)
     p.add_argument("--target-error", type=float, default=5.0)
     p.add_argument("--seed", type=int, default=0)
+    _add_jobs_argument(p)
 
     p = sub.add_parser("tune", help="model-based flag search")
     p.add_argument("workload")
@@ -339,6 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["constrained", "typical", "aggressive"],
         default="typical",
     )
+    _add_jobs_argument(p)
 
     p = sub.add_parser(
         "trace", help="run a command with tracing on and dump the spans"

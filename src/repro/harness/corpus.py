@@ -96,16 +96,24 @@ def build_corpus(
     x_train, steps = build_design(space, n_train, rng)
     x_test = random_candidates(space, n_test, rng)
 
+    train_points = [space.decode(row) for row in x_train]
+    test_points = [space.decode(row) for row in x_test]
     data: Dict[str, WorkloadData] = {}
-    for name in names:
-        y_train = np.empty(x_train.shape[0])
-        for i, row in enumerate(x_train):
-            y_train[i] = engine.cycles(name, space.decode(row), input_name)
-            if progress and (i + 1) % 20 == 0:
-                print(f"  {name}: measured {i + 1}/{x_train.shape[0]} train")
-        y_test = np.empty(x_test.shape[0])
-        for i, row in enumerate(x_test):
-            y_test[i] = engine.cycles(name, space.decode(row), input_name)
-        data[name] = WorkloadData(name, x_train, y_train, x_test, y_test)
+    # Per-workload flush inside the loop keeps partial progress on disk;
+    # the finally covers a crash or Ctrl-C mid-workload (results already
+    # collected from the pool are in the engine's cache and survive).
+    try:
+        for name in names:
+            y_train = np.asarray(
+                engine.cycles_batch(name, train_points, input_name)
+            )
+            if progress:
+                print(f"  {name}: measured {x_train.shape[0]} train")
+            y_test = np.asarray(
+                engine.cycles_batch(name, test_points, input_name)
+            )
+            data[name] = WorkloadData(name, x_train, y_train, x_test, y_test)
+            engine.save()
+    finally:
         engine.save()
     return Corpus(space=space, data=data, growth_steps=steps)

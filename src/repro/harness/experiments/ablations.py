@@ -54,23 +54,27 @@ def run_design_ablation(
     rng = np.random.default_rng(seed)
     names = list(workloads) if workloads else list(corpus.data)[:2]
     rows: List[DesignAblationRow] = []
-    for name in names:
-        data = corpus.data[name]
-        budget = n_train or min(60, data.x_train.shape[0])
-        designs = {
-            "d-optimal": data.x_train[:budget],
-            "random": random_candidates(space, budget, rng),
-            "lhs": latin_hypercube_candidates(space, budget, rng),
-        }
-        for strategy, design in designs.items():
-            if strategy == "d-optimal":
-                y = data.y_train[:budget]
-            else:
-                y = measure_points(engine.oracle(name), space, design)
-            model = RbfModel(variable_names=space.names)
-            model.fit(design, y)
-            err, _ = evaluate_model(model, data.x_test, data.y_test)
-            rows.append(DesignAblationRow(name, strategy, budget, err))
+    # finally: a crash mid-sweep keeps every measurement already taken.
+    try:
+        for name in names:
+            data = corpus.data[name]
+            budget = n_train or min(60, data.x_train.shape[0])
+            designs = {
+                "d-optimal": data.x_train[:budget],
+                "random": random_candidates(space, budget, rng),
+                "lhs": latin_hypercube_candidates(space, budget, rng),
+            }
+            for strategy, design in designs.items():
+                if strategy == "d-optimal":
+                    y = data.y_train[:budget]
+                else:
+                    y = measure_points(engine.oracle(name), space, design)
+                model = RbfModel(variable_names=space.names)
+                model.fit(design, y)
+                err, _ = evaluate_model(model, data.x_test, data.y_test)
+                rows.append(DesignAblationRow(name, strategy, budget, err))
+            engine.save()
+    finally:
         engine.save()
     return rows
 

@@ -106,6 +106,8 @@ def run_fig3_unroll_icache(
     # largest there, which is where the paper's dip-then-rise response
     # is clearest.
     base = dataclasses.replace(TYPICAL, issue_width=2, ruu_size=16)
+    grid = []
+    requests = []
     for kb in icache_sizes_kb:
         microarch = dataclasses.replace(base, icache_size=kb * 1024)
         for unroll in unroll_factors:
@@ -115,9 +117,14 @@ def run_fig3_unroll_icache(
                 max_unroll_times=unroll,
                 max_unrolled_insns=300,
             )
-            m = engine.measure_configs(workload, compiler, microarch)
-            cycles[(unroll, kb * 1024)] = m.cycles
-    engine.save()
+            grid.append((unroll, kb * 1024))
+            requests.append((workload, compiler, microarch, "train"))
+    try:
+        measured = engine.measure_many(requests)
+    finally:
+        engine.save()
+    for cell, m in zip(grid, measured):
+        cycles[cell] = m.cycles
 
     # Simple 1-D linear fit of cycles vs unroll factor at the smallest
     # icache, showing the inadequacy of the global linear form.

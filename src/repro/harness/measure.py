@@ -14,22 +14,35 @@ Caching layers:
 * (cycles, checksum) results are memoized on the full point, optionally
   persisted to ``.repro_cache/measurements.json`` so the benchmark suite
   reuses measurements across processes.
+
+Design points are independent of one another, so batches of them are
+embarrassingly parallel: :meth:`MeasurementEngine.measure_many` /
+:meth:`MeasurementEngine.measure_batch` fan cache misses out to a
+process pool (``jobs`` workers, default from ``REPRO_JOBS``).  Workers
+rebuild their own binary+trace caches and return plain
+:class:`Measurement` tuples; since a point's measurement is a pure
+function of its cache key, the results are bit-identical to the serial
+path regardless of worker count.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
+import multiprocessing
 import os
 import tempfile
+import time
 from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.codegen import COMPILER_VERSION, compile_module
 from repro.harness.configs import split_point
-from repro.obs import counter, span
+from repro.obs import counter, histogram, span
 from repro.opt.flags import CompilerConfig
 from repro.sim import simulate
 from repro.sim.config import MicroarchConfig
@@ -43,6 +56,41 @@ _RESULT_HITS = counter("measure.result_cache.hits")
 _RESULT_MISSES = counter("measure.result_cache.misses")
 _COMPILATIONS = counter("measure.compilations")
 _SIMULATIONS = counter("measure.simulations")
+_BATCH_SUBMITTED = counter("measure.batch.submitted")
+_WORKER_MS = histogram("measure.batch.worker_ms")
+
+
+def _md5_hex(data: bytes) -> str:
+    """md5 hexdigest usable on FIPS-enabled Pythons.
+
+    The fingerprint is a cache key, not a security boundary, so it must
+    be declared as such (``usedforsecurity=False``) where the kwarg
+    exists; older signatures (<3.9 style) take no kwarg at all.
+    """
+    try:
+        h = hashlib.md5(data, usedforsecurity=False)
+    except TypeError:
+        h = hashlib.md5(data)
+    return h.hexdigest()
+
+
+def default_jobs() -> int:
+    """Worker-process count from ``REPRO_JOBS`` (default 1 = serial).
+
+    ``0`` or a negative value means "all cores"; unparseable values fall
+    back to serial so a stray environment variable can never break a
+    measurement run.
+    """
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
 
 
 @dataclass
@@ -72,6 +120,9 @@ class MeasurementEngine:
         persistence (in-memory caching still applies).
     max_cached_traces:
         Traces are large; only this many binaries+traces stay resident.
+    jobs:
+        Worker processes for :meth:`measure_many` / :meth:`measure_batch`
+        (None reads ``REPRO_JOBS``; 1 keeps everything in-process).
     """
 
     def __init__(
@@ -80,10 +131,12 @@ class MeasurementEngine:
         smarts_interval: int = 3,
         cache_dir: Optional[str] = None,
         max_cached_traces: int = 6,
+        jobs: Optional[int] = None,
     ):
         self.mode = mode
         self.smarts_interval = smarts_interval
         self.max_cached_traces = max_cached_traces
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         #: LRU of (exe, functional) keyed on (workload, input, compiler
         #: key, issue width); hits move the entry to the MRU end.
         self._trace_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
@@ -99,51 +152,83 @@ class MeasurementEngine:
     # ------------------------------------------------------------------
     # Persistent cache
     # ------------------------------------------------------------------
-    def _load_disk_cache(self) -> None:
+    def _read_disk_raw(self) -> Dict[str, dict]:
+        """Raw key->payload dict currently on disk ({} on any failure)."""
         if self._cache_path is None or not self._cache_path.exists():
-            return
+            return {}
         try:
             raw = json.loads(self._cache_path.read_text())
         except (json.JSONDecodeError, OSError):
-            return
-        for key, value in raw.items():
+            return {}
+        return raw if isinstance(raw, dict) else {}
+
+    def _load_disk_cache(self) -> None:
+        for key, value in self._read_disk_raw().items():
             value.setdefault("code_size", 0)
             self._result_cache[key] = Measurement(**value)
+
+    @contextlib.contextmanager
+    def _save_lock(self) -> Iterator[None]:
+        """Serialize read-merge-replace against other savers (POSIX only;
+        elsewhere the merge still makes concurrent saves lose at most a
+        simultaneous writer's delta, never the whole file)."""
+        try:
+            import fcntl
+        except ImportError:
+            yield
+            return
+        lock_path = self._cache_path.with_suffix(".lock")
+        with open(lock_path, "w") as lk:
+            fcntl.flock(lk, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lk, fcntl.LOCK_UN)
 
     def save(self) -> None:
         """Flush the measurement cache to disk (no-op without cache_dir).
 
-        The write is atomic: the payload goes to a temporary file in the
-        same directory and is ``os.replace``-d over ``measurements.json``,
-        so a crash mid-flush leaves either the old cache or the new one,
-        never a truncated file for ``_load_disk_cache`` to discard.
+        Safe for concurrent writers: the current ``measurements.json`` is
+        re-read and merged (disk ∪ memory, memory wins) under a lock
+        file, so two engines saving interleaved measurements to the same
+        cache directory both survive instead of last-writer-wins.  The
+        write itself is atomic: the payload goes to a temporary file in
+        the same directory and is ``os.replace``-d over
+        ``measurements.json``, so a crash mid-flush leaves either the old
+        cache or the new one, never a truncated file for
+        ``_load_disk_cache`` to discard.  Entries found on disk but not
+        in memory are absorbed into the in-memory cache as well.
         """
         if self._cache_path is None or not self._dirty:
             return
         self._cache_path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            key: {
-                "cycles": m.cycles,
-                "checksum": m.checksum,
-                "instructions": m.instructions,
-                "sampling_error": m.sampling_error,
-                "code_size": m.code_size,
-            }
-            for key, m in self._result_cache.items()
-        }
-        fd, tmp = tempfile.mkstemp(
-            dir=str(self._cache_path.parent),
-            prefix=self._cache_path.name,
-            suffix=".tmp",
-        )
-        try:
-            with os.fdopen(fd, "w") as f:
-                json.dump(payload, f)
-            os.replace(tmp, self._cache_path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        with self._save_lock():
+            payload = self._read_disk_raw()
+            for key, value in payload.items():
+                if key not in self._result_cache:
+                    value.setdefault("code_size", 0)
+                    self._result_cache[key] = Measurement(**value)
+            for key, m in self._result_cache.items():
+                payload[key] = {
+                    "cycles": m.cycles,
+                    "checksum": m.checksum,
+                    "instructions": m.instructions,
+                    "sampling_error": m.sampling_error,
+                    "code_size": m.code_size,
+                }
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self._cache_path.parent),
+                prefix=self._cache_path.name,
+                suffix=".tmp",
+            )
+            try:
+                with os.fdopen(fd, "w") as f:
+                    json.dump(payload, f)
+                os.replace(tmp, self._cache_path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
         self._dirty = False
 
     # ------------------------------------------------------------------
@@ -156,9 +241,7 @@ class MeasurementEngine:
         key = (workload, input_name)
         if key not in cls._fingerprints:
             source = get_workload(workload).source(input_name)
-            cls._fingerprints[key] = hashlib.md5(
-                source.encode()
-            ).hexdigest()[:10]
+            cls._fingerprints[key] = _md5_hex(source.encode())[:10]
         return cls._fingerprints[key]
 
     @classmethod
@@ -287,22 +370,198 @@ class MeasurementEngine:
     ) -> float:
         return self.measure(workload, point, input_name).cycles
 
-    def oracle(self, workload: str, input_name: str = "train"):
-        """An oracle callable for :func:`repro.pipeline.build_model`."""
+    # ------------------------------------------------------------------
+    # Batch measurement (process-pool fan-out)
+    # ------------------------------------------------------------------
+    def measure_many(
+        self,
+        requests: Sequence[Tuple[str, CompilerConfig, MicroarchConfig, str]],
+        jobs: Optional[int] = None,
+    ) -> List[Measurement]:
+        """Measure many ``(workload, compiler, microarch, input)`` tuples.
 
-        def _oracle(point: Mapping[str, float]) -> float:
-            return self.cycles(workload, point, input_name)
+        Cache hits are served from this engine; misses are deduplicated
+        by cache key and, with ``jobs > 1``, fanned out to a process
+        pool.  Results land back in this engine's caches, so a following
+        :meth:`save` persists them.  Guaranteed identical to calling
+        :meth:`measure_configs` in a loop, for any worker count.
+        """
+        requests = list(requests)
+        jobs = self.jobs if jobs is None else max(1, int(jobs))
+        results: List[Optional[Measurement]] = [None] * len(requests)
+        #: cache key -> indices into `requests` still needing measurement.
+        pending: "OrderedDict[str, List[int]]" = OrderedDict()
+        for i, (workload, comp, micro, input_name) in enumerate(requests):
+            key = self._result_key(
+                workload, input_name, comp, micro, self.mode, self.smarts_interval
+            )
+            cached = self._result_cache.get(key)
+            if cached is not None:
+                _RESULT_HITS.inc()
+                results[i] = cached
+            else:
+                pending.setdefault(key, []).append(i)
+        if pending and (jobs <= 1 or len(pending) == 1):
+            for indices in pending.values():
+                workload, comp, micro, input_name = requests[indices[0]]
+                m = self.measure_configs(workload, comp, micro, input_name)
+                for i in indices:
+                    results[i] = m
+        elif pending:
+            self._measure_pending_parallel(requests, pending, results, jobs)
+        return results  # type: ignore[return-value]
 
-        return _oracle
+    def _measure_pending_parallel(
+        self,
+        requests: Sequence[Tuple[str, CompilerConfig, MicroarchConfig, str]],
+        pending: "OrderedDict[str, List[int]]",
+        results: List[Optional[Measurement]],
+        jobs: int,
+    ) -> None:
+        n_workers = min(jobs, len(pending))
+        with span(
+            "measure.batch",
+            pool_size=n_workers,
+            n_points=len(requests),
+            n_missing=len(pending),
+        ):
+            with ProcessPoolExecutor(
+                max_workers=n_workers,
+                mp_context=multiprocessing.get_context(),
+                initializer=_init_worker,
+                initargs=(self.mode, self.smarts_interval, self.max_cached_traces),
+            ) as pool:
+                futures = []
+                for key, indices in pending.items():
+                    workload, comp, micro, input_name = requests[indices[0]]
+                    futures.append(
+                        pool.submit(
+                            _measure_task, key, workload, comp, micro, input_name
+                        )
+                    )
+                    _BATCH_SUBMITTED.inc()
+                    _RESULT_MISSES.inc()
+                for fut in as_completed(futures):
+                    key, m, worker_ms = fut.result()
+                    _WORKER_MS.observe(worker_ms)
+                    _SIMULATIONS.inc()
+                    self.simulations += 1
+                    self._result_cache[key] = m
+                    self._dirty = True
+                    for i in pending[key]:
+                        results[i] = m
 
-    def code_size_oracle(self, workload: str, input_name: str = "train"):
+    def measure_batch(
+        self,
+        workload: str,
+        points: Sequence[Mapping[str, float]],
+        input_name: str = "train",
+        jobs: Optional[int] = None,
+    ) -> List[Measurement]:
+        """Measure a whole design (sequence of raw points) for one
+        workload, fanning cache misses out to ``jobs`` workers."""
+        requests = []
+        for point in points:
+            compiler, microarch = split_point(point)
+            requests.append((workload, compiler, microarch, input_name))
+        return self.measure_many(requests, jobs=jobs)
+
+    def cycles_batch(
+        self,
+        workload: str,
+        points: Sequence[Mapping[str, float]],
+        input_name: str = "train",
+        jobs: Optional[int] = None,
+    ) -> List[float]:
+        return [
+            m.cycles
+            for m in self.measure_batch(workload, points, input_name, jobs=jobs)
+        ]
+
+    def oracle(self, workload: str, input_name: str = "train") -> "EngineOracle":
+        """A batch-aware oracle for :func:`repro.pipeline.build_model`."""
+        return EngineOracle(self, workload, input_name)
+
+    def code_size_oracle(
+        self, workload: str, input_name: str = "train"
+    ) -> "EngineOracle":
         """Oracle for the secondary code-size response (Section 2.2
         notes models can be built for metrics beyond execution time)."""
+        return EngineOracle(self, workload, input_name, response="code_size")
 
-        def _oracle(point: Mapping[str, float]) -> float:
-            return float(self.measure(workload, point, input_name).code_size)
 
-        return _oracle
+class EngineOracle:
+    """Oracle bound to one (engine, workload, input, response).
+
+    Callable one point at a time like any plain oracle, and additionally
+    implements the batch half of the pipeline's ``Oracle`` protocol:
+    ``measure_many(points)`` submits the whole design to
+    :meth:`MeasurementEngine.measure_batch` so cache misses run on the
+    engine's worker pool.
+    """
+
+    def __init__(
+        self,
+        engine: MeasurementEngine,
+        workload: str,
+        input_name: str = "train",
+        response: str = "cycles",
+        jobs: Optional[int] = None,
+    ):
+        self.engine = engine
+        self.workload = workload
+        self.input_name = input_name
+        self.response = response
+        self.jobs = jobs
+
+    def _value(self, m: Measurement) -> float:
+        return float(getattr(m, self.response))
+
+    def __call__(self, point: Mapping[str, float]) -> float:
+        return self._value(
+            self.engine.measure(self.workload, point, self.input_name)
+        )
+
+    def measure_many(
+        self, points: Sequence[Mapping[str, float]]
+    ) -> List[float]:
+        return [
+            self._value(m)
+            for m in self.engine.measure_batch(
+                self.workload, points, self.input_name, jobs=self.jobs
+            )
+        ]
+
+
+# ----------------------------------------------------------------------
+# Worker-process side of the pool.  Each worker holds one engine (fresh
+# binary+trace caches, no persistence) alive across tasks, so repeated
+# (compiler key, issue width) pairs amortize their compilations.
+# ----------------------------------------------------------------------
+_WORKER_ENGINE: Optional[MeasurementEngine] = None
+
+
+def _init_worker(mode: str, smarts_interval: int, max_cached_traces: int) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = MeasurementEngine(
+        mode=mode,
+        smarts_interval=smarts_interval,
+        cache_dir=None,
+        max_cached_traces=max_cached_traces,
+        jobs=1,
+    )
+
+
+def _measure_task(
+    key: str,
+    workload: str,
+    compiler: CompilerConfig,
+    microarch: MicroarchConfig,
+    input_name: str,
+) -> Tuple[str, Measurement, float]:
+    t0 = time.perf_counter()
+    m = _WORKER_ENGINE.measure_configs(workload, compiler, microarch, input_name)
+    return key, m, (time.perf_counter() - t0) * 1e3
 
 
 _DEFAULT: Optional[MeasurementEngine] = None

@@ -42,11 +42,23 @@ class Loop:
             node = node.parent
         return depth
 
+    def body_in_layout_order(self, func: Function) -> List[str]:
+        """Loop-body labels in the function's block layout order.
+
+        ``body`` is a set of strings, so iterating it directly follows
+        string-hash order — which varies with ``PYTHONHASHSEED`` across
+        processes.  Any pass whose *emitted code order* depends on the
+        visit order must use this instead, or the same point measures
+        differently in different processes (breaking the batch backend's
+        serial/parallel bit-identity and the cross-process cache).
+        """
+        return [b.label for b in func.blocks if b.label in self.body]
+
     def exits(self, func: Function) -> List[str]:
         """Labels of blocks outside the loop targeted from inside."""
         succ = successors(func)
         out: List[str] = []
-        for label in self.body:
+        for label in self.body_in_layout_order(func):
             for s in succ[label]:
                 if s not in self.body and s not in out:
                     out.append(s)

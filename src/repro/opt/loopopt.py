@@ -78,9 +78,12 @@ def _hoist_loop(func: Function, loop: Loop, single_def: Set[Temp]) -> int:
     invariant: Set[Temp] = set()
     hoisted = 0
     changed = True
+    # Layout order, not set order: the hoist sequence lands verbatim in
+    # the preheader, so the visit order is part of the emitted code.
+    body_order = loop.body_in_layout_order(func)
     while changed:
         changed = False
-        for label in loop.body:
+        for label in body_order:
             block = func.block(label)
             remaining = []
             for instr in block.instrs:

@@ -77,7 +77,10 @@ def _prefetch_loop(module: Module, func: Function, loop: Loop) -> int:
 
     inserted = 0
     seen_streams: Set[Tuple[str, Temp, int]] = set()
-    for label in list(loop.body):
+    # Layout order: first-seen wins per stream and new temps are named
+    # in visit order, so set-order iteration would emit different code
+    # in different processes.
+    for label in loop.body_in_layout_order(func):
         block = func.block(label)
         new_instrs = []
         for instr in block.instrs:

@@ -89,9 +89,10 @@ def _reduce_loop(func: Function, loop: Loop) -> int:
     iv_by_temp = {iv.temp: iv for iv in ivs}
 
     # Find candidate multiplies: d = mul iv, k with k const, d single-def,
-    # located anywhere in the loop.
+    # located anywhere in the loop.  Layout order: the rewrite order
+    # names new temps, so it must not follow set (hash) order.
     candidates: List[Tuple[str, int, Temp, BasicIV, int]] = []
-    for label in loop.body:
+    for label in loop.body_in_layout_order(func):
         block = func.block(label)
         for i, instr in enumerate(block.instrs):
             if not isinstance(instr, BinOp) or instr.op != "mul":

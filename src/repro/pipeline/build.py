@@ -24,19 +24,41 @@ _ZERO_RESPONSES = counter("pipeline.zero_test_responses")
 
 #: An oracle measures the system response (execution time in cycles) at a
 #: raw design point; in the full system this is "compile the program with
-#: these flags and simulate it on this microarchitecture".
+#: these flags and simulate it on this microarchitecture".  Batch-aware
+#: oracles (e.g. :class:`repro.harness.measure.EngineOracle`) additionally
+#: expose ``measure_many(points) -> sequence of floats``, which
+#: :func:`measure_points` prefers so whole design matrices reach the
+#: measurement backend at once (and can fan out to worker processes).
 Oracle = Callable[[Dict[str, float]], float]
 
 
 def measure_points(
     oracle: Oracle, space: ParameterSpace, coded: np.ndarray
 ) -> np.ndarray:
-    """Measure the oracle at every row of a coded design matrix."""
+    """Measure the oracle at every row of a coded design matrix.
+
+    If the oracle implements the batch protocol (a ``measure_many``
+    method), the decoded design is submitted whole; otherwise each point
+    is measured through the plain callable.  Either way the responses
+    come back in row order.
+    """
     coded = np.atleast_2d(coded)
-    responses = np.empty(coded.shape[0])
-    with span("pipeline.measure_points", n_points=coded.shape[0]):
-        for i, row in enumerate(coded):
-            responses[i] = oracle(space.decode(row))
+    points = [space.decode(row) for row in coded]
+    measure_many = getattr(oracle, "measure_many", None)
+    with span(
+        "pipeline.measure_points",
+        n_points=coded.shape[0],
+        batched=measure_many is not None,
+    ):
+        if measure_many is not None:
+            responses = np.asarray(measure_many(points), dtype=float)
+            if responses.shape != (coded.shape[0],):
+                raise ValueError(
+                    f"batch oracle returned {responses.shape} responses "
+                    f"for {coded.shape[0]} points"
+                )
+        else:
+            responses = np.array([float(oracle(p)) for p in points])
     _ORACLE_MEASUREMENTS.inc(coded.shape[0])
     return responses
 

@@ -10,6 +10,7 @@ has not improved for a number of generations.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -20,6 +21,7 @@ from repro.space import ParameterSpace
 
 _GENERATIONS = counter("ga.generations")
 _EVALUATIONS = counter("ga.evaluations")
+_NON_FINITE = counter("ga.non_finite_fitness")
 
 #: An objective maps a coded design matrix (n, k) to responses (n,);
 #: the GA minimizes it.
@@ -80,6 +82,8 @@ class GeneticSearch:
     ):
         if population < 2:
             raise ValueError("population must be >= 2")
+        if generations < 1:
+            raise ValueError("generations must be >= 1")
         if elite >= population:
             raise ValueError("elite must be smaller than population")
         self.space = space
@@ -128,6 +132,7 @@ class GeneticSearch:
         best_genome: Optional[np.ndarray] = None
         best_value = np.inf
         stall = 0
+        warned_non_finite = False
 
         with span(
             "ga.run", population=self.population, generations=self.generations
@@ -136,11 +141,30 @@ class GeneticSearch:
                 with span("ga.generation", index=generation) as gen_span:
                     coded = self._decode_genomes(genomes)
                     fitness = np.asarray(objective(coded), dtype=float)
+                    # NaN never compares below anything, so a NaN-riddled
+                    # objective would leave best_genome unset forever;
+                    # treat every non-finite fitness as +inf (worst).
+                    non_finite = ~np.isfinite(fitness)
+                    if non_finite.any():
+                        _NON_FINITE.inc(int(non_finite.sum()))
+                        if not warned_non_finite:
+                            warnings.warn(
+                                f"GA objective returned "
+                                f"{int(non_finite.sum())} non-finite fitness "
+                                "value(s); treating them as +inf",
+                                RuntimeWarning,
+                                stacklevel=2,
+                            )
+                            warned_non_finite = True
+                        fitness = np.where(non_finite, np.inf, fitness)
                     evaluations += self.population
                     _GENERATIONS.inc()
                     _EVALUATIONS.inc(self.population)
                     gen_best = int(np.argmin(fitness))
-                    if fitness[gen_best] < best_value - 1e-12:
+                    if (
+                        best_genome is None
+                        or fitness[gen_best] < best_value - 1e-12
+                    ):
                         best_value = float(fitness[gen_best])
                         best_genome = genomes[gen_best].copy()
                         stall = 0

@@ -1,0 +1,295 @@
+"""Tests for the process-pool measurement backend and the
+concurrent-writer-safe persistent cache."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.harness.configs import TABLE5_CONFIGS
+from repro.harness.measure import (
+    EngineOracle,
+    Measurement,
+    MeasurementEngine,
+    default_jobs,
+)
+from repro.opt import O2, O3
+from repro.pipeline import measure_points
+from repro.space import full_space
+
+
+def _random_points(n, seed=0):
+    space = full_space()
+    rng = np.random.default_rng(seed)
+    return space, [space.random_point(rng) for _ in range(n)]
+
+
+class TestMeasureBatch:
+    def test_parallel_identical_to_serial(self):
+        """jobs=4 must reproduce the serial engine measurement-for-
+        measurement (a point's measurement is a pure function of its
+        cache key, whatever process computes it)."""
+        _, points = _random_points(5)
+        serial = MeasurementEngine()
+        expected = [serial.measure("art", p) for p in points]
+        parallel = MeasurementEngine()
+        got = parallel.measure_batch("art", points, jobs=4)
+        assert got == expected
+
+    def test_jobs_one_stays_in_process(self):
+        _, points = _random_points(3, seed=1)
+        engine = MeasurementEngine()
+        got = engine.measure_batch("art", points, jobs=1)
+        assert engine.simulations == 3
+        assert got == [engine.measure("art", p) for p in points]
+
+    def test_batch_dedups_and_serves_cache(self):
+        _, points = _random_points(2, seed=2)
+        engine = MeasurementEngine()
+        got = engine.measure_batch(
+            "art", [points[0], points[0], points[1]], jobs=2
+        )
+        assert engine.simulations == 2  # duplicate measured once
+        assert got[0] == got[1]
+        again = engine.measure_batch("art", points, jobs=2)
+        assert engine.simulations == 2  # warm batch: all cache hits
+        assert again == got[::2]
+
+    def test_batch_results_are_persisted(self, tmp_path):
+        _, points = _random_points(2, seed=3)
+        engine = MeasurementEngine(cache_dir=str(tmp_path))
+        engine.measure_batch("art", points, jobs=2)
+        engine.save()
+        fresh = MeasurementEngine(cache_dir=str(tmp_path))
+        fresh.measure_batch("art", points, jobs=2)
+        assert fresh.simulations == 0
+
+    def test_measure_many_mixed_configs(self):
+        engine = MeasurementEngine()
+        micro = TABLE5_CONFIGS["typical"]
+        o2, o3, o2_again = engine.measure_many(
+            [
+                ("art", O2, micro, "train"),
+                ("art", O3, micro, "train"),
+                ("art", O2, micro, "train"),
+            ],
+            jobs=2,
+        )
+        assert o2 == o2_again
+        assert o2 == engine.measure_configs("art", O2, micro)
+        assert o3 == engine.measure_configs("art", O3, micro)
+
+    def test_default_jobs_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+        assert MeasurementEngine().jobs == 3
+        monkeypatch.setenv("REPRO_JOBS", "garbage")
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() >= 1
+
+
+class TestBatchOracleProtocol:
+    def test_measure_points_prefers_batch(self):
+        space = full_space()
+        calls = []
+
+        class FakeOracle:
+            def __call__(self, point):
+                raise AssertionError("batched oracle must not be "
+                                     "called point-at-a-time")
+
+            def measure_many(self, points):
+                calls.append(len(points))
+                return [float(i) for i in range(len(points))]
+
+        coded = np.zeros((4, space.dim))
+        y = measure_points(FakeOracle(), space, coded)
+        assert calls == [4]
+        assert y.tolist() == [0.0, 1.0, 2.0, 3.0]
+
+    def test_measure_points_plain_callable_fallback(self):
+        space = full_space()
+        coded = np.zeros((3, space.dim))
+        y = measure_points(lambda point: 7.0, space, coded)
+        assert y.tolist() == [7.0, 7.0, 7.0]
+
+    def test_measure_points_rejects_wrong_batch_shape(self):
+        space = full_space()
+
+        class BadOracle:
+            def __call__(self, point):
+                return 0.0
+
+            def measure_many(self, points):
+                return [1.0]  # wrong length
+
+        with pytest.raises(ValueError):
+            measure_points(BadOracle(), space, np.zeros((2, space.dim)))
+
+    def test_engine_oracle_batch_matches_scalar(self):
+        _, points = _random_points(3, seed=4)
+        engine = MeasurementEngine()
+        oracle = engine.oracle("art")
+        assert isinstance(oracle, EngineOracle)
+        batched = oracle.measure_many(points)
+        assert batched == [oracle(p) for p in points]
+
+    def test_code_size_oracle_response(self):
+        _, points = _random_points(1, seed=5)
+        engine = MeasurementEngine()
+        oracle = engine.code_size_oracle("art")
+        assert oracle(points[0]) == float(
+            engine.measure("art", points[0]).code_size
+        )
+
+
+class TestConcurrentSave:
+    def _fake(self, cycles):
+        return Measurement(
+            cycles=cycles,
+            checksum=1,
+            instructions=10,
+            sampling_error=0.0,
+            code_size=4,
+        )
+
+    def test_disjoint_writers_both_survive(self, tmp_path):
+        """Two engines loaded from the same (empty) cache dir save
+        disjoint keys; the merge-on-save keeps both on disk."""
+        e1 = MeasurementEngine(cache_dir=str(tmp_path))
+        e2 = MeasurementEngine(cache_dir=str(tmp_path))
+        e1._result_cache["k1"] = self._fake(1.0)
+        e1._dirty = True
+        e2._result_cache["k2"] = self._fake(2.0)
+        e2._dirty = True
+        e1.save()
+        e2.save()  # last writer: must not discard e1's entry
+        raw = json.loads((tmp_path / "measurements.json").read_text())
+        assert set(raw) == {"k1", "k2"}
+        fresh = MeasurementEngine(cache_dir=str(tmp_path))
+        assert fresh._result_cache["k1"].cycles == 1.0
+        assert fresh._result_cache["k2"].cycles == 2.0
+
+    def test_memory_wins_on_conflict(self, tmp_path):
+        e1 = MeasurementEngine(cache_dir=str(tmp_path))
+        e1._result_cache["k"] = self._fake(1.0)
+        e1._dirty = True
+        e1.save()
+        e2 = MeasurementEngine(cache_dir=str(tmp_path))
+        e2._result_cache["k"] = self._fake(9.0)
+        e2._dirty = True
+        e2.save()
+        raw = json.loads((tmp_path / "measurements.json").read_text())
+        assert raw["k"]["cycles"] == 9.0
+
+    def test_save_absorbs_disk_entries(self, tmp_path):
+        e1 = MeasurementEngine(cache_dir=str(tmp_path))
+        e1._result_cache["k1"] = self._fake(1.0)
+        e1._dirty = True
+        e2 = MeasurementEngine(cache_dir=str(tmp_path))
+        e2._result_cache["k2"] = self._fake(2.0)
+        e2._dirty = True
+        e1.save()
+        e2.save()
+        assert e2._result_cache["k1"].cycles == 1.0
+
+    def test_clean_engine_save_is_noop(self, tmp_path):
+        engine = MeasurementEngine(cache_dir=str(tmp_path))
+        engine.save()
+        assert not (tmp_path / "measurements.json").exists()
+
+    def test_interleaved_writers_across_processes(self, tmp_path):
+        """The acceptance scenario: two real processes interleave saves
+        to one cache dir; no entry may be lost."""
+        import subprocess
+        import sys
+
+        script = (
+            "import sys\n"
+            "from repro.harness.measure import Measurement, MeasurementEngine\n"
+            "tag = sys.argv[1]\n"
+            "e = MeasurementEngine(cache_dir=sys.argv[2])\n"
+            "for i in range(5):\n"
+            "    e._result_cache[f'{tag}-{i}'] = Measurement(\n"
+            "        cycles=float(i), checksum=0, instructions=1,\n"
+            "        sampling_error=0.0)\n"
+            "    e._dirty = True\n"
+            "    e.save()\n"
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, tag, str(tmp_path)],
+                env={**__import__("os").environ, "PYTHONPATH": "src"},
+                cwd=str(Path(__file__).resolve().parent.parent),
+            )
+            for tag in ("a", "b")
+        ]
+        for p in procs:
+            assert p.wait() == 0
+        raw = json.loads((tmp_path / "measurements.json").read_text())
+        expected = {f"{tag}-{i}" for tag in ("a", "b") for i in range(5)}
+        assert set(raw) == expected
+
+
+class TestCrossProcessDeterminism:
+    def test_compile_is_hash_seed_independent(self):
+        """Emitted code must not depend on PYTHONHASHSEED: set-order
+        iteration over loop bodies once decided LICM/prefetch/strength
+        emission order, so the same point measured differently in
+        different processes (breaking serial/parallel bit-identity and
+        poisoning the shared cache)."""
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "import hashlib\n"
+            "from repro.codegen import compile_module\n"
+            "from repro.workloads import get_workload\n"
+            "from repro.opt import O2\n"
+            "exe = compile_module(get_workload('gzip').module('train'),\n"
+            "                     O2, issue_width=4)\n"
+            "print(hashlib.sha256(exe.disassemble().encode()).hexdigest())\n"
+        )
+        digests = set()
+        for seed in ("1", "424242"):
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                env={**os.environ, "PYTHONPATH": "src",
+                     "PYTHONHASHSEED": seed},
+                cwd=str(Path(__file__).resolve().parent.parent),
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1
+
+
+class TestFingerprintFips:
+    def test_fingerprint_stable(self):
+        a = MeasurementEngine._workload_fingerprint("art", "train")
+        MeasurementEngine._fingerprints.pop(("art", "train"))
+        b = MeasurementEngine._workload_fingerprint("art", "train")
+        assert a == b and len(a) == 10
+
+    def test_md5_hex_fallback_signature(self, monkeypatch):
+        """Simulate a pre-usedforsecurity hashlib: the fallback path
+        must still produce the same digest."""
+        import hashlib
+
+        from repro.harness import measure as measure_mod
+
+        real_md5 = hashlib.md5
+
+        def strict_md5(data=b"", **kwargs):
+            if kwargs:
+                raise TypeError("md5() takes no keyword arguments")
+            return real_md5(data)
+
+        monkeypatch.setattr(measure_mod.hashlib, "md5", strict_md5)
+        assert measure_mod._md5_hex(b"abc") == real_md5(b"abc").hexdigest()

@@ -84,6 +84,55 @@ class TestGeneticSearch:
         with pytest.raises(ValueError):
             GeneticSearch(search_space(), population=10, elite=10)
 
+    def test_zero_generations_rejected(self):
+        with pytest.raises(ValueError, match="generations"):
+            GeneticSearch(search_space(), generations=0)
+        with pytest.raises(ValueError, match="generations"):
+            GeneticSearch(search_space(), generations=-3)
+
+    def test_all_nan_objective_degrades_gracefully(self):
+        """A fully degenerate objective must warn, not crash with a
+        TypeError on a never-assigned best genome."""
+        space = search_space()
+        ga = GeneticSearch(space, population=10, generations=5)
+
+        def objective(coded):
+            return np.full(np.atleast_2d(coded).shape[0], np.nan)
+
+        with pytest.warns(RuntimeWarning, match="non-finite"):
+            res = ga.run(objective, np.random.default_rng(0))
+        space.validate(res.best_point)  # a concrete on-grid point exists
+        assert res.best_value == np.inf
+        assert res.evaluations == 50
+
+    def test_partial_nan_objective_picks_finite_best(self):
+        space = search_space()
+        base = quadratic_objective(space)
+
+        def objective(coded):
+            coded = np.atleast_2d(coded)
+            values = base(coded)
+            # Poison every individual with an even first-gene level.
+            values[coded[:, 0] < 0.5] = np.nan
+            return values
+
+        ga = GeneticSearch(space, population=20, generations=20)
+        with pytest.warns(RuntimeWarning, match="non-finite"):
+            res = ga.run(objective, np.random.default_rng(1))
+        assert np.isfinite(res.best_value)
+        space.validate(res.best_point)
+
+    def test_inf_objective_warns_too(self):
+        space = search_space()
+        ga = GeneticSearch(space, population=8, generations=2)
+
+        def objective(coded):
+            return np.full(np.atleast_2d(coded).shape[0], np.inf)
+
+        with pytest.warns(RuntimeWarning, match="non-finite"):
+            res = ga.run(objective, np.random.default_rng(2))
+        space.validate(res.best_point)
+
 
 class TestBaselines:
     def test_exhaustive_enumerates_all(self):
