@@ -1,0 +1,75 @@
+"""Verification overhead: compile-time cost of each REPRO_VERIFY level.
+
+The analysis layer's contract is that the *disabled* path is free: with
+``REPRO_VERIFY=off`` the compile pipeline must run within 2% of a build
+that predates the analysis subsystem (one env lookup, no imports of the
+verifier modules).  The ``ir`` level (the default) pays one structural
+verification; ``full`` deliberately pays per-pass deep verification
+plus machine-code checks and is expected to cost a small multiple.
+
+Results land in ``results/verify_overhead.txt`` so creep shows up in
+the BENCH trajectory.
+"""
+
+import time
+
+from repro.analysis import VerifyLevel
+from repro.codegen.compile import compile_module
+from repro.harness.report import table
+from repro.opt import O3
+from repro.workloads import get_workload
+
+_WORKLOADS = ("gzip", "mcf", "bzip2")
+_REPEATS = 5
+
+
+def _timed_compile(module, level) -> float:
+    best = float("inf")
+    for _ in range(_REPEATS):
+        t0 = time.perf_counter()
+        compile_module(module, O3, verify_level=level)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_verify_overhead(report_sink):
+    rows = []
+    worst_off_overhead = 0.0
+    for name in _WORKLOADS:
+        module = get_workload(name).module()
+        compile_module(module, O3, verify_level=VerifyLevel.OFF)  # warm caches
+        off = _timed_compile(module, VerifyLevel.OFF)
+        ir = _timed_compile(module, VerifyLevel.IR)
+        full = _timed_compile(module, VerifyLevel.FULL)
+        # The IR-level run is the pre-analysis pipeline plus one
+        # verify_module call; the off-level run must not exceed it.
+        overhead = off / ir - 1.0
+        worst_off_overhead = max(worst_off_overhead, overhead)
+        rows.append(
+            [
+                name,
+                f"{off * 1e3:.1f}",
+                f"{ir * 1e3:.1f}",
+                f"{full * 1e3:.1f}",
+                f"{overhead * 100:+.2f}%",
+                f"{full / ir:.2f}x",
+            ]
+        )
+
+    report_sink(
+        "verify_overhead",
+        "Compile time by verification level (best of "
+        f"{_REPEATS}, -O3)\n"
+        + table(
+            ["workload", "off ms", "ir ms", "full ms", "off vs ir", "full/ir"],
+            rows,
+        ),
+    )
+
+    # The disabled path must be at worst 2% slower than the default
+    # (ir) path -- in practice it is faster, since it skips the
+    # post-pipeline verification entirely.
+    assert worst_off_overhead < 0.02, (
+        f"REPRO_VERIFY=off costs {worst_off_overhead * 100:.2f}% over the "
+        "default path; the disabled analysis layer must be free"
+    )

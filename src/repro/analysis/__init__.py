@@ -1,0 +1,81 @@
+"""Opt-in static analysis and sanitizing for the compile pipeline.
+
+Three layers, all off the hot path unless requested (``--verify`` /
+``REPRO_VERIFY``):
+
+* :mod:`repro.analysis.ir_verify` -- deep IR verification (dataflow
+  def-before-use on all paths, full per-instruction type checking, CFG
+  well-formedness, loop-structure invariants), run after every
+  optimization pass at ``REPRO_VERIFY=full``.
+* :mod:`repro.analysis.mc_verify` -- machine-code verification after
+  instruction selection, register allocation, frame lowering and
+  scheduling (dependence-order preservation), plus linked-image checks.
+* :mod:`repro.analysis.sanitize` / :mod:`repro.analysis.lint` --
+  differential execution against the reference IR interpreter, with
+  pass-granular miscompile bisection, and the ``repro lint`` sweep
+  driver.
+
+Only :mod:`repro.analysis.base` is imported eagerly; the verifier,
+sanitizer and lint modules load on first attribute access (PEP 562).
+This keeps ``import repro.analysis`` nearly free for the default
+compile path and breaks the cycle with :mod:`repro.codegen.compile`
+and :mod:`repro.opt.pipeline`, which the heavy modules import.
+
+See ``docs/ANALYSIS.md`` for the user-facing tour.
+"""
+
+from repro.analysis.base import (
+    AnalysisError,
+    MachineVerificationError,
+    MiscompileError,
+    PassVerificationError,
+    VerifyLevel,
+    Violation,
+    parse_verify_level,
+    resolve_verify_level,
+)
+
+#: Lazily resolved name -> defining submodule.
+_LAZY = {
+    "check_module_deep": "repro.analysis.ir_verify",
+    "deep_verify_function": "repro.analysis.ir_verify",
+    "deep_verify_module": "repro.analysis.ir_verify",
+    "LintFinding": "repro.analysis.lint",
+    "LintReport": "repro.analysis.lint",
+    "lint_workload": "repro.analysis.lint",
+    "schedule_preserves_deps": "repro.analysis.mc_verify",
+    "verify_executable": "repro.analysis.mc_verify",
+    "verify_machine_function": "repro.analysis.mc_verify",
+    "BisectionResult": "repro.analysis.sanitize",
+    "SanitizeReport": "repro.analysis.sanitize",
+    "bisect_passes": "repro.analysis.sanitize",
+    "check_sanitized": "repro.analysis.sanitize",
+    "sanitize_module": "repro.analysis.sanitize",
+}
+
+__all__ = [
+    "AnalysisError",
+    "MachineVerificationError",
+    "MiscompileError",
+    "PassVerificationError",
+    "VerifyLevel",
+    "Violation",
+    "parse_verify_level",
+    "resolve_verify_level",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,142 @@
+"""Shared types of the static-analysis subsystem: verification levels,
+violations and exception hierarchy.
+
+The subsystem is an opt-in layer over the compile pipeline; everything
+here is dependency-light so the hot path can resolve its level with one
+environment lookup and no imports of the heavy verifier modules.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.ir.verify import IRVerificationError
+
+
+class VerifyLevel(enum.Enum):
+    """How much verification the compile pipeline performs.
+
+    ``OFF``
+        No checks at all; behaviour and output are bit-identical to a
+        pipeline without the analysis subsystem.
+    ``IR``
+        One structural IR verification after the optimization pipeline
+        (the historical default of :func:`repro.codegen.compile_module`).
+    ``FULL``
+        Deep IR verification after every optimization pass, machine-code
+        verification after instruction selection, register allocation,
+        frame lowering and scheduling (including dependence-order
+        preservation), and linked-image checks.
+    """
+
+    OFF = "off"
+    IR = "ir"
+    FULL = "full"
+
+    @property
+    def at_least_ir(self) -> bool:
+        return self in (VerifyLevel.IR, VerifyLevel.FULL)
+
+    @property
+    def is_full(self) -> bool:
+        return self is VerifyLevel.FULL
+
+
+def parse_verify_level(text: str) -> Optional[VerifyLevel]:
+    """``"off"``/``"ir"``/``"full"`` -> level; None if unrecognized."""
+    try:
+        return VerifyLevel(text.strip().lower())
+    except ValueError:
+        return None
+
+
+def resolve_verify_level(
+    explicit: "VerifyLevel | str | None" = None,
+    default: VerifyLevel = VerifyLevel.IR,
+) -> VerifyLevel:
+    """The effective verification level.
+
+    Resolution order: an explicit argument (level or its string name)
+    wins; otherwise the ``REPRO_VERIFY`` environment variable; otherwise
+    ``default``.  Unparseable values fall back to ``default`` so a stray
+    environment variable can never abort a measurement run.
+    """
+    if explicit is not None:
+        if isinstance(explicit, VerifyLevel):
+            return explicit
+        parsed = parse_verify_level(explicit)
+        if parsed is None:
+            raise ValueError(
+                f"bad verify level {explicit!r}; expected off/ir/full"
+            )
+        return parsed
+    env = os.environ.get("REPRO_VERIFY")
+    if env:
+        parsed = parse_verify_level(env)
+        if parsed is not None:
+            return parsed
+    return default
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One verifier finding.
+
+    ``rule`` is a stable dotted identifier (``ir.use_undef``,
+    ``mc.undef_reg``, ``sem.divergence``, ...); ``where`` locates it
+    (function/block/pc); ``pass_name`` attributes it to the pipeline
+    stage that produced the broken artifact, when known.
+    """
+
+    rule: str
+    where: str
+    message: str
+    pass_name: Optional[str] = None
+
+    def __str__(self) -> str:
+        stage = f" [{self.pass_name}]" if self.pass_name else ""
+        return f"{self.rule}{stage} at {self.where}: {self.message}"
+
+
+class AnalysisError(Exception):
+    """Base of all sanitizer/verifier failures raised by this package."""
+
+
+class PassVerificationError(IRVerificationError):
+    """Deep IR verification failed after a specific optimization pass.
+
+    Subclasses :class:`repro.ir.IRVerificationError` so existing
+    ``except IRVerificationError`` call sites keep working; additionally
+    carries the guilty pass and the structured violation list.
+    """
+
+    def __init__(self, pass_name: str, violations: List[Violation]):
+        self.pass_name = pass_name
+        self.violations = list(violations)
+        lines = "\n  ".join(str(v) for v in self.violations)
+        super().__init__(
+            f"IR verification failed after pass {pass_name!r}:\n  {lines}"
+        )
+
+
+class MachineVerificationError(AnalysisError):
+    """Machine-code verification failed at a backend stage."""
+
+    def __init__(self, stage: str, violations: List[Violation]):
+        self.stage = stage
+        self.violations = list(violations)
+        lines = "\n  ".join(str(v) for v in self.violations)
+        super().__init__(
+            f"machine-code verification failed after {stage}:\n  {lines}"
+        )
+
+
+class MiscompileError(AnalysisError):
+    """The semantic sanitizer observed diverging program outputs."""
+
+    def __init__(self, message: str, report=None):
+        self.report = report
+        super().__init__(message)

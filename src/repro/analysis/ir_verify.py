@@ -1,0 +1,299 @@
+"""Deep IR verification: dataflow, types, CFG shape, loops, calls.
+
+Extends the structural checks of :mod:`repro.ir.verify` (which already
+performs definite-assignment def-before-use and call-signature checking)
+with the properties an optimization pass is most likely to break without
+crashing:
+
+* **CFG well-formedness** -- consistent label index, no duplicate
+  labels, no unreachable blocks (the cleanup pass guarantees their
+  removal, so their presence means a pass manufactured dead code and
+  nothing swept it), an entry block that exists and owns no stray
+  predecessors outside the block list.
+* **Full per-instruction type checking** -- every operand and result of
+  every opcode, not just copies: int ops take ints, float ops take
+  floats, comparisons take same-typed operands and produce ints,
+  conversions go the right way, addresses/offsets are integers.
+* **Loop-structure invariants** -- after unrolling/LICM every natural
+  loop must still have its latches inside its body, a back edge from
+  each latch to the header, and nested loop bodies contained in their
+  parents'.
+
+All checks return :class:`~repro.analysis.base.Violation` lists so the
+lint driver can count them per pass; :func:`check_module_deep` is the
+raising wrapper the pipeline uses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir.cfg import reachable_blocks
+from repro.ir.function import Function, Module
+from repro.ir.instructions import (
+    Addr,
+    BinOp,
+    Branch,
+    Call,
+    Cmp,
+    Copy,
+    FLOAT_BIN_OPS,
+    INT_BIN_OPS,
+    CMP_OPS,
+    Load,
+    Prefetch,
+    Store,
+    UnOp,
+)
+from repro.ir.loops import natural_loops
+from repro.ir.types import Type
+from repro.ir.values import Const, Temp, Value
+from repro.ir.verify import IRVerificationError, verify_function
+from repro.obs import counter, span
+
+from repro.analysis.base import PassVerificationError, Violation
+
+_CHECKS = counter("analysis.ir_verify.checks")
+_VIOLATIONS = counter("analysis.ir_verify.violations")
+
+#: UnOp signature table: op -> (operand type, result type).
+_UNOP_SIGNATURES = {
+    "neg": (Type.INT, Type.INT),
+    "not": (Type.INT, Type.INT),
+    "fneg": (Type.FLOAT, Type.FLOAT),
+    "itof": (Type.INT, Type.FLOAT),
+    "ftoi": (Type.FLOAT, Type.INT),
+}
+
+
+def _type_of(value: Value) -> Type:
+    return value.type  # Temp and Const both carry a type
+
+
+def _check_types(func: Function, out: List[Violation]) -> None:
+    def bad(label: str, instr, detail: str) -> None:
+        out.append(
+            Violation(
+                rule="ir.type",
+                where=f"{func.name}/{label}",
+                message=f"{detail} in {instr!r}",
+            )
+        )
+
+    for block in func.blocks:
+        for instr in block.all_instrs():
+            if isinstance(instr, BinOp):
+                if instr.op in INT_BIN_OPS:
+                    want = Type.INT
+                elif instr.op in FLOAT_BIN_OPS:
+                    want = Type.FLOAT
+                else:
+                    bad(block.label, instr, f"unknown binop {instr.op!r}")
+                    continue
+                for role, v in (("dst", instr.dst), ("lhs", instr.a), ("rhs", instr.b)):
+                    if _type_of(v) is not want:
+                        bad(
+                            block.label,
+                            instr,
+                            f"{instr.op} {role} has type "
+                            f"{_type_of(v).value}, wants {want.value}",
+                        )
+            elif isinstance(instr, UnOp):
+                sig = _UNOP_SIGNATURES.get(instr.op)
+                if sig is None:
+                    bad(block.label, instr, f"unknown unop {instr.op!r}")
+                    continue
+                operand, result = sig
+                if _type_of(instr.a) is not operand:
+                    bad(
+                        block.label,
+                        instr,
+                        f"{instr.op} operand has type "
+                        f"{_type_of(instr.a).value}, wants {operand.value}",
+                    )
+                if instr.dst.type is not result:
+                    bad(
+                        block.label,
+                        instr,
+                        f"{instr.op} result bound to {instr.dst.type.value} "
+                        f"temp, produces {result.value}",
+                    )
+            elif isinstance(instr, Cmp):
+                if instr.op not in CMP_OPS:
+                    bad(block.label, instr, f"unknown cmp {instr.op!r}")
+                    continue
+                if instr.dst.type is not Type.INT:
+                    bad(block.label, instr, "cmp result must be int")
+                if _type_of(instr.a) is not _type_of(instr.b):
+                    bad(
+                        block.label,
+                        instr,
+                        f"cmp operand types differ "
+                        f"({_type_of(instr.a).value} vs {_type_of(instr.b).value})",
+                    )
+            elif isinstance(instr, Copy):
+                if instr.dst.type is not _type_of(instr.src):
+                    bad(block.label, instr, "copy type mismatch")
+            elif isinstance(instr, (Load, Store, Prefetch)):
+                if _type_of(instr.base) is not Type.INT:
+                    bad(block.label, instr, "memory base must be int")
+                if _type_of(instr.offset) is not Type.INT:
+                    bad(block.label, instr, "memory offset must be int")
+            elif isinstance(instr, Addr):
+                if instr.dst.type is not Type.INT:
+                    bad(block.label, instr, "address must be int")
+            elif isinstance(instr, Branch):
+                if _type_of(instr.cond) is not Type.INT:
+                    bad(block.label, instr, "branch condition must be int")
+
+
+def _check_cfg(func: Function, out: List[Violation]) -> None:
+    labels = [b.label for b in func.blocks]
+    seen = set()
+    for label in labels:
+        if label in seen:
+            out.append(
+                Violation(
+                    rule="ir.cfg.duplicate_label",
+                    where=f"{func.name}/{label}",
+                    message="duplicate block label",
+                )
+            )
+        seen.add(label)
+    # The label index must describe exactly the block list (external
+    # surgery is required to call Function.reindex()).
+    for block in func.blocks:
+        if not func.has_block(block.label) or func.block(block.label) is not block:
+            out.append(
+                Violation(
+                    rule="ir.cfg.index",
+                    where=f"{func.name}/{block.label}",
+                    message="block index out of sync with block list",
+                )
+            )
+    if not func.blocks:
+        return
+    if any(b.terminator is None for b in func.blocks):
+        return  # structural verify already reported it; CFG walks need terminators
+    reachable = reachable_blocks(func)
+    for block in func.blocks:
+        if block.label not in reachable:
+            out.append(
+                Violation(
+                    rule="ir.cfg.unreachable",
+                    where=f"{func.name}/{block.label}",
+                    message="unreachable block survived cleanup",
+                )
+            )
+
+
+def _check_loops(func: Function, out: List[Violation]) -> None:
+    if any(b.terminator is None for b in func.blocks):
+        return
+    try:
+        loops = natural_loops(func)
+    except Exception as exc:  # analysis itself must never crash the verifier
+        out.append(
+            Violation(
+                rule="ir.loops.analysis",
+                where=func.name,
+                message=f"loop analysis failed: {exc!r}",
+            )
+        )
+        return
+    from repro.ir.cfg import successors
+
+    succ = successors(func)
+    for loop in loops:
+        if loop.header not in loop.body:
+            out.append(
+                Violation(
+                    rule="ir.loops.header",
+                    where=f"{func.name}/{loop.header}",
+                    message="loop header not contained in its own body",
+                )
+            )
+        for latch in loop.latches:
+            if latch not in loop.body:
+                out.append(
+                    Violation(
+                        rule="ir.loops.latch",
+                        where=f"{func.name}/{latch}",
+                        message=f"latch outside loop body of {loop.header}",
+                    )
+                )
+            if loop.header not in succ.get(latch, []):
+                out.append(
+                    Violation(
+                        rule="ir.loops.backedge",
+                        where=f"{func.name}/{latch}",
+                        message=f"latch has no back edge to {loop.header}",
+                    )
+                )
+        for child in loop.children:
+            if not child.body <= loop.body:
+                out.append(
+                    Violation(
+                        rule="ir.loops.nesting",
+                        where=f"{func.name}/{child.header}",
+                        message=(
+                            f"inner loop escapes its parent "
+                            f"({sorted(child.body - loop.body)})"
+                        ),
+                    )
+                )
+
+
+def deep_verify_function(
+    func: Function, module: Optional[Module] = None
+) -> List[Violation]:
+    """All deep-verifier findings for one function (empty = clean)."""
+    out: List[Violation] = []
+    try:
+        verify_function(func, module)
+    except IRVerificationError as exc:
+        out.append(
+            Violation(rule="ir.structure", where=func.name, message=str(exc))
+        )
+    _check_cfg(func, out)
+    _check_types(func, out)
+    _check_loops(func, out)
+    return out
+
+
+def deep_verify_module(module: Module) -> List[Violation]:
+    """Deep-verify every function plus module-level symbol references."""
+    _CHECKS.inc()
+    with span("analysis.ir_verify", n_functions=len(module.functions)):
+        out: List[Violation] = []
+        for func in module.functions.values():
+            out.extend(deep_verify_function(func, module))
+            for block in func.blocks:
+                for instr in block.instrs:
+                    if isinstance(instr, Addr) and instr.symbol not in module.globals:
+                        out.append(
+                            Violation(
+                                rule="ir.symbol",
+                                where=f"{func.name}/{block.label}",
+                                message=f"address of unknown global {instr.symbol!r}",
+                            )
+                        )
+    if out:
+        _VIOLATIONS.inc(len(out))
+    return out
+
+
+def check_module_deep(module: Module, pass_name: Optional[str] = None) -> None:
+    """Raise on any deep-verifier finding.
+
+    With ``pass_name``, raises :class:`PassVerificationError` (an
+    :class:`IRVerificationError` subclass carrying the guilty pass and
+    the violation list); otherwise a plain :class:`IRVerificationError`.
+    """
+    violations = deep_verify_module(module)
+    if not violations:
+        return
+    if pass_name is not None:
+        raise PassVerificationError(pass_name, violations)
+    lines = "\n  ".join(str(v) for v in violations)
+    raise IRVerificationError(f"deep IR verification failed:\n  {lines}")

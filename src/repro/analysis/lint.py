@@ -1,0 +1,227 @@
+"""``repro lint``: sweep a workload across flag vectors under full
+verification and report violations per pass.
+
+The lint driver compiles one workload many times -- at the preset
+corners (O0/O2/O3, everything-on, unroll-heavy, inline-heavy: the
+regions a flag-tuning GA visits most) plus seeded random flag/heuristic
+vectors -- with ``REPRO_VERIFY=full`` semantics, executes each binary on
+the functional simulator, and compares against the reference IR
+interpretation of the unoptimized module.  Verifier violations are
+attributed to their pass (or backend stage); semantic divergences are
+handed to the miscompile bisector for attribution.
+
+Everything is seeded: the same ``(workload, seed, n_random)`` always
+lints the same vectors.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.base import (
+    MachineVerificationError,
+    VerifyLevel,
+)
+from repro.analysis.sanitize import bisect_passes
+from repro.codegen.compile import compile_module
+from repro.ir.interp import interpret
+from repro.ir.verify import IRVerificationError
+from repro.obs import counter, span
+from repro.opt.flags import CompilerConfig, O0, O2, O3
+from repro.sim.func import execute
+from repro.workloads.registry import get_workload
+
+_VECTORS = counter("analysis.lint.vectors")
+_FINDINGS = counter("analysis.lint.findings")
+
+#: Heuristic sampling ranges (matching the design-space tables).
+_HEURISTIC_RANGES: Dict[str, Tuple[int, int]] = {
+    "max_inline_insns_auto": (50, 150),
+    "inline_unit_growth": (25, 75),
+    "inline_call_cost": (12, 20),
+    "max_unroll_times": (4, 12),
+    "max_unrolled_insns": (100, 300),
+}
+
+
+def corner_configs() -> List[Tuple[str, CompilerConfig]]:
+    """The hand-picked corners every lint run visits."""
+    all_on = CompilerConfig(
+        **{name: True for name in CompilerConfig._FLAG_NAMES}
+    )
+    return [
+        ("O0", O0),
+        ("O2", O2),
+        ("O3", O3),
+        ("all-on", all_on),
+        (
+            "unroll-heavy",
+            CompilerConfig(
+                unroll_loops=True,
+                loop_optimize=True,
+                strength_reduce=True,
+                schedule_insns2=True,
+                max_unroll_times=12,
+                max_unrolled_insns=300,
+            ),
+        ),
+        (
+            "inline-heavy",
+            CompilerConfig(
+                inline_functions=True,
+                gcse=True,
+                omit_frame_pointer=True,
+                max_inline_insns_auto=150,
+                inline_unit_growth=75,
+                inline_call_cost=12,
+            ),
+        ),
+    ]
+
+
+def random_config(rng: random.Random) -> CompilerConfig:
+    """One uniformly random flag/heuristic vector."""
+    kwargs: Dict[str, object] = {
+        name: rng.random() < 0.5 for name in CompilerConfig._FLAG_NAMES
+    }
+    for name, (lo, hi) in _HEURISTIC_RANGES.items():
+        kwargs[name] = rng.randint(lo, hi)
+    return CompilerConfig(**kwargs)
+
+
+def lint_vectors(
+    n_random: int, seed: int
+) -> List[Tuple[str, CompilerConfig]]:
+    """Corner configs plus ``n_random`` seeded random vectors."""
+    vectors = corner_configs()
+    rng = random.Random(seed)
+    for i in range(n_random):
+        vectors.append((f"rand{i}", random_config(rng)))
+    return vectors
+
+
+@dataclass
+class LintFinding:
+    """One violation or divergence observed during the sweep."""
+
+    vector: str
+    config: CompilerConfig
+    kind: str  # "ir", "machine", "semantic"
+    pass_name: str  # guilty pass / backend stage / "unknown"
+    detail: str
+
+
+@dataclass
+class LintReport:
+    """Outcome of linting one workload."""
+
+    workload: str
+    input_name: str
+    n_vectors: int
+    findings: List[LintFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def per_pass_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.pass_name] = counts.get(f.pass_name, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        lines = [
+            f"lint {self.workload}/{self.input_name}: "
+            f"{self.n_vectors} vectors, {len(self.findings)} findings"
+        ]
+        if self.findings:
+            lines.append("violations per pass:")
+            for name, count in sorted(
+                self.per_pass_counts().items(), key=lambda kv: -kv[1]
+            ):
+                lines.append(f"  {name:12s} {count}")
+            for f in self.findings:
+                lines.append(f"[{f.vector}] {f.kind}: {f.detail}")
+        return "\n".join(lines)
+
+
+def lint_workload(
+    workload: str,
+    input_name: str = "train",
+    n_random: int = 8,
+    seed: int = 0,
+    issue_width: int = 4,
+    progress=None,
+) -> LintReport:
+    """Sweep one workload under full verification; see module docstring."""
+    w = get_workload(workload)
+    module = w.module(input_name)
+    reference = interpret(copy.deepcopy(module)).return_value
+
+    vectors = lint_vectors(n_random, seed)
+    report = LintReport(
+        workload=workload, input_name=input_name, n_vectors=len(vectors)
+    )
+    with span("analysis.lint", workload=workload, n_vectors=len(vectors)):
+        for vec_name, config in vectors:
+            _VECTORS.inc()
+            if progress is not None:
+                progress(vec_name)
+            finding = _lint_one(
+                module, config, vec_name, reference, issue_width
+            )
+            if finding is not None:
+                _FINDINGS.inc()
+                report.findings.append(finding)
+    return report
+
+
+def _lint_one(
+    module,
+    config: CompilerConfig,
+    vec_name: str,
+    reference,
+    issue_width: int,
+) -> Optional[LintFinding]:
+    try:
+        exe = compile_module(
+            module,
+            config,
+            issue_width=issue_width,
+            verify_level=VerifyLevel.FULL,
+        )
+    except MachineVerificationError as exc:
+        return LintFinding(
+            vector=vec_name,
+            config=config,
+            kind="machine",
+            pass_name=exc.stage,
+            detail=str(exc),
+        )
+    except IRVerificationError as exc:
+        # PassVerificationError subclasses this and carries the pass.
+        return LintFinding(
+            vector=vec_name,
+            config=config,
+            kind="ir",
+            pass_name=getattr(exc, "pass_name", "unknown"),
+            detail=str(exc),
+        )
+    value = execute(exe).return_value
+    if value != reference:
+        bisection = bisect_passes(module, config, reference)
+        return LintFinding(
+            vector=vec_name,
+            config=config,
+            kind="semantic",
+            pass_name=bisection.guilty_pass or "backend",
+            detail=(
+                f"machine value {value!r} != reference {reference!r}; "
+                f"{bisection.reason}"
+            ),
+        )
+    return None

@@ -1,0 +1,577 @@
+"""Machine-code verification: isel, regalloc, frames, schedules, links.
+
+Checks the backend's output at every stage of
+:func:`repro.codegen.compile_module`:
+
+``stage="isel"``
+    Known opcodes, branch/jump targets that name blocks of the function,
+    well-formed memory operands, calls into the module.
+``stage="regalloc"``
+    Everything above, plus: no virtual registers survive, spill
+    placeholders stay within the function's slot count, nothing writes
+    the hardwired zero register.
+``stage="frame"``
+    Everything above, plus: no spill placeholders remain, stack-slot
+    addressing stays inside the frame (an sp-relative access below the
+    stack pointer is clobbered by any callee), and a flow-sensitive
+    must-analysis proves every physical register is written before it is
+    read -- with calls killing the caller-saved set, so a value parked
+    in a caller-saved register across a call is reported instead of
+    silently reading the callee's leftovers.
+
+:func:`schedule_preserves_deps` independently rebuilds the dependence
+relation of each block (RAW/WAR/WAW over registers, store ordering over
+memory, calls and control transfers as barriers) and confirms the list
+scheduler emitted a permutation that respects it.  It deliberately does
+NOT reuse the scheduler's own DAG builder: a shared bug would hide
+itself.
+
+:func:`verify_executable` checks the linked image: every control
+transfer resolves to a pc inside the text segment, calls land on
+function entries, globals resolve inside the data segment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.codegen.isa import (
+    ARG_REGS,
+    CALLEE_SAVED_FP,
+    CALLEE_SAVED_INT,
+    CALLER_SAVED_FP,
+    CALLER_SAVED_INT,
+    FARG_REGS,
+    FP_REG,
+    FRV,
+    MachineInstr,
+    OPCODE_CLASS,
+    OpClass,
+    RA,
+    RV,
+    Reg,
+    SCRATCH_FP,
+    SCRATCH_INT,
+    SP,
+    ZERO,
+    reg_name,
+)
+from repro.codegen.isel import FIRST_VREG, MachineFunction
+from repro.codegen.linker import Executable
+from repro.obs import counter, span
+
+from repro.analysis.base import MachineVerificationError, Violation
+
+_CHECKS = counter("analysis.mc_verify.checks")
+_VIOLATIONS = counter("analysis.mc_verify.violations")
+
+#: Registers a call may freely overwrite (callee scratch + argument and
+#: return registers + assembler scratch used for the callee's spills).
+_CALL_CLOBBERED: Set[Reg] = (
+    set(CALLER_SAVED_INT)
+    | set(CALLER_SAVED_FP)
+    | set(ARG_REGS)
+    | set(FARG_REGS)
+    | set(SCRATCH_INT)
+    | set(SCRATCH_FP)
+    | {RV, FRV}
+)
+
+#: Registers holding a defined value on function entry: the hardwired
+#: zero, stack/frame/return-address bookkeeping, incoming arguments, and
+#: the callee-saved set (whose caller values the prologue must be able
+#: to read in order to save them).
+_ENTRY_DEFINED: Set[Reg] = (
+    {ZERO, SP, RA, FP_REG}
+    | set(ARG_REGS)
+    | set(FARG_REGS)
+    | set(CALLEE_SAVED_INT)
+    | set(CALLEE_SAVED_FP)
+)
+
+
+def _is_vreg(reg: Reg) -> bool:
+    return reg >= FIRST_VREG
+
+
+def _fmt_loc(fname: str, label: str, index: int) -> str:
+    return f"{fname}/{label}#{index}"
+
+
+def _structural_checks(
+    mf: MachineFunction,
+    stage: str,
+    known_functions: Optional[Iterable[str]],
+    out: List[Violation],
+) -> None:
+    labels = {b.label for b in mf.blocks}
+    known = set(known_functions) if known_functions is not None else None
+    allow_vregs = stage == "isel"
+    allow_spill_placeholders = stage in ("isel", "regalloc")
+
+    for block in mf.blocks:
+        for i, instr in enumerate(block.instrs):
+            where = _fmt_loc(mf.name, block.label, i)
+            if instr.op not in OPCODE_CLASS:
+                out.append(
+                    Violation("mc.opcode", where, f"unknown opcode {instr.op!r}")
+                )
+                continue
+            cls = instr.op_class
+            if cls in (OpClass.BRANCH, OpClass.JUMP):
+                if instr.target is None or instr.target not in labels:
+                    out.append(
+                        Violation(
+                            "mc.target",
+                            where,
+                            f"control transfer to unknown block "
+                            f"{instr.target!r}",
+                        )
+                    )
+            if cls is OpClass.CALL and known is not None:
+                if instr.target not in known:
+                    out.append(
+                        Violation(
+                            "mc.call_target",
+                            where,
+                            f"call to unknown function {instr.target!r}",
+                        )
+                    )
+            if cls is OpClass.LOAD and (instr.dst is None or len(instr.srcs) != 1):
+                out.append(
+                    Violation("mc.operands", where, f"malformed load {instr!r}")
+                )
+            if cls is OpClass.STORE and len(instr.srcs) != 2:
+                out.append(
+                    Violation("mc.operands", where, f"malformed store {instr!r}")
+                )
+            if not allow_vregs:
+                for r in instr.regs_read() + instr.regs_written():
+                    if _is_vreg(r):
+                        out.append(
+                            Violation(
+                                "mc.vreg",
+                                where,
+                                f"virtual register v{r} survived allocation",
+                            )
+                        )
+            if instr.dst is not None and instr.dst == ZERO and not _is_vreg(instr.dst):
+                out.append(
+                    Violation("mc.zero_write", where, "write to hardwired r0")
+                )
+            if instr.target == "__spill__":
+                if not allow_spill_placeholders:
+                    out.append(
+                        Violation(
+                            "mc.spill_placeholder",
+                            where,
+                            "spill placeholder survived frame lowering",
+                        )
+                    )
+                elif not (
+                    isinstance(instr.imm, int)
+                    and 0 <= instr.imm < mf.spill_slots
+                ):
+                    out.append(
+                        Violation(
+                            "mc.spill_slot",
+                            where,
+                            f"spill slot {instr.imm!r} outside "
+                            f"[0, {mf.spill_slots})",
+                        )
+                    )
+
+
+def _block_successors(mf: MachineFunction) -> Dict[str, List[Tuple[str, int]]]:
+    """label -> [(target label, index of the transfer instruction)]."""
+    labels = {b.label for b in mf.blocks}
+    succs: Dict[str, List[Tuple[str, int]]] = {}
+    for block in mf.blocks:
+        edges: List[Tuple[str, int]] = []
+        for i, instr in enumerate(block.instrs):
+            if (
+                instr.op_class in (OpClass.BRANCH, OpClass.JUMP)
+                and instr.target in labels
+            ):
+                edges.append((instr.target, i))
+        succs[block.label] = edges
+    return succs
+
+
+def _frame_size(mf: MachineFunction) -> int:
+    """Frame bytes allocated by the prologue (0 for frameless leaves)."""
+    if not mf.blocks or not mf.blocks[0].instrs:
+        return 0
+    for instr in mf.blocks[0].instrs:
+        if (
+            instr.op == "addi"
+            and instr.dst == SP
+            and instr.srcs == (SP,)
+            and isinstance(instr.imm, int)
+            and instr.imm < 0
+        ):
+            return -instr.imm
+    return 0
+
+
+def _fp_established(mf: MachineFunction, frame_size: int) -> bool:
+    """True when the prologue establishes ``fp = sp + frame_size``.
+
+    Under ``-fomit-frame-pointer`` r29 is an ordinary allocatable
+    register holding arbitrary pointers, so fp-relative bounds checks
+    only apply when the frame pointer is actually set up.
+    """
+    if not frame_size or not mf.blocks:
+        return False
+    return any(
+        instr.op == "addi"
+        and instr.dst == FP_REG
+        and instr.srcs == (SP,)
+        and instr.imm == frame_size
+        for instr in mf.blocks[0].instrs
+    )
+
+
+def _stack_discipline_checks(mf: MachineFunction, out: List[Violation]) -> None:
+    """Stack-slot addressing stays inside the established frame."""
+    frame_size = _frame_size(mf)
+    fp_is_frame_pointer = _fp_established(mf, frame_size)
+    for block in mf.blocks:
+        for i, instr in enumerate(block.instrs):
+            if instr.op_class not in (OpClass.LOAD, OpClass.STORE):
+                continue
+            base = instr.srcs[0] if instr.srcs else None
+            offset = instr.imm if isinstance(instr.imm, int) else 0
+            where = _fmt_loc(mf.name, block.label, i)
+            if base == SP:
+                if offset < 0:
+                    out.append(
+                        Violation(
+                            "mc.stack_clobber",
+                            where,
+                            f"access below sp (offset {offset}); any call "
+                            "clobbers this slot",
+                        )
+                    )
+                elif frame_size and offset >= frame_size and mf.makes_calls:
+                    out.append(
+                        Violation(
+                            "mc.stack_bounds",
+                            where,
+                            f"sp+{offset} outside the {frame_size}-byte frame",
+                        )
+                    )
+            elif base == FP_REG and fp_is_frame_pointer:
+                if not (-frame_size <= offset < 0):
+                    out.append(
+                        Violation(
+                            "mc.stack_bounds",
+                            where,
+                            f"fp{offset:+d} outside the {frame_size}-byte frame",
+                        )
+                    )
+
+
+def _defined_before_use_checks(
+    mf: MachineFunction, out: List[Violation]
+) -> None:
+    """Flow-sensitive must-analysis over physical registers.
+
+    Propagates per *edge* (a mid-block branch exports the state at the
+    branch, not at block end) and intersects at joins.  Calls kill the
+    caller-saved set and define the return registers, so reads of
+    call-clobbered values are reported even though the register was
+    written earlier.
+    """
+    if not mf.blocks:
+        return
+    succs = _block_successors(mf)
+    # in-state per block; None = TOP (not yet constrained).
+    in_state: Dict[str, Optional[Set[Reg]]] = {b.label: None for b in mf.blocks}
+    in_state[mf.blocks[0].label] = set(_ENTRY_DEFINED)
+    block_by_label = {b.label: b for b in mf.blocks}
+
+    def walk(block, state: Set[Reg], report: bool) -> Dict[str, Set[Reg]]:
+        """Walk a block; returns the state exported along each edge."""
+        exported: Dict[str, Set[Reg]] = {}
+        for i, instr in enumerate(block.instrs):
+            if report:
+                for r in instr.regs_read():
+                    if not _is_vreg(r) and r not in state:
+                        out.append(
+                            Violation(
+                                "mc.undef_reg",
+                                _fmt_loc(mf.name, block.label, i),
+                                f"read of undefined/clobbered register "
+                                f"{reg_name(r)}",
+                            )
+                        )
+            cls = instr.op_class
+            if (
+                cls in (OpClass.BRANCH, OpClass.JUMP)
+                and instr.target in block_by_label
+            ):
+                prev = exported.get(instr.target)
+                exported[instr.target] = (
+                    set(state) if prev is None else prev & state
+                )
+            if cls is OpClass.CALL:
+                state -= _CALL_CLOBBERED
+                state |= {RV, FRV, RA}
+            for r in instr.regs_written():
+                if not _is_vreg(r):
+                    state.add(r)
+        return exported
+
+    changed = True
+    while changed:
+        changed = False
+        for block in mf.blocks:
+            state = in_state[block.label]
+            if state is None:
+                continue
+            for target, exported in walk(block, set(state), report=False).items():
+                current = in_state[target]
+                merged = exported if current is None else current & exported
+                if merged != current:
+                    in_state[target] = merged
+                    changed = True
+
+    for block in mf.blocks:
+        state = in_state[block.label]
+        if state is None:
+            continue  # unreachable at machine level; nothing executes it
+        walk(block, set(state), report=True)
+
+
+def verify_machine_function(
+    mf: MachineFunction,
+    stage: str,
+    known_functions: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """All machine-verifier findings for one function at one stage."""
+    _CHECKS.inc()
+    with span("analysis.mc_verify", function=mf.name, stage=stage):
+        out: List[Violation] = []
+        _structural_checks(mf, stage, known_functions, out)
+        if stage == "frame":
+            _stack_discipline_checks(mf, out)
+            _defined_before_use_checks(mf, out)
+    if out:
+        _VIOLATIONS.inc(len(out))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Schedule dependence preservation
+# ----------------------------------------------------------------------
+def _dependence_edges(
+    instrs: Sequence[MachineInstr],
+) -> List[Tuple[int, int]]:
+    """Conservative dependence edges (i before j) over one block.
+
+    Registers: RAW, WAR, WAW.  Memory: stores order against every other
+    memory operation (loads/prefetches reorder among themselves).
+    Control transfers and calls are barriers: nothing crosses them.
+    """
+    edges: List[Tuple[int, int]] = []
+    last_write: Dict[Reg, int] = {}
+    readers: Dict[Reg, List[int]] = {}
+    last_store: Optional[int] = None
+    loads_since_store: List[int] = []
+    barrier: Optional[int] = None
+
+    for i, instr in enumerate(instrs):
+        cls = instr.op_class
+        if barrier is not None:
+            edges.append((barrier, i))
+        for r in instr.regs_read():
+            if r == ZERO:
+                continue
+            if r in last_write:
+                edges.append((last_write[r], i))
+            readers.setdefault(r, []).append(i)
+        for r in instr.regs_written():
+            if r == ZERO:
+                continue
+            if r in last_write:
+                edges.append((last_write[r], i))
+            for j in readers.get(r, []):
+                if j != i:
+                    edges.append((j, i))
+            last_write[r] = i
+            readers[r] = []
+        if cls is OpClass.STORE:
+            if last_store is not None:
+                edges.append((last_store, i))
+            for j in loads_since_store:
+                edges.append((j, i))
+            last_store = i
+            loads_since_store = []
+        elif cls in (OpClass.LOAD, OpClass.PREFETCH):
+            if last_store is not None:
+                edges.append((last_store, i))
+            loads_since_store.append(i)
+        if cls.is_control:
+            # Everything before the transfer must stay before it, and
+            # everything after must stay after: treat it as a fence in
+            # both directions.
+            for j in range(i):
+                edges.append((j, i))
+            barrier = i
+    return edges
+
+
+def schedule_preserves_deps(
+    before: Sequence[MachineInstr],
+    after: Sequence[MachineInstr],
+    where: str,
+) -> List[Violation]:
+    """Check ``after`` is a dependence-respecting permutation of ``before``.
+
+    Instruction identity is object identity: the list scheduler permutes
+    the same :class:`MachineInstr` objects, so any insertion, deletion or
+    duplication is reported as well.
+    """
+    out: List[Violation] = []
+    pos = {id(instr): i for i, instr in enumerate(after)}
+    if len(pos) != len(after) or len(before) != len(after) or any(
+        id(instr) not in pos for instr in before
+    ):
+        out.append(
+            Violation(
+                "mc.sched_set",
+                where,
+                f"schedule is not a permutation "
+                f"({len(before)} in, {len(after)} out)",
+            )
+        )
+        return out
+    for a, b in _dependence_edges(before):
+        if pos[id(before[a])] > pos[id(before[b])]:
+            out.append(
+                Violation(
+                    "mc.sched_order",
+                    where,
+                    f"dependence inverted: {before[a]!r} must precede "
+                    f"{before[b]!r}",
+                )
+            )
+    return out
+
+
+def verify_schedule(
+    snapshots: Sequence[Tuple[str, List[MachineInstr]]],
+    mf: MachineFunction,
+) -> List[Violation]:
+    """Compare pre-scheduling block snapshots against ``mf``'s blocks."""
+    _CHECKS.inc()
+    out: List[Violation] = []
+    after = {b.label: b.instrs for b in mf.blocks}
+    for label, before in snapshots:
+        if label not in after:
+            out.append(
+                Violation(
+                    "mc.sched_block",
+                    f"{mf.name}/{label}",
+                    "block disappeared during scheduling",
+                )
+            )
+            continue
+        out.extend(
+            schedule_preserves_deps(before, after[label], f"{mf.name}/{label}")
+        )
+    if out:
+        _VIOLATIONS.inc(len(out))
+    return out
+
+
+def snapshot_blocks(mf: MachineFunction) -> List[Tuple[str, List[MachineInstr]]]:
+    """Capture per-block instruction lists before a scheduling pass."""
+    return [(b.label, list(b.instrs)) for b in mf.blocks]
+
+
+# ----------------------------------------------------------------------
+# Linked image
+# ----------------------------------------------------------------------
+def verify_executable(exe: Executable) -> List[Violation]:
+    """Check every resolved target and symbol of a linked image."""
+    _CHECKS.inc()
+    with span("analysis.link_verify", n_instrs=len(exe.instrs)):
+        out: List[Violation] = []
+        n = len(exe.instrs)
+        entries = set(exe.function_entries.values())
+        data_end = exe.data_base + exe.data_size
+        if not (0 <= exe.entry_pc < n):
+            out.append(
+                Violation(
+                    "mc.link_entry", "entry", f"entry pc {exe.entry_pc} out of range"
+                )
+            )
+        for pc, instr in enumerate(exe.instrs):
+            where = f"pc:{pc}"
+            cls = instr.op_class
+            if instr.target == "__spill__":
+                out.append(
+                    Violation(
+                        "mc.spill_placeholder",
+                        where,
+                        "spill placeholder reached the linker",
+                    )
+                )
+            for r in instr.regs_read() + instr.regs_written():
+                if _is_vreg(r):
+                    out.append(
+                        Violation(
+                            "mc.vreg", where, f"virtual register v{r} in image"
+                        )
+                    )
+            if cls in (OpClass.BRANCH, OpClass.JUMP, OpClass.CALL):
+                if instr.target_pc is None or not (0 <= instr.target_pc < n):
+                    out.append(
+                        Violation(
+                            "mc.link_target",
+                            where,
+                            f"unresolved/out-of-range target "
+                            f"{instr.target_pc!r} in {instr!r}",
+                        )
+                    )
+                elif cls is OpClass.CALL and instr.target_pc not in entries:
+                    out.append(
+                        Violation(
+                            "mc.link_call",
+                            where,
+                            f"call lands at {instr.target_pc}, not a "
+                            "function entry",
+                        )
+                    )
+            if instr.op == "la":
+                sym = exe.symbols.get(instr.target) if instr.target else None
+                if sym is None:
+                    out.append(
+                        Violation(
+                            "mc.link_symbol",
+                            where,
+                            f"address of unknown symbol {instr.target!r}",
+                        )
+                    )
+                elif not (exe.data_base <= instr.imm < max(data_end, exe.data_base + 1)):
+                    out.append(
+                        Violation(
+                            "mc.link_symbol",
+                            where,
+                            f"symbol {instr.target!r} resolved outside the "
+                            f"data segment ({instr.imm!r})",
+                        )
+                    )
+    if out:
+        _VIOLATIONS.inc(len(out))
+    return out
+
+
+def check_machine(
+    violations: List[Violation], stage: str
+) -> None:
+    """Raise :class:`MachineVerificationError` if any findings exist."""
+    if violations:
+        raise MachineVerificationError(stage, violations)

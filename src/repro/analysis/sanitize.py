@@ -1,0 +1,242 @@
+"""Semantic sanitizer: differential execution and miscompile bisection.
+
+A verifier proves an artifact is *well-formed*; the sanitizer checks it
+is *right*.  :func:`sanitize_module` runs the same program three ways --
+
+1. IR interpretation of the unoptimized module (the reference),
+2. IR interpretation after the optimization pipeline,
+3. functional simulation of the fully compiled executable,
+
+and compares the returned values.  Any mismatch is a miscompile by
+construction: the reference interpreter defines the semantics.
+
+On divergence (or on a per-pass verifier violation) the bisector replays
+the pass plan one pass at a time on a fresh copy, interpreting after
+each pass, and attributes the failure to the first pass whose output
+diverges or fails deep verification.  The report carries a minimized
+unified diff of the guilty pass's input and output IR, filtered to the
+functions that changed.
+"""
+
+from __future__ import annotations
+
+import copy
+import difflib
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.codegen.compile import compile_module
+from repro.ir.function import Module
+from repro.ir.interp import IRInterpreterError, interpret
+from repro.ir.printer import format_function
+from repro.obs import counter, span
+from repro.opt.flags import CompilerConfig
+from repro.opt.pipeline import pass_plan
+from repro.sim.func import execute
+
+from repro.analysis.base import (
+    MiscompileError,
+    PassVerificationError,
+    VerifyLevel,
+    Violation,
+)
+from repro.analysis.ir_verify import check_module_deep
+
+_RUNS = counter("analysis.sanitize.runs")
+_MISCOMPILES = counter("analysis.sanitize.miscompiles")
+
+#: Cap on interpreter work during bisection replays.
+_MAX_STEPS = 50_000_000
+
+
+@dataclass
+class BisectionResult:
+    """Attribution of a divergence to one optimization pass."""
+
+    guilty_pass: Optional[str]
+    reason: str
+    #: Minimized unified diff of the guilty pass's input vs output IR.
+    ir_diff: str = ""
+    violations: List[Violation] = field(default_factory=list)
+
+
+@dataclass
+class SanitizeReport:
+    """Everything the sanitizer learned about one (module, config)."""
+
+    ok: bool
+    reference_value: Optional[float] = None
+    optimized_ir_value: Optional[float] = None
+    machine_value: Optional[float] = None
+    divergence: Optional[str] = None
+    bisection: Optional[BisectionResult] = None
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"ok (return value {self.reference_value})"
+        lines = [f"MISCOMPILE: {self.divergence}"]
+        if self.bisection is not None:
+            lines.append(
+                f"  guilty pass: {self.bisection.guilty_pass or 'unknown'}"
+                f" ({self.bisection.reason})"
+            )
+            if self.bisection.ir_diff:
+                lines.append(self.bisection.ir_diff)
+        return "\n".join(lines)
+
+
+def _module_snapshot(module: Module) -> "dict[str, str]":
+    return {name: format_function(f) for name, f in module.functions.items()}
+
+
+def _minimized_diff(
+    before: "dict[str, str]", after: "dict[str, str]", context: int = 2
+) -> str:
+    """Unified diff restricted to the functions the pass changed."""
+    chunks: List[str] = []
+    for name in sorted(set(before) | set(after)):
+        old = before.get(name, "")
+        new = after.get(name, "")
+        if old == new:
+            continue
+        chunks.extend(
+            difflib.unified_diff(
+                old.splitlines(),
+                new.splitlines(),
+                fromfile=f"{name} (before)",
+                tofile=f"{name} (after)",
+                n=context,
+                lineterm="",
+            )
+        )
+    return "\n".join(chunks)
+
+
+def _interpret_value(module: Module):
+    return interpret(module, max_steps=_MAX_STEPS).return_value
+
+
+def bisect_passes(
+    module: Module,
+    config: CompilerConfig,
+    reference_value,
+) -> BisectionResult:
+    """Replay the pass plan to name the first semantics-breaking pass.
+
+    After each pass the module is deep-verified and re-interpreted; the
+    first pass that yields a verifier violation, an interpreter crash,
+    or a changed return value is guilty.  Runs on a fresh deep copy --
+    the caller's module is never touched.
+    """
+    work = copy.deepcopy(module)
+    with span("analysis.bisect", n_passes=len(pass_plan(config))):
+        for name, fn in pass_plan(config):
+            before = _module_snapshot(work)
+            fn(work)
+            after = _module_snapshot(work)
+            try:
+                check_module_deep(work, pass_name=name)
+            except PassVerificationError as exc:
+                return BisectionResult(
+                    guilty_pass=name,
+                    reason="deep IR verification failed",
+                    ir_diff=_minimized_diff(before, after),
+                    violations=exc.violations,
+                )
+            try:
+                value = _interpret_value(work)
+            except IRInterpreterError as exc:
+                return BisectionResult(
+                    guilty_pass=name,
+                    reason=f"interpreter fault: {exc}",
+                    ir_diff=_minimized_diff(before, after),
+                )
+            if value != reference_value:
+                return BisectionResult(
+                    guilty_pass=name,
+                    reason=(
+                        f"return value changed "
+                        f"({reference_value!r} -> {value!r})"
+                    ),
+                    ir_diff=_minimized_diff(before, after),
+                )
+    return BisectionResult(
+        guilty_pass=None,
+        reason="all IR passes preserve semantics; fault is in the backend",
+    )
+
+
+def sanitize_module(
+    module: Module,
+    config: CompilerConfig,
+    issue_width: int = 4,
+    bisect: bool = True,
+) -> SanitizeReport:
+    """Differentially check one module under one configuration.
+
+    Never raises on a miscompile -- the report carries the verdict (use
+    :func:`check_sanitized` for the raising form).  The input module is
+    not mutated.
+    """
+    _RUNS.inc()
+    with span("analysis.sanitize", issue_width=issue_width):
+        reference = _interpret_value(copy.deepcopy(module))
+        report = SanitizeReport(ok=True, reference_value=reference)
+
+        optimized = copy.deepcopy(module)
+        divergence = None
+        try:
+            from repro.opt.pipeline import optimize_module
+
+            optimize_module(
+                optimized, config, verify_level=VerifyLevel.FULL
+            )
+            report.optimized_ir_value = _interpret_value(optimized)
+            if report.optimized_ir_value != reference:
+                divergence = (
+                    f"optimized IR returns {report.optimized_ir_value!r}, "
+                    f"reference returns {reference!r}"
+                )
+        except PassVerificationError as exc:
+            divergence = str(exc)
+        except IRInterpreterError as exc:
+            divergence = f"optimized IR does not execute: {exc}"
+
+        if divergence is None:
+            try:
+                exe = compile_module(
+                    module,
+                    config,
+                    issue_width=issue_width,
+                    verify_level=VerifyLevel.FULL,
+                )
+                report.machine_value = execute(exe).return_value
+                if report.machine_value != reference:
+                    divergence = (
+                        f"machine code returns {report.machine_value!r}, "
+                        f"reference returns {reference!r}"
+                    )
+            except Exception as exc:  # backend verifier or simulator fault
+                divergence = f"compilation/execution failed: {exc}"
+
+        if divergence is None:
+            return report
+
+        _MISCOMPILES.inc()
+        report.ok = False
+        report.divergence = divergence
+        if bisect:
+            report.bisection = bisect_passes(module, config, reference)
+        return report
+
+
+def check_sanitized(
+    module: Module,
+    config: CompilerConfig,
+    issue_width: int = 4,
+) -> SanitizeReport:
+    """Raise :class:`MiscompileError` unless the module sanitizes clean."""
+    report = sanitize_module(module, config, issue_width=issue_width)
+    if not report.ok:
+        raise MiscompileError(report.summary(), report=report)
+    return report

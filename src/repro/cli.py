@@ -17,6 +17,12 @@ Commands
 ``tune``
     Model-based GA search of the compiler flags for a Table 5 machine,
     verified by actual simulation (the paper's Section 6.3 use case).
+``lint``
+    Sweep a workload across preset-corner and seeded random flag
+    vectors under full verification (deep IR checks after every pass,
+    machine-code checks after every backend stage, differential
+    execution against the reference interpreter) and report violations
+    per pass (see docs/ANALYSIS.md).
 ``trace``
     Run any other command with tracing enabled and dump the spans as
     JSONL + Chrome ``trace_event`` JSON + a self-timing text report
@@ -58,6 +64,25 @@ def _add_flag_arguments(parser: argparse.ArgumentParser) -> None:
         default="typical",
         help="Table 5 microarchitecture (default typical)",
     )
+
+
+def _add_verify_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--verify",
+        choices=["off", "ir", "full"],
+        default=None,
+        metavar="LEVEL",
+        help="verification level: off, ir (post-pipeline IR check, the "
+        "default), or full (per-pass deep IR + machine-code + linked-"
+        "image checks); equivalent to setting REPRO_VERIFY",
+    )
+
+
+def _apply_verify_argument(args) -> None:
+    """Export ``--verify`` as ``REPRO_VERIFY`` so every compile in this
+    process -- and in forked measurement workers -- inherits it."""
+    if getattr(args, "verify", None):
+        os.environ["REPRO_VERIFY"] = args.verify
 
 
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
@@ -238,6 +263,25 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis import lint_workload
+
+    microarch = _microarch(args)
+    progress = None
+    if args.verbose:
+        progress = lambda vec: print(f"  linting {vec}...", flush=True)
+    report = lint_workload(
+        args.workload,
+        input_name=args.input,
+        n_random=args.vectors,
+        seed=args.seed,
+        issue_width=microarch.issue_width,
+        progress=progress,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _metrics_path() -> Optional[Path]:
     """Where cross-run metrics accumulate; None when persistence is off."""
     cache_dir = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
@@ -344,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("workload")
         p.add_argument("--input", default="train", choices=["train", "ref"])
         _add_flag_arguments(p)
+        _add_verify_argument(p)
 
     p = sub.add_parser("model", help="build an empirical model")
     p.add_argument("workload")
@@ -352,6 +397,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--target-error", type=float, default=5.0)
     p.add_argument("--seed", type=int, default=0)
     _add_jobs_argument(p)
+    _add_verify_argument(p)
 
     p = sub.add_parser("tune", help="model-based flag search")
     p.add_argument("workload")
@@ -364,6 +410,30 @@ def build_parser() -> argparse.ArgumentParser:
         default="typical",
     )
     _add_jobs_argument(p)
+    _add_verify_argument(p)
+
+    p = sub.add_parser(
+        "lint", help="sweep flag vectors under full verification"
+    )
+    p.add_argument("workload")
+    p.add_argument("--input", default="train", choices=["train", "ref"])
+    p.add_argument(
+        "--vectors",
+        type=int,
+        default=8,
+        metavar="N",
+        help="number of seeded random flag vectors beyond the preset "
+        "corners (default 8)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--machine",
+        choices=["constrained", "typical", "aggressive"],
+        default="typical",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="print each vector as it runs"
+    )
 
     p = sub.add_parser(
         "trace", help="run a command with tracing on and dump the spans"
@@ -394,9 +464,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "disasm": cmd_disasm,
         "model": cmd_model,
         "tune": cmd_tune,
+        "lint": cmd_lint,
         "trace": cmd_trace,
         "stats": cmd_stats,
     }
+    _apply_verify_argument(args)
     try:
         return handlers[args.command](args)
     finally:

@@ -6,6 +6,15 @@ then the backend (selection, allocation, frame lowering, post-RA
 scheduling) and the linker.  The machine description is derived from the
 target's issue width, reproducing the paper's "one compiler build per
 functional-unit configuration".
+
+Verification is tiered (see :mod:`repro.analysis`): ``off`` does no
+checking at all, ``ir`` runs one structural IR verification after the
+optimization pipeline (the historical default), and ``full`` adds deep
+per-pass IR verification plus machine-code verification after
+instruction selection, register allocation, frame lowering, each
+scheduling pass (dependence-order preservation) and linking.  The level
+comes from the ``verify_level`` argument, the ``REPRO_VERIFY``
+environment variable, or the legacy ``verify`` flag, in that order.
 """
 
 from __future__ import annotations
@@ -13,6 +22,7 @@ from __future__ import annotations
 import copy
 from typing import Dict, Optional
 
+from repro.analysis.base import VerifyLevel, resolve_verify_level
 from repro.codegen.frame import lower_frame
 from repro.codegen.isel import select_module
 from repro.codegen.linker import Executable, link_module
@@ -33,6 +43,7 @@ def compile_module(
     config: CompilerConfig,
     issue_width: int = 4,
     verify: bool = True,
+    verify_level: "VerifyLevel | str | None" = None,
 ) -> Executable:
     """Optimize and compile an IR module into an executable.
 
@@ -43,11 +54,23 @@ def compile_module(
     independent per function, so they are looped phase-major to give
     each phase a single span.
     """
+    level = resolve_verify_level(
+        verify_level,
+        default=VerifyLevel.IR if verify else VerifyLevel.OFF,
+    )
+    mc = None
+    if level.is_full:
+        # Lazy: the analysis layer is opt-in and the default compile
+        # path must not import it.
+        from repro.analysis import mc_verify as mc
+
     _COMPILATIONS.inc()
     with span("codegen.compile", issue_width=issue_width) as top:
         module = copy.deepcopy(module)
-        optimize_module(module, config)
-        if verify:
+        optimize_module(
+            module, config, verify_level=level if level.is_full else None
+        )
+        if level.at_least_ir:
             with span("codegen.verify"):
                 verify_module(module)
 
@@ -55,6 +78,12 @@ def compile_module(
         with span("codegen.isel"):
             machine_funcs = select_module(module)
         funcs = list(machine_funcs.values())
+        known = set(machine_funcs)
+        if mc is not None:
+            for mf in funcs:
+                mc.check_machine(
+                    mc.verify_machine_function(mf, "isel", known), "isel"
+                )
         # Table 1 describes -fschedule-insns2 as scheduling "before and
         # after register allocation".  The pre-RA pass interleaves
         # independent work (e.g. renamed unrolled iterations) over
@@ -64,19 +93,40 @@ def compile_module(
         if config.schedule_insns2:
             with span("codegen.sched_pre_ra"):
                 for mf in funcs:
+                    snaps = mc.snapshot_blocks(mf) if mc is not None else None
                     schedule_function(mf, mdesc)
+                    if mc is not None:
+                        mc.check_machine(
+                            mc.verify_schedule(snaps, mf), "sched_pre_ra"
+                        )
         with span("codegen.regalloc"):
             for mf in funcs:
                 allocate_registers(mf, config.omit_frame_pointer)
+                if mc is not None:
+                    mc.check_machine(
+                        mc.verify_machine_function(mf, "regalloc", known),
+                        "regalloc",
+                    )
         with span("codegen.frame"):
             for mf in funcs:
                 lower_frame(mf, config.omit_frame_pointer)
+                if mc is not None:
+                    mc.check_machine(
+                        mc.verify_machine_function(mf, "frame", known), "frame"
+                    )
         if config.schedule_insns2:
             with span("codegen.sched_post_ra"):
                 for mf in funcs:
+                    snaps = mc.snapshot_blocks(mf) if mc is not None else None
                     schedule_function(mf, mdesc)
+                    if mc is not None:
+                        mc.check_machine(
+                            mc.verify_schedule(snaps, mf), "sched_post_ra"
+                        )
         with span("codegen.link"):
             exe = link_module(module, machine_funcs)
+        if mc is not None:
+            mc.check_machine(mc.verify_executable(exe), "link")
         top.set_attrs(n_functions=len(funcs), code_size=len(exe.instrs))
     return exe
 

@@ -1,30 +1,125 @@
 """IR structural verifier.
 
-Run after every optimization pass in tests to catch malformed output
-early: missing terminators, dangling branch targets, type mismatches on
-copies, and uses of never-defined temps.
+Run after optimization to catch malformed output early: missing
+terminators, dangling branch targets, type mismatches on copies, calls
+that disagree with their callee's signature, and -- via a forward
+definite-assignment dataflow analysis -- uses of temps that are not
+defined along *every* CFG path reaching them.
+
+The definite-assignment check subsumes the old "defined somewhere in the
+function" scan, which walked blocks in layout order and therefore
+accepted uses that precede their definition on every real execution
+path (a block-reordering or hoisting bug could move a def below its use
+without being noticed).  Blocks unreachable from the entry have no
+execution paths; their uses are only checked against the set of all
+definitions in the function (the deep verifier in
+:mod:`repro.analysis.ir_verify` flags unreachable blocks themselves).
 """
 
 from __future__ import annotations
 
-from typing import Set
+from typing import Dict, Optional, Set
 
+from repro.ir.cfg import predecessors, reverse_postorder
 from repro.ir.function import Function, Module
-from repro.ir.instructions import Branch, Call, Copy, Return
+from repro.ir.instructions import Call, Copy, Return
 from repro.ir.types import Type
 from repro.ir.values import Temp
-
 
 class IRVerificationError(Exception):
     """The IR violates a structural invariant."""
 
+def definite_assignments(func: Function) -> Dict[str, Set[Temp]]:
+    """Temps definitely assigned at entry to each reachable block.
 
-def verify_function(func: Function, module: Module = None) -> None:
+    Forward must-analysis: a temp is in ``in[b]`` iff every CFG path
+    from the entry to ``b`` passes a definition of it.  Parameters are
+    assigned on entry.  Unreachable blocks are absent from the result.
+    """
+    order = reverse_postorder(func)
+    reachable = set(order)
+    preds = predecessors(func)
+
+    block_defs: Dict[str, Set[Temp]] = {}
+    for label in order:
+        defs: Set[Temp] = set()
+        for instr in func.block(label).all_instrs():
+            d = instr.defs()
+            if d is not None:
+                defs.add(d)
+        block_defs[label] = defs
+
+    entry_label = func.entry.label
+    assigned_in: Dict[str, Optional[Set[Temp]]] = {
+        label: None for label in order  # None = TOP (everything)
+    }
+    assigned_in[entry_label] = set(func.params)
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label == entry_label:
+                inn: Optional[Set[Temp]] = set(func.params)
+            else:
+                inn = None
+                for p in preds[label]:
+                    if p not in reachable:
+                        continue
+                    p_out = assigned_in[p]
+                    if p_out is None:
+                        continue  # TOP: no constraint yet
+                    p_out = p_out | block_defs[p]
+                    inn = set(p_out) if inn is None else inn & p_out
+            if inn is not None and inn != assigned_in[label]:
+                assigned_in[label] = inn
+                changed = True
+    return {
+        label: state if state is not None else set()
+        for label, state in assigned_in.items()
+    }
+
+def _check_call(func: Function, label: str, instr: Call, module: Module) -> None:
+    if instr.callee not in module.functions:
+        raise IRVerificationError(
+            f"{func.name}/{label}: call to unknown function {instr.callee!r}"
+        )
+    callee = module.functions[instr.callee]
+    if len(instr.args) != len(callee.params):
+        raise IRVerificationError(
+            f"{func.name}/{label}: call to {instr.callee} with "
+            f"{len(instr.args)} args, expected {len(callee.params)}"
+        )
+    for arg, param in zip(instr.args, callee.params):
+        if arg.type is not param.type:
+            raise IRVerificationError(
+                f"{func.name}/{label}: call to {instr.callee} passes "
+                f"{arg.type.value} for {param.type.value} parameter "
+                f"{param!r}"
+            )
+    if callee.return_type is Type.VOID:
+        if instr.dst is not None:
+            raise IRVerificationError(
+                f"{func.name}/{label}: call to void function "
+                f"{instr.callee} captures a result"
+            )
+    elif instr.dst is not None and instr.dst.type is not callee.return_type:
+        raise IRVerificationError(
+            f"{func.name}/{label}: call to {instr.callee} binds "
+            f"{callee.return_type.value} result to {instr.dst!r}"
+        )
+
+def verify_function(func: Function, module: Optional[Module] = None) -> None:
+    """Check structural invariants; raises :class:`IRVerificationError`.
+
+    When ``module`` is provided, every ``Call`` is additionally checked
+    against its callee's signature (existence, arity, argument types and
+    result binding).
+    """
     labels = {b.label for b in func.blocks}
     if not func.blocks:
         raise IRVerificationError(f"{func.name}: no blocks")
 
-    defined: Set[Temp] = set(func.params)
+    all_defs: Set[Temp] = set(func.params)
     for block in func.blocks:
         if block.terminator is None:
             raise IRVerificationError(
@@ -38,8 +133,8 @@ def verify_function(func: Function, module: Module = None) -> None:
         for instr in block.all_instrs():
             d = instr.defs()
             if d is not None:
-                defined.add(d)
-            if isinstance(instr, Copy) and isinstance(instr.src, Temp):
+                all_defs.add(d)
+            if isinstance(instr, Copy):
                 if instr.dst.type != instr.src.type:
                     raise IRVerificationError(
                         f"{func.name}/{block.label}: copy type mismatch "
@@ -54,34 +149,44 @@ def verify_function(func: Function, module: Module = None) -> None:
                     raise IRVerificationError(
                         f"{func.name}: non-void function returns nothing"
                     )
+            if isinstance(instr, Call) and module is not None:
+                _check_call(func, block.label, instr, module)
 
-    # Every used temp must be defined somewhere in the function.  (A full
-    # dominance check would be stricter; this catches pass bugs cheaply.)
+    # Def-before-use along every path: walk each reachable block from its
+    # definitely-assigned in-state; a use outside the running set means
+    # some path reaches it without a definition.
+    assigned_in = definite_assignments(func)
     for block in func.blocks:
+        state = assigned_in.get(block.label)
+        if state is None:
+            # Unreachable: no paths to analyse; fall back to the weak
+            # "defined somewhere" check so dead hand-written IR still
+            # gets dangling-temp diagnostics.
+            for instr in block.all_instrs():
+                for u in instr.uses():
+                    if isinstance(u, Temp) and u not in all_defs:
+                        raise IRVerificationError(
+                            f"{func.name}/{block.label}: use of undefined "
+                            f"temp {u!r} in {instr!r}"
+                        )
+            continue
+        state = set(state)
         for instr in block.all_instrs():
             for u in instr.uses():
-                if isinstance(u, Temp) and u not in defined:
-                    raise IRVerificationError(
-                        f"{func.name}/{block.label}: use of undefined "
-                        f"temp {u!r} in {instr!r}"
+                if isinstance(u, Temp) and u not in state:
+                    where = (
+                        "never defined"
+                        if u not in all_defs
+                        else "not defined on all paths"
                     )
-
+                    raise IRVerificationError(
+                        f"{func.name}/{block.label}: use of temp {u!r} "
+                        f"{where} in {instr!r}"
+                    )
+            d = instr.defs()
+            if d is not None:
+                state.add(d)
 
 def verify_module(module: Module) -> None:
     for func in module.functions.values():
         verify_function(func, module)
-        for block in func.blocks:
-            for instr in block.instrs:
-                if isinstance(instr, Call):
-                    if instr.callee not in module.functions:
-                        raise IRVerificationError(
-                            f"{func.name}: call to unknown function "
-                            f"{instr.callee!r}"
-                        )
-                    callee = module.functions[instr.callee]
-                    if len(instr.args) != len(callee.params):
-                        raise IRVerificationError(
-                            f"{func.name}: call to {instr.callee} with "
-                            f"{len(instr.args)} args, expected "
-                            f"{len(callee.params)}"
-                        )

@@ -30,6 +30,9 @@ from repro.ir.instructions import FLOAT_BIN_OPS, INT_BIN_OPS
 from repro.ir.semantics import eval_cmp, eval_float_binop, eval_int_binop, eval_unop
 from repro.ir.types import Type
 from repro.ir.values import Const, Value
+from repro.obs import counter
+
+_UNREACHABLE_REMOVED = counter("opt.cleanup.unreachable_removed")
 
 
 def constant_fold(func: Function) -> int:
@@ -265,6 +268,7 @@ def simplify_cfg(func: Function) -> int:
                     changed = True
         removed = remove_unreachable(func)
         if removed:
+            _UNREACHABLE_REMOVED.inc(removed)
             changed = True
             changed_total += removed
         # Merge a block into its unique successor when that successor has
@@ -309,3 +313,12 @@ def cleanup_function(func: Function) -> None:
 def cleanup_module(module: Module) -> None:
     for func in module.functions.values():
         cleanup_function(func)
+        # Genuinely unreachable blocks must be gone before layout: the
+        # deep CFG verifier treats them as violations, and the reorder
+        # pass must never be handed dead code to place.  simplify_cfg
+        # already removes them at its fixpoint; this final sweep covers
+        # the bounded-iteration escape hatch (and modules that reach
+        # here without a simplify pass) and feeds the counter.
+        removed = remove_unreachable(func)
+        if removed:
+            _UNREACHABLE_REMOVED.inc(removed)

@@ -10,11 +10,16 @@ the module's IR instruction count before and after (the interleaved
 cleanup is attributed to the pass that made it necessary), and the size
 delta feeds the ``opt.delta.<pass>`` histogram — so a trace dump shows
 both where compile time goes and which pass grows or shrinks the IR.
+
+The plan itself is data: :func:`pass_plan` returns the ``(name, thunk)``
+sequence a config selects, which lets the sanitizer's miscompile
+bisector replay the pipeline one pass at a time and lets the verifier
+deep-check the module after each pass under ``REPRO_VERIFY=full``.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.ir import Module
 from repro.obs import histogram, span
@@ -28,6 +33,61 @@ from repro.opt.reorder import reorder_blocks
 from repro.opt.strength import strength_reduce
 from repro.opt.unroll import unroll_loops
 
+#: Test-only fault injection: pass name -> mutator applied to the module
+#: right after that pass runs.  The sanitizer tests use this to plant a
+#: miscompile behind a named pass and assert the bisector attributes it
+#: correctly.  Empty in production; never set outside tests.
+_PASS_WRECKERS: Dict[str, Callable[[Module], None]] = {}
+
+
+def _apply(name: str, fn: Callable[[Module], None], module: Module) -> None:
+    fn(module)
+    wrecker = _PASS_WRECKERS.get(name)
+    if wrecker is not None:
+        wrecker(module)
+
+
+def pass_plan(
+    config: CompilerConfig,
+) -> List[Tuple[str, Callable[[Module], None]]]:
+    """The ``(pass name, module mutator)`` sequence a config selects.
+
+    Each entry is self-contained (it includes the interleaved cleanup
+    the pass requires), so callers may replay any prefix of the plan on
+    a fresh module copy and observe exactly the pipeline's intermediate
+    states.
+    """
+    plan: List[Tuple[str, Callable[[Module], None]]] = [
+        ("cleanup", lambda m: _apply("cleanup", cleanup_module, m))
+    ]
+
+    def staged(name: str, opt: Callable[[Module], None], tidy: bool = True):
+        def run(m: Module) -> None:
+            if tidy:
+                _apply(name, lambda mm: (opt(mm), cleanup_module(mm)), m)
+            else:
+                _apply(name, opt, m)
+
+        plan.append((name, run))
+
+    if config.inline_functions:
+        staged("inline", lambda m: inline_functions(m, config))
+    if config.loop_optimize:
+        staged("loopopt", loop_optimize)
+    if config.gcse:
+        staged("gcse", global_cse)
+    # Prefetching must see the raw iv*scale address arithmetic, so it
+    # runs before strength reduction rewrites those multiplies.
+    if config.prefetch_loop_arrays:
+        staged("prefetch", prefetch_loop_arrays, tidy=False)
+    if config.strength_reduce:
+        staged("strength", strength_reduce)
+    if config.unroll_loops:
+        staged("unroll", lambda m: unroll_loops(m, config))
+    if config.reorder_blocks:
+        staged("reorder", reorder_blocks, tidy=False)
+    return plan
+
 
 def _run_pass(module: Module, name: str, fn: Callable[[], None]) -> None:
     """Run one pass under a span, recording the IR-size delta."""
@@ -39,44 +99,29 @@ def _run_pass(module: Module, name: str, fn: Callable[[], None]) -> None:
     histogram("opt.delta." + name).observe(after - before)
 
 
-def optimize_module(module: Module, config: CompilerConfig) -> Module:
-    """Run the flag-selected optimization pipeline in place."""
+def optimize_module(
+    module: Module,
+    config: CompilerConfig,
+    verify_level: Optional[object] = None,
+) -> Module:
+    """Run the flag-selected optimization pipeline in place.
+
+    ``verify_level`` is a :class:`repro.analysis.VerifyLevel`; at FULL,
+    the module is deep-verified after every pass and a violation raises
+    :class:`repro.analysis.PassVerificationError` naming the guilty
+    pass.  The default (None) performs no per-pass checking, matching
+    the historical behaviour.
+    """
+    deep_check = None
+    if verify_level is not None and getattr(verify_level, "is_full", False):
+        # Imported lazily: repro.analysis depends on this module, and
+        # the default path must not pay the import.
+        from repro.analysis.ir_verify import check_module_deep
+
+        deep_check = check_module_deep
     with span("opt.pipeline"):
-        _run_pass(module, "cleanup", lambda: cleanup_module(module))
-        if config.inline_functions:
-            _run_pass(
-                module,
-                "inline",
-                lambda: (inline_functions(module, config), cleanup_module(module)),
-            )
-        if config.loop_optimize:
-            _run_pass(
-                module,
-                "loopopt",
-                lambda: (loop_optimize(module), cleanup_module(module)),
-            )
-        if config.gcse:
-            _run_pass(
-                module,
-                "gcse",
-                lambda: (global_cse(module), cleanup_module(module)),
-            )
-        # Prefetching must see the raw iv*scale address arithmetic, so it
-        # runs before strength reduction rewrites those multiplies.
-        if config.prefetch_loop_arrays:
-            _run_pass(module, "prefetch", lambda: prefetch_loop_arrays(module))
-        if config.strength_reduce:
-            _run_pass(
-                module,
-                "strength",
-                lambda: (strength_reduce(module), cleanup_module(module)),
-            )
-        if config.unroll_loops:
-            _run_pass(
-                module,
-                "unroll",
-                lambda: (unroll_loops(module, config), cleanup_module(module)),
-            )
-        if config.reorder_blocks:
-            _run_pass(module, "reorder", lambda: reorder_blocks(module))
+        for name, fn in pass_plan(config):
+            _run_pass(module, name, lambda fn=fn: fn(module))
+            if deep_check is not None:
+                deep_check(module, pass_name=name)
     return module

@@ -1,0 +1,132 @@
+"""Sanitizer tests: injected miscompiles are caught and attributed, and
+verification levels gate exactly the advertised behaviour."""
+
+import copy
+
+import pytest
+
+from repro.analysis import (
+    PassVerificationError,
+    VerifyLevel,
+    sanitize_module,
+)
+from repro.codegen.compile import compile_module
+from repro.ir import BasicBlock, BinOp, Const, Jump, Type
+from repro.opt import pipeline
+from repro.opt.flags import O2, O3
+from repro.sim.func import execute
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture
+def mcf_module():
+    return get_workload("mcf").module()
+
+
+@pytest.fixture(autouse=True)
+def _clean_wreckers():
+    yield
+    pipeline._PASS_WRECKERS.clear()
+
+
+def _wreck_add_constant(module):
+    """Change one ``add`` immediate: semantics-breaking, verifier-clean."""
+    for func in module.functions.values():
+        for block in func.blocks:
+            for i, instr in enumerate(block.instrs):
+                if isinstance(instr, BinOp) and instr.op == "add" and isinstance(
+                    instr.b, Const
+                ):
+                    block.instrs[i] = BinOp(
+                        instr.dst,
+                        "add",
+                        instr.a,
+                        Const(instr.b.value + 1, Type.INT),
+                    )
+                    return
+
+
+def _wreck_orphan_block(module):
+    """Append an unreachable block: semantics-preserving but flagged by
+    the deep CFG verifier."""
+    func = module.functions["main"]
+    orphan = BasicBlock("wrecked_orphan")
+    orphan.set_terminator(Jump(func.entry.label))
+    func.add_block(orphan)
+
+
+class TestMiscompileBisection:
+    def test_injected_strength_bug_is_caught_and_named(self, mcf_module):
+        pipeline._PASS_WRECKERS["strength"] = _wreck_add_constant
+        report = sanitize_module(mcf_module, O3)
+        assert not report.ok
+        assert report.bisection is not None
+        assert report.bisection.guilty_pass == "strength"
+        assert report.bisection.ir_diff  # minimized diff is non-empty
+        assert "add" in report.bisection.ir_diff
+
+    def test_injected_gcse_bug_is_caught_and_named(self, mcf_module):
+        pipeline._PASS_WRECKERS["gcse"] = _wreck_add_constant
+        report = sanitize_module(mcf_module, O2)
+        assert not report.ok
+        assert report.bisection.guilty_pass == "gcse"
+
+    def test_clean_pipeline_sanitizes_clean(self, mcf_module):
+        report = sanitize_module(mcf_module, O3)
+        assert report.ok
+        assert report.reference_value == report.optimized_ir_value
+        assert report.reference_value == report.machine_value
+
+
+class TestVerifyLevelGating:
+    def test_full_catches_structural_damage_per_pass(self, mcf_module):
+        pipeline._PASS_WRECKERS["reorder"] = _wreck_orphan_block
+        with pytest.raises(PassVerificationError) as excinfo:
+            compile_module(mcf_module, O3, verify_level=VerifyLevel.FULL)
+        assert excinfo.value.pass_name == "reorder"
+        assert any(
+            v.rule == "ir.cfg.unreachable" for v in excinfo.value.violations
+        )
+
+    def test_ir_level_misses_unreachable_blocks(self, mcf_module):
+        # The structural verifier tolerates unreachable blocks; only the
+        # deep (full) verifier rejects them.  Semantics are unaffected.
+        clean = execute(compile_module(mcf_module, O3)).return_value
+        pipeline._PASS_WRECKERS["reorder"] = _wreck_orphan_block
+        exe = compile_module(mcf_module, O3, verify_level=VerifyLevel.IR)
+        assert execute(exe).return_value == clean
+
+    def test_off_level_skips_all_checks(self, mcf_module):
+        pipeline._PASS_WRECKERS["reorder"] = _wreck_orphan_block
+        compile_module(mcf_module, O3, verify_level=VerifyLevel.OFF)
+
+    def test_env_variable_selects_level(self, mcf_module, monkeypatch):
+        pipeline._PASS_WRECKERS["reorder"] = _wreck_orphan_block
+        monkeypatch.setenv("REPRO_VERIFY", "full")
+        with pytest.raises(PassVerificationError):
+            compile_module(mcf_module, O3)
+
+    def test_explicit_argument_beats_env(self, mcf_module, monkeypatch):
+        pipeline._PASS_WRECKERS["reorder"] = _wreck_orphan_block
+        monkeypatch.setenv("REPRO_VERIFY", "full")
+        compile_module(mcf_module, O3, verify_level="off")
+
+
+class TestOffBitIdentity:
+    def test_off_output_identical_to_default(self, mcf_module):
+        # REPRO_VERIFY=off must not change what is compiled, only what
+        # is checked: the linked images must be bit-identical.
+        default = compile_module(copy.deepcopy(mcf_module), O3)
+        off = compile_module(
+            copy.deepcopy(mcf_module), O3, verify_level=VerifyLevel.OFF
+        )
+        assert default.disassemble() == off.disassemble()
+        assert default.function_entries == off.function_entries
+        assert execute(default).return_value == execute(off).return_value
+
+    def test_full_output_identical_to_default(self, mcf_module):
+        full = compile_module(
+            copy.deepcopy(mcf_module), O3, verify_level=VerifyLevel.FULL
+        )
+        default = compile_module(copy.deepcopy(mcf_module), O3)
+        assert default.disassemble() == full.disassemble()

@@ -1,0 +1,354 @@
+"""Unit tests for the deep IR verifier, the dataflow def-before-use
+rewrite of :mod:`repro.ir.verify`, and the machine-code verifier."""
+
+import pytest
+
+from repro.analysis import (
+    VerifyLevel,
+    Violation,
+    deep_verify_function,
+    deep_verify_module,
+    parse_verify_level,
+    resolve_verify_level,
+)
+from repro.analysis.mc_verify import (
+    schedule_preserves_deps,
+    verify_machine_function,
+)
+from repro.codegen.isa import (
+    CALLER_SAVED_INT,
+    MachineInstr,
+    RV,
+    ZERO,
+)
+from repro.codegen.isel import FIRST_VREG, MachineBlock, MachineFunction
+from repro.ir import (
+    BasicBlock,
+    BinOp,
+    Branch,
+    Call,
+    Const,
+    Copy,
+    Function,
+    IRVerificationError,
+    Jump,
+    Module,
+    Return,
+    Temp,
+    Type,
+    verify_function,
+)
+from repro.obs import counter
+from repro.opt.cleanup import cleanup_module
+
+T8 = CALLER_SAVED_INT[0]
+T9 = CALLER_SAVED_INT[1]
+
+
+def _int(name):
+    return Temp(name, Type.INT)
+
+
+def _diamond(define_in_both: bool) -> Function:
+    """entry -> then/else -> join; ``t`` defined in then (and optionally
+    else), used at the join."""
+    f = Function("g", [_int("c")], Type.INT)
+    entry = f.add_block(BasicBlock("entry"))
+    then = f.add_block(BasicBlock("then"))
+    other = f.add_block(BasicBlock("else"))
+    join = f.add_block(BasicBlock("join"))
+    entry.set_terminator(Branch(_int("c"), "then", "else"))
+    then.append(Copy(_int("t"), Const(1, Type.INT)))
+    then.set_terminator(Jump("join"))
+    if define_in_both:
+        other.append(Copy(_int("t"), Const(2, Type.INT)))
+    other.set_terminator(Jump("join"))
+    join.set_terminator(Return(_int("t")))
+    return f
+
+
+class TestDefiniteAssignment:
+    def test_partial_definition_rejected(self):
+        # The old reaching-definitions check accepted this: ``t`` is
+        # defined *somewhere*, but not on the else path.
+        with pytest.raises(IRVerificationError, match="all paths"):
+            verify_function(_diamond(define_in_both=False))
+
+    def test_definition_on_all_paths_accepted(self):
+        verify_function(_diamond(define_in_both=True))
+
+    def test_never_defined_rejected(self):
+        f = Function("g", [], Type.INT)
+        f.add_block(BasicBlock("entry")).set_terminator(Return(_int("ghost")))
+        with pytest.raises(IRVerificationError):
+            verify_function(f)
+
+    def test_loop_carried_definition_accepted(self):
+        # entry defines i; the loop reads and redefines it.
+        f = Function("g", [], Type.INT)
+        entry = f.add_block(BasicBlock("entry"))
+        loop = f.add_block(BasicBlock("loop"))
+        exit_ = f.add_block(BasicBlock("exit"))
+        entry.append(Copy(_int("i"), Const(0, Type.INT)))
+        entry.set_terminator(Jump("loop"))
+        loop.append(BinOp(_int("i"), "add", _int("i"), Const(1, Type.INT)))
+        loop.set_terminator(Branch(_int("i"), "exit", "loop"))
+        exit_.set_terminator(Return(_int("i")))
+        verify_function(f)
+
+    def test_use_before_def_within_block(self):
+        f = Function("g", [], Type.INT)
+        entry = f.add_block(BasicBlock("entry"))
+        entry.append(BinOp(_int("x"), "add", _int("x"), Const(1, Type.INT)))
+        entry.set_terminator(Return(_int("x")))
+        with pytest.raises(IRVerificationError):
+            verify_function(f)
+
+
+def _callee_module():
+    m = Module()
+    callee = Function("callee", [_int("x")], Type.INT)
+    callee.add_block(BasicBlock("entry")).set_terminator(Return(Const(0, Type.INT)))
+    m.add_function(callee)
+    return m
+
+
+class TestCallChecks:
+    def _caller(self, call):
+        f = Function("main", [], Type.INT)
+        blk = f.add_block(BasicBlock("entry"))
+        blk.append(call)
+        blk.set_terminator(Return(Const(0, Type.INT)))
+        return f
+
+    def test_wrong_arity(self):
+        m = _callee_module()
+        f = self._caller(Call(_int("r"), "callee", []))
+        with pytest.raises(IRVerificationError, match="args"):
+            verify_function(f, m)
+
+    def test_wrong_argument_type(self):
+        m = _callee_module()
+        f = self._caller(
+            Call(_int("r"), "callee", [Const(1.0, Type.FLOAT)])
+        )
+        with pytest.raises(IRVerificationError, match="parameter"):
+            verify_function(f, m)
+
+    def test_wrong_result_type(self):
+        m = _callee_module()
+        f = self._caller(
+            Call(Temp("r", Type.FLOAT), "callee", [Const(1, Type.INT)])
+        )
+        with pytest.raises(IRVerificationError):
+            verify_function(f, m)
+
+    def test_discarded_result_ok(self):
+        m = _callee_module()
+        verify_function(
+            self._caller(Call(None, "callee", [Const(1, Type.INT)])), m
+        )
+
+    def test_unknown_callee(self):
+        m = _callee_module()
+        f = self._caller(Call(_int("r"), "nonexistent", []))
+        with pytest.raises(IRVerificationError, match="unknown"):
+            verify_function(f, m)
+
+    def test_without_module_no_call_checks(self):
+        # Backwards-compatible: no module, no signature validation.
+        verify_function(self._caller(Call(_int("r"), "callee", [])))
+
+
+class TestDeepIRVerifier:
+    def test_unreachable_block_flagged(self):
+        f = Function("g", [], Type.INT)
+        f.add_block(BasicBlock("entry")).set_terminator(Return(Const(0, Type.INT)))
+        f.add_block(BasicBlock("orphan")).set_terminator(Return(Const(1, Type.INT)))
+        rules = {v.rule for v in deep_verify_function(f)}
+        assert "ir.cfg.unreachable" in rules
+
+    def test_type_confusion_flagged(self):
+        f = Function("g", [], Type.INT)
+        entry = f.add_block(BasicBlock("entry"))
+        entry.append(Copy(Temp("x", Type.FLOAT), Const(1.0, Type.FLOAT)))
+        entry.append(
+            BinOp(_int("y"), "add", Temp("x", Type.FLOAT), Const(1, Type.INT))
+        )
+        entry.set_terminator(Return(_int("y")))
+        violations = deep_verify_function(f)
+        assert any(v.rule == "ir.type" for v in violations)
+
+    def test_unknown_global_flagged(self):
+        from repro.ir import Addr
+
+        m = Module()
+        f = Function("main", [], Type.INT)
+        entry = f.add_block(BasicBlock("entry"))
+        entry.append(Addr(_int("p"), "no_such_global"))
+        entry.set_terminator(Return(Const(0, Type.INT)))
+        m.add_function(f)
+        assert any(v.rule == "ir.symbol" for v in deep_verify_module(m))
+
+    def test_clean_function_is_clean(self):
+        assert deep_verify_function(_diamond(define_in_both=True)) == []
+
+
+class TestCleanupUnreachable:
+    def test_cleanup_module_removes_unreachable_and_counts(self):
+        m = Module()
+        f = Function("main", [], Type.INT)
+        f.add_block(BasicBlock("entry")).set_terminator(Return(Const(0, Type.INT)))
+        f.add_block(BasicBlock("orphan")).set_terminator(Jump("entry"))
+        m.add_function(f)
+        before = counter("opt.cleanup.unreachable_removed").value
+        cleanup_module(m)
+        assert [b.label for b in f.blocks] == ["entry"]
+        assert counter("opt.cleanup.unreachable_removed").value > before
+        assert deep_verify_module(m) == []
+
+
+class TestVerifyLevel:
+    def test_parse(self):
+        assert parse_verify_level("full") is VerifyLevel.FULL
+        assert parse_verify_level(" IR ") is VerifyLevel.IR
+        assert parse_verify_level("bogus") is None
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "off")
+        assert resolve_verify_level("full") is VerifyLevel.FULL
+        assert resolve_verify_level(VerifyLevel.IR) is VerifyLevel.IR
+
+    def test_env_wins_over_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "full")
+        assert resolve_verify_level() is VerifyLevel.FULL
+
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VERIFY", raising=False)
+        assert resolve_verify_level() is VerifyLevel.IR
+        assert (
+            resolve_verify_level(default=VerifyLevel.OFF) is VerifyLevel.OFF
+        )
+
+    def test_bad_explicit_raises(self):
+        with pytest.raises(ValueError):
+            resolve_verify_level("everything")
+
+    def test_bad_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "yes please")
+        assert resolve_verify_level() is VerifyLevel.IR
+
+
+def _mf(instrs, makes_calls=False):
+    return MachineFunction(
+        name="f",
+        blocks=[MachineBlock("entry", instrs)],
+        vreg_is_fp={},
+        makes_calls=makes_calls,
+    )
+
+
+class TestMachineVerifier:
+    def test_clean_function(self):
+        mf = _mf(
+            [
+                MachineInstr("li", dst=T8, imm=5),
+                MachineInstr("mov", dst=RV, srcs=(T8,)),
+                MachineInstr("jr"),
+            ]
+        )
+        assert verify_machine_function(mf, "frame") == []
+
+    def test_read_of_undefined_register(self):
+        mf = _mf(
+            [
+                MachineInstr("mov", dst=RV, srcs=(T8,)),  # r8 never written
+                MachineInstr("jr"),
+            ]
+        )
+        rules = {v.rule for v in verify_machine_function(mf, "frame")}
+        assert "mc.undef_reg" in rules
+
+    def test_caller_saved_clobbered_across_call(self):
+        mf = _mf(
+            [
+                MachineInstr("li", dst=T8, imm=5),
+                MachineInstr("jal", target="g"),
+                MachineInstr("mov", dst=RV, srcs=(T8,)),  # killed by the call
+                MachineInstr("jr"),
+            ],
+            makes_calls=True,
+        )
+        rules = {
+            v.rule
+            for v in verify_machine_function(mf, "frame", known_functions={"g"})
+        }
+        assert "mc.undef_reg" in rules
+
+    def test_write_to_zero_register(self):
+        mf = _mf([MachineInstr("li", dst=ZERO, imm=1), MachineInstr("jr")])
+        rules = {v.rule for v in verify_machine_function(mf, "frame")}
+        assert "mc.zero_write" in rules
+
+    def test_vreg_after_regalloc(self):
+        mf = _mf(
+            [
+                MachineInstr("li", dst=FIRST_VREG, imm=1),
+                MachineInstr("jr"),
+            ]
+        )
+        assert verify_machine_function(mf, "isel") == []  # vregs fine pre-RA
+        rules = {v.rule for v in verify_machine_function(mf, "regalloc")}
+        assert "mc.vreg" in rules
+
+    def test_branch_to_unknown_block(self):
+        mf = _mf(
+            [
+                MachineInstr("li", dst=T8, imm=1),
+                MachineInstr("bnez", srcs=(T8,), target="nowhere"),
+                MachineInstr("jr"),
+            ]
+        )
+        rules = {v.rule for v in verify_machine_function(mf, "isel")}
+        assert "mc.target" in rules
+
+    def test_call_to_unknown_function(self):
+        mf = _mf([MachineInstr("jal", target="mystery"), MachineInstr("jr")])
+        rules = {
+            v.rule
+            for v in verify_machine_function(
+                mf, "isel", known_functions={"main"}
+            )
+        }
+        assert "mc.call_target" in rules
+
+
+class TestSchedulePreservation:
+    def test_dependence_inversion_detected(self):
+        a = MachineInstr("li", dst=T8, imm=1)
+        b = MachineInstr("mov", dst=T9, srcs=(T8,))  # RAW on r8
+        violations = schedule_preserves_deps([a, b], [b, a], "f/entry")
+        assert any(v.rule == "mc.sched_order" for v in violations)
+
+    def test_independent_reorder_allowed(self):
+        a = MachineInstr("li", dst=T8, imm=1)
+        b = MachineInstr("li", dst=T9, imm=2)
+        assert schedule_preserves_deps([a, b], [b, a], "f/entry") == []
+
+    def test_dropped_instruction_detected(self):
+        a = MachineInstr("li", dst=T8, imm=1)
+        b = MachineInstr("li", dst=T9, imm=2)
+        violations = schedule_preserves_deps([a, b], [a], "f/entry")
+        assert any(v.rule == "mc.sched_set" for v in violations)
+
+    def test_store_ordering_enforced(self):
+        s1 = MachineInstr("st", srcs=(T8, T9), imm=0)
+        s2 = MachineInstr("st", srcs=(T8, T9), imm=8)
+        violations = schedule_preserves_deps([s1, s2], [s2, s1], "f/entry")
+        assert any(v.rule == "mc.sched_order" for v in violations)
+
+
+class TestViolation:
+    def test_str_includes_pass(self):
+        v = Violation("ir.type", "f/entry", "boom", pass_name="gcse")
+        assert "gcse" in str(v) and "ir.type" in str(v)
