@@ -17,6 +17,17 @@ Commands
 ``tune``
     Model-based GA search of the compiler flags for a Table 5 machine,
     verified by actual simulation (the paper's Section 6.3 use case).
+    With ``--surrogate NAME`` the fitness comes from a registry model
+    instead of a freshly built one: the search touches the simulator
+    only to re-validate elite individuals (see docs/SERVING.md).
+``serve``
+    Long-running prediction server: registry models over a JSON-lines
+    TCP protocol, one thread per connection.
+``predict``
+    One prediction from a registry model -- locally, or through a
+    running ``repro serve`` instance with ``--host``.
+``registry``
+    List the model registry, or show one model's manifest.
 ``lint``
     Sweep a workload across preset-corner and seeded random flag
     vectors under full verification (deep IR checks after every pass,
@@ -94,6 +105,24 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
         help="worker processes for batch measurements "
         "(default $REPRO_JOBS or 1; 0 = all cores)",
     )
+
+
+def _add_registry_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--registry",
+        default=None,
+        metavar="DIR",
+        help="model registry directory (default $REPRO_REGISTRY_DIR "
+        "or results/registry)",
+    )
+
+
+def _registry(args):
+    from repro.serve import ModelRegistry, default_registry
+
+    if getattr(args, "registry", None):
+        return ModelRegistry(args.registry)
+    return default_registry()
 
 
 def _compiler_config(args):
@@ -178,7 +207,7 @@ def cmd_disasm(args) -> int:
 
 def cmd_model(args) -> int:
     from repro.harness.measure import default_engine
-    from repro.models import RbfModel
+    from repro.harness.model_zoo import standard_factories
     from repro.pipeline import build_model
     from repro.space import full_space
 
@@ -186,12 +215,17 @@ def cmd_model(args) -> int:
     engine = default_engine()
     if args.jobs is not None:
         engine.jobs = (os.cpu_count() or 1) if args.jobs <= 0 else args.jobs
+    factory_key = {"linear": "linear", "mars": "mars", "rbf": "rbf-rt"}[
+        args.family
+    ]
     # finally: a crash or Ctrl-C mid-sweep keeps the measurements taken.
     try:
         result = build_model(
             oracle=engine.oracle(args.workload, args.input),
             space=space,
-            model_factory=lambda: RbfModel(variable_names=space.names),
+            model_factory=standard_factories(space.names, args.samples)[
+                factory_key
+            ],
             rng=np.random.default_rng(args.seed),
             initial_size=args.samples // 2,
             batch_size=max(10, args.samples // 4),
@@ -204,6 +238,24 @@ def cmd_model(args) -> int:
         engine.save()
     for n, err, std in result.error_history:
         print(f"{n:5d} samples -> {err:6.2f}% (±{std:.2f}) test error")
+    if args.save:
+        entry = _registry(args).save(
+            result.model,
+            args.save,
+            space=space,
+            corpus=(result.x_train, result.y_train),
+            fit_metrics={
+                "test_error_pct": result.test_error,
+                "n_train": result.n_samples,
+                "workload": args.workload,
+                "input": args.input,
+                "seed": args.seed,
+            },
+        )
+        print(
+            f"saved {args.family} model as {args.save!r} "
+            f"(id {entry.id}) in {_registry(args).root}"
+        )
     return 0
 
 
@@ -225,27 +277,33 @@ def cmd_tune(args) -> int:
 
     # finally: a crash or Ctrl-C mid-sweep keeps the measurements taken.
     try:
-        print(f"Building a model for {args.workload} ({args.samples} sims)...")
-        built = build_model(
-            oracle=engine.oracle(args.workload, args.input),
-            space=space,
-            model_factory=lambda: RbfModel(variable_names=space.names),
-            rng=rng,
-            initial_size=args.samples,
-            batch_size=args.samples,
-            max_samples=args.samples,
-            n_candidates=max(300, 4 * args.samples),
-            test_size=max(15, args.samples // 5),
-        )
-        print(f"  model test error {built.test_error:.2f}%")
+        if args.surrogate:
+            settings = _tune_surrogate(args, space, microarch, engine, rng)
+        else:
+            print(
+                f"Building a model for {args.workload} "
+                f"({args.samples} sims)..."
+            )
+            built = build_model(
+                oracle=engine.oracle(args.workload, args.input),
+                space=space,
+                model_factory=lambda: RbfModel(variable_names=space.names),
+                rng=rng,
+                initial_size=args.samples,
+                batch_size=args.samples,
+                max_samples=args.samples,
+                n_candidates=max(300, 4 * args.samples),
+                test_size=max(15, args.samples // 5),
+            )
+            print(f"  model test error {built.test_error:.2f}%")
 
-        compiler_space = space.subspace(COMPILER_VARIABLE_NAMES)
-        objective = frozen_microarch_objective(
-            built.model, space, compiler_space, microarch
-        )
-        ga = GeneticSearch(compiler_space, population=60, generations=40)
-        result = ga.run(objective, rng)
-        settings = CompilerConfig.from_point(result.best_point)
+            compiler_space = space.subspace(COMPILER_VARIABLE_NAMES)
+            objective = frozen_microarch_objective(
+                built.model, space, compiler_space, microarch
+            )
+            ga = GeneticSearch(compiler_space, population=60, generations=40)
+            result = ga.run(objective, rng)
+            settings = CompilerConfig.from_point(result.best_point)
         print(f"prescribed settings: {settings.describe()}")
 
         o2, o3, best = engine.measure_many(
@@ -260,6 +318,137 @@ def cmd_tune(args) -> int:
     print(f"-O2      {o2.cycles:12.0f} cycles")
     print(f"-O3      {o3.cycles:12.0f} cycles ({(o2.cycles/o3.cycles-1)*100:+.2f}%)")
     print(f"searched {best.cycles:12.0f} cycles ({(o2.cycles/best.cycles-1)*100:+.2f}%)")
+    return 0
+
+
+def _tune_surrogate(args, space, microarch, engine, rng):
+    """Surrogate path of ``repro tune``: fitness from a registry model,
+    simulator spend limited to elite re-validation."""
+    from repro.opt import CompilerConfig
+    from repro.serve import space_fingerprint, surrogate_search
+
+    loaded = _registry(args).load(args.surrogate)
+    declared = loaded.manifest.get("space_fingerprint")
+    if declared and declared != space_fingerprint(space):
+        raise SystemExit(
+            f"registry model {args.surrogate!r} was fitted on a different "
+            f"design space (fingerprint {declared}, current "
+            f"{space_fingerprint(space)}); refit and re-save it"
+        )
+    if loaded.model._n_features != space.dim:
+        raise SystemExit(
+            f"registry model {args.surrogate!r} has "
+            f"{loaded.model._n_features} features; the joint space has "
+            f"{space.dim}"
+        )
+    print(
+        f"Searching with surrogate {args.surrogate!r} "
+        f"(id {loaded.id}, {loaded.manifest['family']})..."
+    )
+    res = surrogate_search(
+        loaded.model,
+        space,
+        microarch,
+        args.workload,
+        engine,
+        rng,
+        input_name=args.input,
+        population=60,
+        generations=40,
+        validate_every=args.validate_every,
+        n_elites=args.elites,
+    )
+    default_sims = args.samples + max(15, args.samples // 5)
+    print(res.summary())
+    print(
+        f"  (the default path would have spent {default_sims} simulator "
+        f"measurements building a model)"
+    )
+    for v in res.validations:
+        print(
+            f"  elite @gen {v.generation:>3}: predicted "
+            f"{v.predicted:12.0f}, measured {v.measured:12.0f} "
+            f"({v.abs_pct_error:6.2f}% off)"
+        )
+    return CompilerConfig.from_point(res.search.best_point)
+
+
+def cmd_serve(args) -> int:
+    from repro.serve import PredictionServer
+
+    registry = _registry(args)
+    server = PredictionServer(
+        registry=registry,
+        preload=args.model,
+        host=args.host,
+        port=args.port,
+        allow_remote_shutdown=not args.no_remote_shutdown,
+    )
+    host, port = server.address
+    known = registry.names()
+    print(f"serving registry {registry.root} on {host}:{port}")
+    print(
+        f"  models: {', '.join(known) if known else '(none registered yet)'}"
+    )
+    print("  protocol: one JSON object per line (see docs/SERVING.md)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.shutdown()
+        print("\nserver stopped")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    from repro.harness.configs import joint_point
+
+    compiler = _compiler_config(args)
+    microarch = _microarch(args)
+    point = joint_point(compiler, microarch)
+    if args.host:
+        from repro.serve import PredictionClient
+
+        with PredictionClient(args.host, args.port) as client:
+            predicted = client.predict_point(args.model_ref, point)
+        source = f"{args.host}:{args.port}"
+    else:
+        from repro.serve import Predictor
+
+        predictor = Predictor.from_registry(
+            args.model_ref, registry=_registry(args)
+        )
+        predicted = predictor.predict_point(point)
+        source = f"registry {_registry(args).root}"
+    print(f"model     {args.model_ref} ({source})")
+    print(f"compiler  {compiler.describe()}")
+    print(f"machine   {args.machine}")
+    print(f"predicted {predicted:.0f} cycles")
+    return 0
+
+
+def cmd_registry(args) -> int:
+    import json as _json
+
+    registry = _registry(args)
+    if args.action == "list":
+        print(registry.describe())
+        return 0
+    if not args.ref:
+        raise SystemExit("usage: repro registry show <name-or-id>")
+    loaded = registry.load(args.ref)
+    manifest = dict(loaded.manifest)
+    manifest.pop("space", None)  # 25 variable specs drown the output
+    print(_json.dumps(manifest, indent=2, sort_keys=True))
+    from repro.serve import RegistryError
+
+    try:
+        history = registry.versions(args.ref)
+    except RegistryError:
+        history = []  # looked up by raw object id, not by name
+    if history:
+        print(f"\nversions ({len(history)}):")
+        for v in history:
+            print(f"  {v['id']}")
     return 0
 
 
@@ -396,6 +585,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=100)
     p.add_argument("--target-error", type=float, default=5.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--family",
+        choices=["linear", "mars", "rbf"],
+        default="rbf",
+        help="model family (default rbf, the paper's most accurate)",
+    )
+    p.add_argument(
+        "--save",
+        default=None,
+        metavar="NAME",
+        help="persist the fitted model into the registry under NAME",
+    )
+    _add_registry_argument(p)
     _add_jobs_argument(p)
     _add_verify_argument(p)
 
@@ -409,8 +611,72 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["constrained", "typical", "aggressive"],
         default="typical",
     )
+    p.add_argument(
+        "--surrogate",
+        default=None,
+        metavar="NAME",
+        help="use a registry model as the fitness surrogate instead of "
+        "building one (simulator spend drops to elite re-validation)",
+    )
+    p.add_argument(
+        "--validate-every",
+        type=int,
+        default=10,
+        metavar="G",
+        help="surrogate mode: snapshot elites every G generations "
+        "(default 10)",
+    )
+    p.add_argument(
+        "--elites",
+        type=int,
+        default=2,
+        metavar="N",
+        help="surrogate mode: elites re-validated per checkpoint "
+        "(default 2)",
+    )
+    _add_registry_argument(p)
     _add_jobs_argument(p)
     _add_verify_argument(p)
+
+    p = sub.add_parser(
+        "serve", help="serve registry models over TCP (JSON lines)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7425)
+    p.add_argument(
+        "--model",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="preload a registry model (repeatable; others load lazily)",
+    )
+    p.add_argument(
+        "--no-remote-shutdown",
+        action="store_true",
+        help="ignore the wire protocol's shutdown op",
+    )
+    _add_registry_argument(p)
+
+    p = sub.add_parser(
+        "predict", help="predict cycles from a registry model"
+    )
+    p.add_argument("model_ref", metavar="model")
+    _add_flag_arguments(p)
+    p.add_argument(
+        "--host",
+        default=None,
+        help="send the request to a running `repro serve` instead of "
+        "loading the model locally",
+    )
+    p.add_argument("--port", type=int, default=7425)
+    _add_registry_argument(p)
+
+    p = sub.add_parser("registry", help="inspect the model registry")
+    p.add_argument(
+        "action", nargs="?", default="list", choices=["list", "show"]
+    )
+    p.add_argument("ref", nargs="?", default=None, metavar="name-or-id")
+    _add_registry_argument(p)
 
     p = sub.add_parser(
         "lint", help="sweep flag vectors under full verification"
@@ -464,6 +730,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "disasm": cmd_disasm,
         "model": cmd_model,
         "tune": cmd_tune,
+        "serve": cmd_serve,
+        "predict": cmd_predict,
+        "registry": cmd_registry,
         "lint": cmd_lint,
         "trace": cmd_trace,
         "stats": cmd_stats,

@@ -51,10 +51,29 @@ class RegressionModel(abc.ABC):
         return self
 
     def predict(self, x: np.ndarray) -> np.ndarray:
-        """Predict responses at coded design points ``(n, k)`` -> ``(n,)``."""
+        """Predict responses at coded design points.
+
+        Accepts an ``(n, k)`` design matrix or a single 1-D point of
+        length ``k`` (promoted to ``(1, k)``); always returns an ``(n,)``
+        vector.  Dimension mismatches fail here with a clear message
+        rather than inside the subclass ``_predict``.
+        """
         if not self._fitted:
             raise RuntimeError("model is not fitted")
-        x = np.atleast_2d(np.asarray(x, dtype=float))
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            if x.shape[0] != self._n_features:
+                raise ValueError(
+                    f"1-D input has length {x.shape[0]} but the model was "
+                    f"fitted on {self._n_features} features; pass an "
+                    f"(n, {self._n_features}) matrix to predict a batch"
+                )
+            x = x[None, :]
+        elif x.ndim != 2:
+            raise ValueError(
+                f"expected a 1-D point or 2-D design matrix, got "
+                f"{x.ndim}-D input of shape {x.shape}"
+            )
         if x.shape[1] != self._n_features:
             raise ValueError(
                 f"model was fitted on {self._n_features} features, "
@@ -64,7 +83,7 @@ class RegressionModel(abc.ABC):
 
     def predict_one(self, x: Sequence[float]) -> float:
         """Predict the response at a single coded design point."""
-        return float(self.predict(np.asarray(x, dtype=float)[None, :])[0])
+        return float(self.predict(np.asarray(x, dtype=float).ravel())[0])
 
     @property
     def is_fitted(self) -> bool:

@@ -27,6 +27,12 @@ _NON_FINITE = counter("ga.non_finite_fitness")
 #: the GA minimizes it.
 Objective = Callable[[np.ndarray], np.ndarray]
 
+#: Per-generation observer: ``(generation, coded_population, fitness)``
+#: after fitness evaluation (non-finite values already clamped to +inf).
+#: Used by the surrogate-assisted search to snapshot elite individuals
+#: for later simulator re-validation; must not mutate its arguments.
+GenerationObserver = Callable[[int, np.ndarray, np.ndarray], None]
+
 
 @dataclass
 class SearchResult:
@@ -123,9 +129,16 @@ class GeneticSearch:
 
     # ------------------------------------------------------------------
     def run(
-        self, objective: Objective, rng: np.random.Generator
+        self,
+        objective: Objective,
+        rng: np.random.Generator,
+        on_generation: Optional[GenerationObserver] = None,
     ) -> SearchResult:
-        """Run the GA and return the best design point found."""
+        """Run the GA and return the best design point found.
+
+        ``on_generation`` (if given) observes every generation's coded
+        population and sanitized fitness right after evaluation.
+        """
         genomes = self._random_population(rng)
         evaluations = 0
         history: List[float] = []
@@ -157,6 +170,8 @@ class GeneticSearch:
                             )
                             warned_non_finite = True
                         fitness = np.where(non_finite, np.inf, fitness)
+                    if on_generation is not None:
+                        on_generation(generation, coded, fitness)
                     evaluations += self.population
                     _GENERATIONS.inc()
                     _EVALUATIONS.inc(self.population)

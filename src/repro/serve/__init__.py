@@ -1,0 +1,87 @@
+"""Model registry + prediction serving (the paper's models as artifacts).
+
+A fitted empirical model is a reusable asset: it predicts any compiler x
+microarchitecture point in microseconds and can drive search without
+touching the simulator (paper Sections 5-6).  This package makes that
+concrete:
+
+:mod:`repro.serve.serialize`
+    JSON+npz round-trip serialization for all three model families;
+    loaded models predict bit-identically to the originals.
+:mod:`repro.serve.registry`
+    Content-addressed, versioned on-disk store (``results/registry/``).
+:mod:`repro.serve.predictor`
+    Validated, LRU-cached, instrumented batch prediction.
+:mod:`repro.serve.server`
+    Threaded JSON-lines TCP server (``repro serve`` / ``repro predict``).
+:mod:`repro.serve.surrogate`
+    Surrogate-assisted GA flag search with periodic simulator
+    re-validation of elites and a drift counter
+    (``repro tune --surrogate``).
+
+See ``docs/SERVING.md`` for the registry layout, wire protocol, and
+surrogate-validation semantics.
+"""
+
+from repro.serve.serialize import (
+    ARRAYS_NAME,
+    MANIFEST_NAME,
+    SCHEMA_VERSION,
+    SchemaVersionError,
+    SerializationError,
+    corpus_fingerprint,
+    load_model,
+    manifest_space,
+    model_from_payload,
+    model_to_payload,
+    payload_digest,
+    save_model,
+    space_fingerprint,
+    space_from_spec,
+    space_spec,
+)
+from repro.serve.registry import (
+    DEFAULT_REGISTRY_DIR,
+    LoadedModel,
+    ModelRegistry,
+    RegistryError,
+    default_registry,
+)
+from repro.serve.predictor import Predictor
+from repro.serve.server import PredictionClient, PredictionServer
+from repro.serve.surrogate import (
+    EliteValidation,
+    SurrogateSearchResult,
+    count_misrankings,
+    surrogate_search,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "MANIFEST_NAME",
+    "ARRAYS_NAME",
+    "SerializationError",
+    "SchemaVersionError",
+    "save_model",
+    "load_model",
+    "model_to_payload",
+    "model_from_payload",
+    "payload_digest",
+    "manifest_space",
+    "space_spec",
+    "space_from_spec",
+    "space_fingerprint",
+    "corpus_fingerprint",
+    "ModelRegistry",
+    "LoadedModel",
+    "RegistryError",
+    "default_registry",
+    "DEFAULT_REGISTRY_DIR",
+    "Predictor",
+    "PredictionServer",
+    "PredictionClient",
+    "surrogate_search",
+    "SurrogateSearchResult",
+    "EliteValidation",
+    "count_misrankings",
+]

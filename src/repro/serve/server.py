@@ -1,0 +1,288 @@
+"""Long-running prediction server (stdlib-only, JSON-lines over TCP).
+
+The server loads models from a :class:`ModelRegistry` on demand and
+serves predictions to any number of concurrent clients; one thread per
+connection (``ThreadingTCPServer``), with all model state shared through
+thread-safe :class:`Predictor` instances.
+
+Wire protocol -- one JSON object per line, in both directions::
+
+    -> {"id": 1, "op": "predict", "model": "gzip-rbf", "x": [[...], ...]}
+    <- {"id": 1, "ok": true, "y": [123.4, ...], "elapsed_ms": 0.21}
+
+Ops
+---
+``ping``
+    Liveness check; echoes ``{"pong": true}``.
+``models``
+    Registry names plus currently loaded models.
+``info``
+    Predictor metadata for ``model``.
+``predict``
+    ``x`` is one coded point or a list of coded points; returns ``y``
+    as a list (always, even for a single point).
+``predict_point``
+    ``point`` is a raw ``{variable: value}`` dict, validated against
+    the model's design space and encoded server-side.
+``shutdown``
+    Acknowledge, then stop the server (available unless the server was
+    started with ``allow_remote_shutdown=False``).
+
+Errors never kill the connection: a malformed line or failed op yields
+``{"ok": false, "error": "..."}`` and the loop continues.  See
+``docs/SERVING.md`` for the full protocol reference.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.obs import counter, histogram
+from repro.serve.predictor import Predictor
+from repro.serve.registry import ModelRegistry, RegistryError, default_registry
+
+_REQUESTS = counter("serve.server.requests")
+_ERRORS = counter("serve.server.errors")
+_CONNECTIONS = counter("serve.server.connections")
+_REQUEST_MS = histogram("serve.server.request_ms")
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        _CONNECTIONS.inc()
+        for raw in self.rfile:
+            raw = raw.strip()
+            if not raw:
+                continue
+            response, stop = self.server.app.handle_line(raw)
+            self.wfile.write((json.dumps(response) + "\n").encode())
+            self.wfile.flush()
+            if stop:
+                # Ack is already on the wire; stop the accept loop from
+                # a helper thread (shutdown() joins serve_forever).
+                threading.Thread(
+                    target=self.server.app.shutdown, daemon=True
+                ).start()
+                return
+
+
+class _ThreadedServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    app: "PredictionServer"
+
+
+class PredictionServer:
+    """Serve registry models over a JSON-lines TCP socket.
+
+    Parameters
+    ----------
+    registry:
+        Source of models (default :func:`default_registry`).
+    preload:
+        Model refs to load eagerly at startup; other registry models
+        load lazily on first request.
+    host / port:
+        Bind address; port 0 picks an ephemeral port (see ``address``).
+    cache_size:
+        Per-predictor LRU prediction-cache capacity.
+    allow_remote_shutdown:
+        Whether the ``shutdown`` op is honoured (on by default: the
+        server is a local-loopback tool, and tests/CI need clean stops).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[ModelRegistry] = None,
+        preload: Optional[List[str]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = 65536,
+        allow_remote_shutdown: bool = True,
+    ):
+        self.registry = registry or default_registry()
+        self.cache_size = cache_size
+        self.allow_remote_shutdown = allow_remote_shutdown
+        self._predictors: Dict[str, Predictor] = {}
+        self._lock = threading.Lock()
+        for ref in preload or []:
+            self._predictor(ref)
+        self._server = _ThreadedServer((host, port), _Handler)
+        self._server.app = self
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``."""
+        return self._server.server_address[:2]
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`shutdown`."""
+        self._server.serve_forever()
+
+    def start_background(self) -> "PredictionServer":
+        """Serve from a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop the accept loop and close the listening socket."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None and self._thread is not threading.current_thread():
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "PredictionServer":
+        return self.start_background()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    def _predictor(self, ref: str) -> Predictor:
+        with self._lock:
+            pred = self._predictors.get(ref)
+        if pred is not None:
+            return pred
+        # Load outside the lock (disk I/O); worst case two threads both
+        # load and one wins the insert -- predictors are stateless apart
+        # from their cache, so either instance serves correctly.
+        pred = Predictor.from_registry(
+            ref, registry=self.registry, cache_size=self.cache_size
+        )
+        with self._lock:
+            return self._predictors.setdefault(ref, pred)
+
+    # ------------------------------------------------------------------
+    def handle_line(self, raw: bytes) -> Tuple[Dict[str, Any], bool]:
+        """Process one request line -> (response dict, stop server?)."""
+        t0 = time.perf_counter()
+        _REQUESTS.inc()
+        request_id = None
+        try:
+            request = json.loads(raw)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            request_id = request.get("id")
+            response, stop = self._dispatch(request)
+        except (ValueError, KeyError, TypeError, RegistryError) as e:
+            _ERRORS.inc()
+            response, stop = {"ok": False, "error": str(e)}, False
+        response.setdefault("ok", True)
+        if request_id is not None:
+            response["id"] = request_id
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        response["elapsed_ms"] = round(elapsed_ms, 4)
+        _REQUEST_MS.observe(elapsed_ms)
+        return response, stop
+
+    def _dispatch(self, request: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
+        op = request.get("op")
+        if op == "ping":
+            return {"pong": True}, False
+        if op == "models":
+            with self._lock:
+                loaded = sorted(self._predictors)
+            return {"models": self.registry.names(), "loaded": loaded}, False
+        if op == "info":
+            return {"info": self._predictor(_model_ref(request)).info()}, False
+        if op == "predict":
+            pred = self._predictor(_model_ref(request))
+            x = np.asarray(request["x"], dtype=float)
+            y = pred.predict(x)
+            return {"y": [float(v) for v in y]}, False
+        if op == "predict_point":
+            pred = self._predictor(_model_ref(request))
+            point = request["point"]
+            if not isinstance(point, dict):
+                raise ValueError("'point' must be a {variable: value} object")
+            return {"y": pred.predict_point(point)}, False
+        if op == "shutdown":
+            if not self.allow_remote_shutdown:
+                raise ValueError("shutdown is disabled on this server")
+            return {"stopping": True}, True
+        raise ValueError(f"unknown op {op!r}")
+
+
+def _model_ref(request: Dict[str, Any]) -> str:
+    ref = request.get("model")
+    if not ref or not isinstance(ref, str):
+        raise ValueError("request needs a 'model' name or id")
+    return ref
+
+
+class PredictionClient:
+    """Blocking JSON-lines client for :class:`PredictionServer`.
+
+    One TCP connection per client; safe to share across threads only
+    with external locking -- concurrent test clients should each open
+    their own.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one op and wait for its response; raises on protocol or
+        server-side errors."""
+        self._next_id += 1
+        payload = {"id": self._next_id, "op": op, **fields}
+        self._file.write((json.dumps(payload) + "\n").encode())
+        self._file.flush()
+        raw = self._file.readline()
+        if not raw:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(raw)
+        if not response.get("ok"):
+            raise RuntimeError(f"server error: {response.get('error')}")
+        return response
+
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def models(self) -> Dict[str, Any]:
+        return self.request("models")
+
+    def info(self, model: str) -> Dict[str, Any]:
+        return self.request("info", model=model)["info"]
+
+    def predict(
+        self, model: str, x: Union[np.ndarray, List[List[float]]]
+    ) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        response = self.request("predict", model=model, x=x.tolist())
+        return np.asarray(response["y"], dtype=float)
+
+    def predict_point(self, model: str, point: Dict[str, float]) -> float:
+        return float(
+            self.request("predict_point", model=model, point=point)["y"]
+        )
+
+    def shutdown_server(self) -> None:
+        self.request("shutdown")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "PredictionClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,263 @@
+"""Surrogate-assisted flag search: GA fitness from a served model.
+
+``repro tune``'s default path pays a compile+simulate run (or a freshly
+built model) for its fitness signal.  A registry model predicts the same
+response in microseconds, so the GA can run entirely on the surrogate --
+*if* we keep an eye on whether the surrogate is still telling the truth
+about the points that matter.  This module implements the paper's
+Section 6.3 search with exactly that discipline:
+
+1. the GA minimizes surrogate-predicted cycles over the compiler
+   subspace (microarchitecture frozen), with every fitness evaluation
+   flowing through a cached :class:`Predictor`;
+2. every ``validate_every`` generations (and at the end) the current
+   elite individuals are snapshotted;
+3. after the search, all unique snapshotted elites are measured through
+   the real simulator in **one batch** (so they fan out across the
+   measurement engine's worker pool), and each checkpoint's
+   predicted-vs-measured ordering is compared: every elite pair the
+   surrogate ranked in the wrong order is a *drift event*
+   (``serve.surrogate.drift``).
+
+The result reports how many simulator measurements the search actually
+consumed next to how many fitness evaluations it would have cost -- the
+orders-of-magnitude gap is the point of the subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.harness.experiments.search import frozen_microarch_objective
+from repro.models.base import RegressionModel
+from repro.obs import counter, span
+from repro.opt.flags import CompilerConfig
+from repro.search import GeneticSearch, SearchResult
+from repro.serve.predictor import Predictor
+from repro.sim.config import MicroarchConfig
+from repro.space import COMPILER_VARIABLE_NAMES, ParameterSpace
+
+_VALIDATIONS = counter("serve.surrogate.validations")
+_DRIFT = counter("serve.surrogate.drift")
+
+
+@dataclass
+class EliteValidation:
+    """One elite individual re-measured on the real simulator."""
+
+    #: Generation the elite was snapshotted at.
+    generation: int
+    #: Raw compiler design point.
+    point: Dict[str, float]
+    #: Surrogate-predicted cycles.
+    predicted: float
+    #: Simulator-measured cycles.
+    measured: float
+
+    @property
+    def abs_pct_error(self) -> float:
+        if self.measured == 0:
+            return float("nan")
+        return abs(self.predicted - self.measured) / self.measured * 100.0
+
+
+@dataclass
+class SurrogateSearchResult:
+    """A surrogate-driven GA search plus its validation audit."""
+
+    #: The underlying GA outcome (best point by *surrogate* fitness).
+    search: SearchResult
+    #: Every (checkpoint, elite) re-measured on the simulator.
+    validations: List[EliteValidation] = field(default_factory=list)
+    #: Elite pairs the surrogate ranked in the wrong order, summed over
+    #: checkpoints.
+    drift_events: int = 0
+    #: Elite pairs compared for drift.
+    compared_pairs: int = 0
+    #: Surrogate fitness evaluations performed by the GA.
+    surrogate_evaluations: int = 0
+    #: Unique simulator measurements spent on elite re-validation.
+    simulator_measurements: int = 0
+
+    @property
+    def elite_error_pct(self) -> float:
+        """Mean absolute percentage error of the surrogate on elites."""
+        errors = [
+            v.abs_pct_error for v in self.validations
+            if np.isfinite(v.abs_pct_error)
+        ]
+        return float(np.mean(errors)) if errors else float("nan")
+
+    @property
+    def misrank_rate(self) -> float:
+        """Fraction of compared elite pairs the surrogate misordered."""
+        if not self.compared_pairs:
+            return 0.0
+        return self.drift_events / self.compared_pairs
+
+    def summary(self) -> str:
+        lines = [
+            f"surrogate evaluations    {self.surrogate_evaluations}",
+            f"simulator measurements   {self.simulator_measurements}",
+            f"elite validation error   {self.elite_error_pct:.2f}% "
+            f"(over {len(self.validations)} elites)",
+            f"elite misrankings        {self.drift_events}/"
+            f"{self.compared_pairs} pairs "
+            f"({self.misrank_rate * 100:.1f}%)",
+        ]
+        return "\n".join(lines)
+
+
+def count_misrankings(
+    predicted: Sequence[float], measured: Sequence[float]
+) -> Tuple[int, int]:
+    """(inverted pairs, total pairs) between two orderings.
+
+    A pair (i, j) is inverted when the surrogate strictly orders it one
+    way and the simulator strictly orders it the other; ties on either
+    side don't count against the surrogate.
+    """
+    predicted = np.asarray(predicted, dtype=float)
+    measured = np.asarray(measured, dtype=float)
+    n = predicted.shape[0]
+    inversions = 0
+    pairs = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            pairs += 1
+            dp = predicted[i] - predicted[j]
+            dm = measured[i] - measured[j]
+            if dp * dm < 0:
+                inversions += 1
+    return inversions, pairs
+
+
+def surrogate_search(
+    model: RegressionModel,
+    space: ParameterSpace,
+    microarch: MicroarchConfig,
+    workload: str,
+    engine,
+    rng: np.random.Generator,
+    input_name: str = "train",
+    compiler_subspace: Optional[ParameterSpace] = None,
+    population: int = 60,
+    generations: int = 40,
+    validate_every: int = 10,
+    n_elites: int = 4,
+    predictor: Optional[Predictor] = None,
+) -> SurrogateSearchResult:
+    """Run a GA flag search on a surrogate model with elite validation.
+
+    Parameters
+    ----------
+    model:
+        A fitted model over ``space`` (typically loaded from the
+        registry) predicting cycles.
+    space:
+        The joint compiler x microarchitecture space the model was
+        trained on.
+    microarch:
+        The frozen Table 5 machine being tuned for.
+    workload / engine / input_name:
+        Where re-validation measurements come from; ``engine`` needs
+        ``measure_many`` (any :class:`MeasurementEngine` qualifies).
+    validate_every:
+        Snapshot the elite set every this-many generations.
+    n_elites:
+        Elites snapshotted per checkpoint (per-checkpoint drift needs
+        at least 2).
+    predictor:
+        Pre-built :class:`Predictor` to serve fitness from (defaults to
+        a fresh one around ``model``, so repeated individuals hit the
+        prediction cache).
+    """
+    if compiler_subspace is None:
+        compiler_subspace = space.subspace(COMPILER_VARIABLE_NAMES)
+    predictor = predictor or Predictor(model, name="surrogate")
+    raw_objective = frozen_microarch_objective(
+        # The joint-vector assembly comes from the existing search
+        # experiment; only the final predict call is swapped for the
+        # caching predictor.
+        predictor, space, compiler_subspace, microarch
+    )
+
+    #: generation -> (coded elite rows, predicted fitness)
+    checkpoints: List[Tuple[int, np.ndarray, np.ndarray]] = []
+
+    def snapshot(generation: int, coded: np.ndarray, fitness: np.ndarray) -> None:
+        is_last = generation == generations - 1
+        if generation % validate_every != 0 and not is_last:
+            return
+        order = np.argsort(fitness, kind="stable")[:n_elites]
+        checkpoints.append(
+            (generation, coded[order].copy(), fitness[order].copy())
+        )
+
+    ga = GeneticSearch(
+        compiler_subspace, population=population, generations=generations
+    )
+    with span(
+        "surrogate.search",
+        workload=workload,
+        population=population,
+        generations=generations,
+    ):
+        result = ga.run(raw_objective, rng, on_generation=snapshot)
+
+    # ------------------------------------------------------------------
+    # Re-validate: measure every unique elite once, in one batch.
+    # ------------------------------------------------------------------
+    unique: "Dict[bytes, Dict[str, float]]" = {}
+    for _, coded, _ in checkpoints:
+        for row in coded:
+            unique.setdefault(row.tobytes(), compiler_subspace.decode(row))
+    requests = [
+        (workload, CompilerConfig.from_point(point), microarch, input_name)
+        for point in unique.values()
+    ]
+    with span("surrogate.validate", n_elites=len(requests)):
+        measurements = engine.measure_many(requests)
+    measured_by_key = {
+        key: m.cycles for key, m in zip(unique.keys(), measurements)
+    }
+
+    validations: List[EliteValidation] = []
+    drift_events = 0
+    compared_pairs = 0
+    seen: set = set()
+    for generation, coded, predicted in checkpoints:
+        measured = np.array(
+            [measured_by_key[row.tobytes()] for row in coded]
+        )
+        inversions, pairs = count_misrankings(predicted, measured)
+        drift_events += inversions
+        compared_pairs += pairs
+        for row, pred, meas in zip(coded, predicted, measured):
+            key = row.tobytes()
+            if key in seen:
+                continue  # report each unique elite once
+            seen.add(key)
+            validations.append(
+                EliteValidation(
+                    generation=generation,
+                    point=compiler_subspace.decode(row),
+                    predicted=float(pred),
+                    measured=float(meas),
+                )
+            )
+    _VALIDATIONS.inc(len(validations))
+    if drift_events:
+        _DRIFT.inc(drift_events)
+
+    return SurrogateSearchResult(
+        search=result,
+        validations=validations,
+        drift_events=drift_events,
+        compared_pairs=compared_pairs,
+        surrogate_evaluations=result.evaluations,
+        simulator_measurements=len(requests),
+    )

@@ -92,6 +92,37 @@ class TestBaseValidation:
         with pytest.raises(ValueError):
             LinearModel().fit(np.zeros((0, 3)), np.zeros(0))
 
+    def test_1d_input_promoted_to_single_row(self):
+        rng = np.random.default_rng(1)
+        x, y = make_linear_data(rng)
+        model = LinearModel().fit(x, y)
+        point = x[0]
+        as_1d = model.predict(point)
+        as_2d = model.predict(point[None, :])
+        assert as_1d.shape == (1,)
+        assert np.array_equal(as_1d, as_2d)
+
+    def test_1d_wrong_length_has_clear_message(self):
+        rng = np.random.default_rng(2)
+        x, y = make_linear_data(rng)
+        model = LinearModel().fit(x, y)
+        with pytest.raises(ValueError, match="1-D input has length 3"):
+            model.predict(np.zeros(3))
+
+    def test_3d_input_rejected(self):
+        rng = np.random.default_rng(3)
+        x, y = make_linear_data(rng)
+        model = LinearModel().fit(x, y)
+        with pytest.raises(ValueError, match="3-D"):
+            model.predict(np.zeros((2, 2, x.shape[1])))
+
+    def test_predict_one_matches_predict(self):
+        rng = np.random.default_rng(4)
+        x, y = make_linear_data(rng)
+        for model in (LinearModel(), MarsModel(), RbfModel()):
+            model.fit(x, y)
+            assert model.predict_one(x[3]) == model.predict(x[3:4])[0]
+
 
 class TestLinearModel:
     def test_recovers_coefficients(self):

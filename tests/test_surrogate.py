@@ -1,0 +1,194 @@
+"""Tests for surrogate-assisted search and the GA observer hook."""
+
+import numpy as np
+import pytest
+
+from repro.harness.measure import Measurement
+from repro.models import LinearModel
+from repro.search import GeneticSearch
+from repro.serve import Predictor, count_misrankings, surrogate_search
+from repro.sim.config import MicroarchConfig
+from repro.space import (
+    COMPILER_VARIABLE_NAMES,
+    ParameterSpace,
+    Variable,
+    VariableKind,
+    full_space,
+)
+
+
+# ----------------------------------------------------------------------
+# count_misrankings
+# ----------------------------------------------------------------------
+class TestCountMisrankings:
+    def test_identical_order_no_inversions(self):
+        assert count_misrankings([1, 2, 3], [10, 20, 30]) == (0, 3)
+
+    def test_reversed_order_all_inverted(self):
+        assert count_misrankings([1, 2, 3], [30, 20, 10]) == (3, 3)
+
+    def test_single_swap(self):
+        inversions, pairs = count_misrankings([1, 2, 3], [20, 10, 30])
+        assert (inversions, pairs) == (1, 3)
+
+    def test_ties_do_not_count(self):
+        assert count_misrankings([1, 1, 2], [5, 9, 9]) == (0, 3)
+
+    def test_degenerate_sizes(self):
+        assert count_misrankings([], []) == (0, 0)
+        assert count_misrankings([1.0], [2.0]) == (0, 0)
+
+
+# ----------------------------------------------------------------------
+# GA on_generation hook
+# ----------------------------------------------------------------------
+class TestGenerationObserver:
+    def test_hook_sees_every_generation(self):
+        space = ParameterSpace(
+            [Variable(f"g{i}", VariableKind.DISCRETE, 0, 4, 5) for i in range(3)]
+        )
+        seen = []
+
+        def observer(generation, coded, fitness):
+            seen.append((generation, coded.shape, fitness.shape))
+            assert np.isfinite(fitness).all() or np.isinf(fitness).any()
+
+        def objective(coded):
+            return np.sum(np.atleast_2d(coded) ** 2, axis=1)
+
+        ga = GeneticSearch(space, population=10, generations=8, patience=None)
+        ga.run(objective, np.random.default_rng(0), on_generation=observer)
+        assert [g for g, _, _ in seen] == list(range(8))
+        assert all(shape == (10, 3) for _, shape, _ in seen)
+        assert all(shape == (10,) for _, _, shape in seen)
+
+    def test_hook_sees_clamped_fitness(self):
+        space = ParameterSpace(
+            [Variable("g", VariableKind.DISCRETE, 0, 4, 5)]
+        )
+        clamped = []
+
+        def objective(coded):
+            y = np.sum(np.atleast_2d(coded) ** 2, axis=1)
+            y[0] = np.nan  # the GA must clamp this before the hook runs
+            return y
+
+        def observer(generation, coded, fitness):
+            clamped.append(np.isinf(fitness[0]))
+
+        ga = GeneticSearch(space, population=6, generations=2, patience=None)
+        with pytest.warns(RuntimeWarning, match="non-finite"):
+            ga.run(objective, np.random.default_rng(1), on_generation=observer)
+        assert all(clamped)
+
+
+# ----------------------------------------------------------------------
+# surrogate_search against a stub simulator
+# ----------------------------------------------------------------------
+class StubEngine:
+    """measure_many stand-in: cycles are a deterministic function of the
+    compiler config, so re-validation is reproducible and instant."""
+
+    def __init__(self):
+        self.calls = 0
+        self.measured = 0
+
+    def measure_many(self, requests):
+        self.calls += 1
+        self.measured += len(requests)
+        out = []
+        for workload, config, microarch, input_name in requests:
+            point = config.to_point()
+            cycles = 1e5 + sum(
+                (i + 1) * float(point[name])
+                for i, name in enumerate(sorted(point))
+            )
+            out.append(
+                Measurement(
+                    cycles=cycles,
+                    checksum=0,
+                    instructions=int(cycles),
+                    sampling_error=0.0,
+                )
+            )
+        return out
+
+
+@pytest.fixture(scope="module")
+def surrogate_model():
+    space = full_space()
+    rng = np.random.default_rng(11)
+    x = rng.uniform(-1, 1, (150, space.dim))
+    y = 1e5 + 8e3 * x[:, 0] - 4e3 * x[:, 1] + 2e3 * x[:, 9] + rng.normal(
+        0, 100, 150
+    )
+    return LinearModel(variable_names=space.names).fit(x, y), space
+
+
+class TestSurrogateSearch:
+    def run_search(self, surrogate_model, **kw):
+        model, space = surrogate_model
+        engine = StubEngine()
+        result = surrogate_search(
+            model,
+            space,
+            MicroarchConfig(),
+            "stub",
+            engine,
+            np.random.default_rng(3),
+            population=20,
+            generations=12,
+            validate_every=4,
+            n_elites=3,
+            **kw,
+        )
+        return result, engine
+
+    def test_simulator_budget_is_at_least_10x_smaller(self, surrogate_model):
+        result, engine = self.run_search(surrogate_model)
+        assert result.surrogate_evaluations == 20 * 12
+        assert result.simulator_measurements == engine.measured
+        # Checkpoints at generations 0, 4, 8, 11 with <=3 elites each.
+        assert 0 < result.simulator_measurements <= 12
+        assert (
+            result.surrogate_evaluations
+            >= 10 * result.simulator_measurements
+        )
+
+    def test_validation_batches_once(self, surrogate_model):
+        _, engine = self.run_search(surrogate_model)
+        # All unique elites go through the engine in a single
+        # measure_many call so they fan out across worker processes.
+        assert engine.calls == 1
+
+    def test_validations_are_reported(self, surrogate_model):
+        result, _ = self.run_search(surrogate_model)
+        assert len(result.validations) == result.simulator_measurements
+        for v in result.validations:
+            assert set(v.point) == set(COMPILER_VARIABLE_NAMES)
+            assert v.measured > 0
+            assert np.isfinite(v.abs_pct_error)
+        assert np.isfinite(result.elite_error_pct)
+        assert 0 <= result.misrank_rate <= 1
+        assert result.drift_events <= result.compared_pairs
+
+    def test_summary_mentions_budgets(self, surrogate_model):
+        result, _ = self.run_search(surrogate_model)
+        text = result.summary()
+        assert "surrogate evaluations" in text
+        assert "simulator measurements" in text
+        assert "misrankings" in text
+
+    def test_best_point_is_on_compiler_grid(self, surrogate_model):
+        model, space = surrogate_model
+        result, _ = self.run_search(surrogate_model)
+        compiler = space.subspace(COMPILER_VARIABLE_NAMES)
+        compiler.validate(result.search.best_point)
+
+    def test_caching_predictor_is_shared(self, surrogate_model):
+        model, space = surrogate_model
+        pred = Predictor(model, name="shared")
+        result, _ = self.run_search(surrogate_model, predictor=pred)
+        # The GA's repeated elite evaluations should have populated it.
+        assert pred.cache_len > 0
+        assert result.surrogate_evaluations > pred.cache_len
