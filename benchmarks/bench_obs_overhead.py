@@ -12,21 +12,21 @@ import time
 
 from repro.harness.configs import TABLE5_CONFIGS
 from repro.harness.measure import MeasurementEngine
-from repro.obs import get_tracer
+from repro.obs import BenchScenario, get_tracer
 from repro.opt import O2
 
 
-def _one_measurement() -> None:
+def _one_measurement(workload: str = "gzip") -> None:
     # A fresh engine each time: every run pays compile + trace + simulate.
     engine = MeasurementEngine(cache_dir=None)
-    engine.measure_configs("gzip", O2, TABLE5_CONFIGS["typical"])
+    engine.measure_configs(workload, O2, TABLE5_CONFIGS["typical"])
 
 
-def _timed(repeats: int = 3) -> float:
+def _timed(repeats: int = 3, workload: str = "gzip") -> float:
     best = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
-        _one_measurement()
+        _one_measurement(workload)
         best = min(best, time.perf_counter() - t0)
     return best
 
@@ -58,3 +58,38 @@ def test_obs_overhead(report_sink):
     # Loose sanity bound -- enabled tracing spans per-SMARTS-unit work,
     # it must still stay within 2x of the untraced run.
     assert enabled < disabled * 2.0
+
+
+# ----------------------------------------------------------------------
+# `repro bench` scenario
+# ----------------------------------------------------------------------
+def _bench(quick: bool) -> dict:
+    workload = "art" if quick else "gzip"
+    repeats = 2 if quick else 3
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    tracer.disable()
+    tracer.reset()
+    try:
+        disabled = _timed(repeats, workload)
+        tracer.enable()
+        enabled = _timed(repeats, workload)
+        n_spans = len(tracer.spans)
+    finally:
+        tracer.reset()
+        tracer.enabled = was_enabled
+    return {
+        "disabled_ms": disabled * 1e3,
+        "enabled_ms": enabled * 1e3,
+        "overhead_pct": (enabled / disabled - 1.0) * 100.0,
+        "spans_recorded": float(n_spans),
+    }
+
+
+BENCH_SCENARIO = BenchScenario(
+    name="obs_overhead",
+    description="telemetry overhead on the measure path (tracing off vs on)",
+    run=_bench,
+    gates={"disabled_ms": "lower"},
+    threshold_pct=50.0,
+)

@@ -17,6 +17,7 @@ import time
 import numpy as np
 
 from repro.harness.measure import MeasurementEngine
+from repro.obs import BenchScenario
 from repro.space import full_space
 
 N_POINTS = 16
@@ -30,10 +31,10 @@ def _usable_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def _measure(jobs: int):
+def _measure(jobs: int, n_points: int = N_POINTS):
     space = full_space()
     rng = np.random.default_rng(20070313)
-    points = [space.random_point(rng) for _ in range(N_POINTS)]
+    points = [space.random_point(rng) for _ in range(n_points)]
     engine = MeasurementEngine(cache_dir=None)
     t0 = time.perf_counter()
     if jobs == 1:
@@ -69,3 +70,36 @@ def test_parallel_measure(report_sink):
             f"jobs=4 speedup {speedup4:.2f}x below the 1.8x bar "
             f"on a {cpus}-core host"
         )
+
+
+# ----------------------------------------------------------------------
+# `repro bench` scenario
+# ----------------------------------------------------------------------
+def _bench(quick: bool) -> dict:
+    n_points = 6 if quick else N_POINTS
+    serial, t_serial = _measure(jobs=1, n_points=n_points)
+    two, t_two = _measure(jobs=2, n_points=n_points)
+    assert two == serial, "jobs=2 diverged from the serial measurements"
+    metrics = {
+        # Per-point cost is the gated number: it tracks simulator speed
+        # independently of the point count the variant happens to use.
+        "serial_point_ms": t_serial / n_points * 1e3,
+        "serial_s": t_serial,
+        "jobs2_s": t_two,
+        "speedup_jobs2": t_serial / t_two,
+    }
+    if not quick:
+        four, t_four = _measure(jobs=4, n_points=n_points)
+        assert four == serial, "jobs=4 diverged from the serial measurements"
+        metrics["jobs4_s"] = t_four
+        metrics["speedup_jobs4"] = t_serial / t_four
+    return metrics
+
+
+BENCH_SCENARIO = BenchScenario(
+    name="parallel_measure",
+    description="process-pool measurement backend vs the serial path",
+    run=_bench,
+    gates={"serial_point_ms": "lower"},
+    threshold_pct=50.0,
+)

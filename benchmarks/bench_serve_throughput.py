@@ -20,6 +20,7 @@ import time
 import numpy as np
 
 from repro.models import LinearModel
+from repro.obs import BenchScenario
 from repro.serve import (
     ModelRegistry,
     PredictionClient,
@@ -109,3 +110,52 @@ def test_serve_throughput(tmp_path, report_sink):
 
     assert cold_rate >= TARGET_PREDICTIONS_PER_SEC
     assert warm_rate >= cold_rate * 0.5  # cache must not be a slowdown
+
+
+# ----------------------------------------------------------------------
+# `repro bench` scenario
+# ----------------------------------------------------------------------
+def _bench(quick: bool) -> dict:
+    space = full_space()
+    model = _fitted_model(space)
+    rng = np.random.default_rng(7)
+    n_batches = 8 if quick else 64
+    min_seconds = 0.2 if quick else 0.5
+
+    cold = Predictor(model, space=space)
+    cold_batches = [
+        rng.uniform(-1, 1, (BATCH, space.dim)) for _ in range(n_batches)
+    ]
+    cold_rate = _throughput(
+        cold.predict, cold_batches, min_seconds=min_seconds
+    )
+
+    warm = Predictor(model, space=space)
+    warm_batch = rng.uniform(-1, 1, (BATCH, space.dim))
+    warm.predict(warm_batch)
+    warm_rate = _throughput(warm.predict, [warm_batch], min_seconds=min_seconds)
+
+    lat = Predictor(model, space=space)
+    samples = []
+    for _ in range(100 if quick else 400):
+        batch = rng.uniform(-1, 1, (60, space.dim))
+        t0 = time.perf_counter()
+        lat.predict(batch)
+        samples.append((time.perf_counter() - t0) * 1e3)
+    p50, p99 = np.percentile(samples, [50, 99])
+
+    return {
+        "cold_preds_per_s": cold_rate,
+        "warm_preds_per_s": warm_rate,
+        "inproc_p50_ms": float(p50),
+        "inproc_p99_ms": float(p99),
+    }
+
+
+BENCH_SCENARIO = BenchScenario(
+    name="serve_throughput",
+    description="prediction-serving throughput and in-process latency",
+    run=_bench,
+    gates={"cold_preds_per_s": "higher", "warm_preds_per_s": "higher"},
+    threshold_pct=50.0,
+)

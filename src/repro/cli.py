@@ -8,7 +8,14 @@ Commands
     List the synthetic SPEC-like workloads.
 ``measure``
     Compile + simulate one workload at given flag/microarch settings and
-    print the run statistics.
+    print the run statistics.  With ``--random-points N`` it measures a
+    batch of seeded random design points instead (through the process
+    pool with ``--jobs``); ``--profile`` wraps either path in the
+    sampling profiler and writes a collapsed-stack hotspot profile.
+``bench``
+    Run the ``benchmarks/bench_*.py`` scenarios, write schema-versioned
+    ``BENCH_<name>.json`` result files, and fail on regressions against
+    the previous results (see docs/OBSERVABILITY.md).
 ``disasm``
     Disassemble a workload's binary at given compiler settings.
 ``model``
@@ -174,6 +181,28 @@ def cmd_workloads(_args) -> int:
 
 
 def cmd_measure(args) -> int:
+    profiler = None
+    if args.profile:
+        from repro.obs import SamplingProfiler
+
+        profiler = SamplingProfiler().start()
+    try:
+        if args.random_points:
+            return _measure_random_points(args)
+        return _measure_single(args)
+    finally:
+        if profiler is not None:
+            profiler.stop()
+            out_dir = Path(args.profile_out or _trace_out_dir())
+            path = profiler.write_collapsed(out_dir / "profile.collapsed")
+            print(
+                f"\n[profile] {profiler.samples} samples -> {path} "
+                "(feed to flamegraph.pl or speedscope.app)"
+            )
+            print(profiler.report(top=15))
+
+
+def _measure_single(args) -> int:
     from repro.harness.measure import default_engine
     from repro.sim.stats import detailed_statistics
 
@@ -190,6 +219,81 @@ def cmd_measure(args) -> int:
     print(f"machine   {args.machine}")
     print(f"checksum  {functional.return_value}")
     print(stats.summary())
+    return 0
+
+
+def _measure_random_points(args) -> int:
+    """Batch path of ``repro measure``: seeded random design points fanned
+    out over the measurement pool (``--opt``/``--flag`` are unused --
+    each random point carries its own compiler settings)."""
+    from repro.harness.measure import default_engine
+    from repro.space import full_space
+
+    space = full_space()
+    rng = np.random.default_rng(args.seed)
+    points = [space.random_point(rng) for _ in range(args.random_points)]
+    engine = default_engine()
+    jobs = None
+    if args.jobs is not None:
+        jobs = (os.cpu_count() or 1) if args.jobs <= 0 else args.jobs
+    print(
+        f"measuring {len(points)} random points of {args.workload} "
+        f"({args.input}), seed {args.seed}, jobs {jobs or engine.jobs}"
+    )
+    try:
+        measurements = engine.measure_batch(
+            args.workload, points, args.input, jobs=jobs
+        )
+    finally:
+        engine.save()
+    for i, m in enumerate(measurements):
+        print(
+            f"  point {i:3d}: {m.cycles:12.0f} cycles "
+            f"(±{m.sampling_error:.2f}%, {m.instructions} instructions)"
+        )
+    cycles = [m.cycles for m in measurements]
+    print(
+        f"best {min(cycles):.0f} / worst {max(cycles):.0f} / "
+        f"mean {sum(cycles) / len(cycles):.0f} cycles"
+    )
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.obs.bench import discover_scenarios, run_scenarios
+
+    bench_dir = Path(args.bench_dir)
+    scenarios = discover_scenarios(bench_dir)
+    if args.list:
+        for s in scenarios:
+            gated = ", ".join(sorted(s.gates)) or "(ungated)"
+            print(f"{s.name:20s} {s.description}  [gates: {gated}]")
+        return 0
+    if args.scenarios:
+        by_name = {s.name: s for s in scenarios}
+        unknown = [n for n in args.scenarios if n not in by_name]
+        if unknown:
+            raise SystemExit(
+                f"unknown scenario(s) {', '.join(unknown)}; "
+                f"available: {', '.join(sorted(by_name))}"
+            )
+        scenarios = [by_name[n] for n in args.scenarios]
+    if not scenarios:
+        raise SystemExit(f"no BENCH_SCENARIO found in {bench_dir}/bench_*.py")
+    written, regressions = run_scenarios(
+        scenarios,
+        args.out,
+        quick=args.quick,
+        baseline_dir=args.baseline,
+        threshold_pct=args.threshold,
+        gate=not args.no_gate,
+    )
+    print(f"\n{len(written)} result file(s) written")
+    if regressions:
+        print(f"REGRESSION GATE FAILED ({len(regressions)} finding(s)):")
+        for finding in regressions:
+            print("  " + finding.describe())
+        return 1
     return 0
 
 
@@ -578,6 +682,85 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--input", default="train", choices=["train", "ref"])
         _add_flag_arguments(p)
         _add_verify_argument(p)
+        if name == "measure":
+            p.add_argument(
+                "--random-points",
+                type=int,
+                default=0,
+                metavar="N",
+                help="measure N seeded random design points (batch mode, "
+                "fans out over --jobs workers) instead of one configured "
+                "point",
+            )
+            p.add_argument(
+                "--seed",
+                type=int,
+                default=0,
+                help="random-point seed (default 0)",
+            )
+            _add_jobs_argument(p)
+            p.add_argument(
+                "--profile",
+                action="store_true",
+                help="run under the sampling profiler and write a "
+                "collapsed-stack hotspot profile",
+            )
+            p.add_argument(
+                "--profile-out",
+                default=None,
+                metavar="DIR",
+                help="profile output directory (default $REPRO_TRACE_DIR "
+                "or .repro_trace)",
+            )
+
+    p = sub.add_parser(
+        "bench", help="run benchmark scenarios and the regression gate"
+    )
+    p.add_argument(
+        "scenarios",
+        nargs="*",
+        metavar="NAME",
+        help="scenario names to run (default: all discovered)",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized variants: smaller workloads, fewer repeats",
+    )
+    p.add_argument(
+        "--bench-dir",
+        default="benchmarks",
+        metavar="DIR",
+        help="directory scanned for bench_*.py (default benchmarks/)",
+    )
+    p.add_argument(
+        "--out",
+        default=".",
+        metavar="DIR",
+        help="where BENCH_<name>.json files are written (default repo root)",
+    )
+    p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="DIR",
+        help="directory holding baseline BENCH_*.json to gate against "
+        "(default: --out, i.e. the previous results in place)",
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="override every scenario's regression threshold percentage",
+    )
+    p.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="report comparisons but never fail the run",
+    )
+    p.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
 
     p = sub.add_parser("model", help="build an empirical model")
     p.add_argument("workload")
@@ -727,6 +910,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "spaces": cmd_spaces,
         "workloads": cmd_workloads,
         "measure": cmd_measure,
+        "bench": cmd_bench,
         "disasm": cmd_disasm,
         "model": cmd_model,
         "tune": cmd_tune,

@@ -43,6 +43,15 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 from repro.codegen import COMPILER_VERSION, compile_module
 from repro.harness.configs import split_point
 from repro.obs import counter, histogram, span
+from repro.obs.context import (
+    TelemetryContext,
+    WorkerTelemetry,
+    begin_task,
+    capture_context,
+    collect_task,
+    install_context,
+    merge_worker_telemetry,
+)
 from repro.opt.flags import CompilerConfig
 from repro.sim import simulate
 from repro.sim.config import MicroarchConfig
@@ -56,6 +65,11 @@ _RESULT_HITS = counter("measure.result_cache.hits")
 _RESULT_MISSES = counter("measure.result_cache.misses")
 _COMPILATIONS = counter("measure.compilations")
 _SIMULATIONS = counter("measure.simulations")
+# Pool bookkeeping.  These two are the only counters recorded on the
+# *parent* side of a pool run; every other ``measure.*`` metric above is
+# incremented where the work happens (possibly a worker process) and
+# shipped back via repro.obs.context, which is what keeps serial and
+# parallel runs of the same point set bit-identical in `repro stats`.
 _BATCH_SUBMITTED = counter("measure.batch.submitted")
 _WORKER_MS = histogram("measure.batch.worker_ms")
 
@@ -425,11 +439,21 @@ class MeasurementEngine:
             n_points=len(requests),
             n_missing=len(pending),
         ):
+            # Captured *inside* the batch span so worker spans merge in
+            # as its children; workers adopt the context in the pool
+            # initializer and ship each task's telemetry back with the
+            # result (see repro.obs.context).
+            ctx = capture_context()
             with ProcessPoolExecutor(
                 max_workers=n_workers,
                 mp_context=multiprocessing.get_context(),
                 initializer=_init_worker,
-                initargs=(self.mode, self.smarts_interval, self.max_cached_traces),
+                initargs=(
+                    self.mode,
+                    self.smarts_interval,
+                    self.max_cached_traces,
+                    ctx,
+                ),
             ) as pool:
                 futures = []
                 for key, indices in pending.items():
@@ -440,11 +464,10 @@ class MeasurementEngine:
                         )
                     )
                     _BATCH_SUBMITTED.inc()
-                    _RESULT_MISSES.inc()
                 for fut in as_completed(futures):
-                    key, m, worker_ms = fut.result()
+                    key, m, worker_ms, telemetry = fut.result()
                     _WORKER_MS.observe(worker_ms)
-                    _SIMULATIONS.inc()
+                    merge_worker_telemetry(telemetry, ctx)
                     self.simulations += 1
                     self._result_cache[key] = m
                     self._dirty = True
@@ -541,7 +564,12 @@ class EngineOracle:
 _WORKER_ENGINE: Optional[MeasurementEngine] = None
 
 
-def _init_worker(mode: str, smarts_interval: int, max_cached_traces: int) -> None:
+def _init_worker(
+    mode: str,
+    smarts_interval: int,
+    max_cached_traces: int,
+    ctx: Optional[TelemetryContext] = None,
+) -> None:
     global _WORKER_ENGINE
     _WORKER_ENGINE = MeasurementEngine(
         mode=mode,
@@ -550,6 +578,7 @@ def _init_worker(mode: str, smarts_interval: int, max_cached_traces: int) -> Non
         max_cached_traces=max_cached_traces,
         jobs=1,
     )
+    install_context(ctx)
 
 
 def _measure_task(
@@ -558,10 +587,15 @@ def _measure_task(
     compiler: CompilerConfig,
     microarch: MicroarchConfig,
     input_name: str,
-) -> Tuple[str, Measurement, float]:
+) -> Tuple[str, Measurement, float, WorkerTelemetry]:
+    begin_task()
     t0 = time.perf_counter()
-    m = _WORKER_ENGINE.measure_configs(workload, compiler, microarch, input_name)
-    return key, m, (time.perf_counter() - t0) * 1e3
+    with span("measure.task", workload=workload, input=input_name, key=key):
+        m = _WORKER_ENGINE.measure_configs(
+            workload, compiler, microarch, input_name
+        )
+    worker_ms = (time.perf_counter() - t0) * 1e3
+    return key, m, worker_ms, collect_task()
 
 
 _DEFAULT: Optional[MeasurementEngine] = None

@@ -15,6 +15,17 @@ package makes that cost visible.  Three pieces:
 :mod:`repro.obs.export`
     JSONL dumps, Chrome ``trace_event`` JSON (open in ``chrome://tracing``
     or Perfetto), and a hierarchical self-timing text report.
+:mod:`repro.obs.context`
+    Cross-process propagation: pool workers inherit the parent's trace
+    context and ship spans + metric deltas back for merging, so traces
+    and ``repro stats`` stay complete under ``--jobs``.
+:mod:`repro.obs.profile`
+    A thread-based sampling profiler and collapsed-stack exporters
+    (flamegraph.pl / speedscope) for hotspot attribution inside the
+    simulator loops.
+:mod:`repro.obs.bench`
+    The ``repro bench`` harness: schema-versioned ``BENCH_*.json``
+    results plus a regression gate against committed baselines.
 
 See ``docs/OBSERVABILITY.md`` for the span taxonomy and usage.
 """
@@ -43,6 +54,26 @@ from repro.obs.export import (
     to_chrome_trace,
     to_jsonl,
 )
+from repro.obs.context import (
+    TelemetryContext,
+    WorkerTelemetry,
+    begin_task,
+    capture_context,
+    collect_task,
+    install_context,
+    merge_worker_telemetry,
+)
+from repro.obs.profile import (
+    SamplingProfiler,
+    spans_to_collapsed,
+    write_spans_collapsed,
+)
+from repro.obs.bench import (
+    BenchScenario,
+    GateFinding,
+    discover_scenarios,
+    run_scenarios,
+)
 
 __all__ = [
     "SpanRecord",
@@ -63,4 +94,18 @@ __all__ = [
     "from_jsonl",
     "to_chrome_trace",
     "self_timing_report",
+    "TelemetryContext",
+    "WorkerTelemetry",
+    "capture_context",
+    "install_context",
+    "begin_task",
+    "collect_task",
+    "merge_worker_telemetry",
+    "SamplingProfiler",
+    "spans_to_collapsed",
+    "write_spans_collapsed",
+    "BenchScenario",
+    "GateFinding",
+    "discover_scenarios",
+    "run_scenarios",
 ]

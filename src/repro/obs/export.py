@@ -16,6 +16,7 @@ All three consume a list of :class:`~repro.obs.trace.SpanRecord` (from
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -40,6 +41,7 @@ def to_jsonl(spans: Sequence[SpanRecord], path: PathLike) -> None:
                         "start": s.start,
                         "duration": s.duration,
                         "attrs": s.attrs,
+                        "pid": s.pid,
                     },
                     default=str,
                 )
@@ -65,6 +67,7 @@ def from_jsonl(path: PathLike) -> List[SpanRecord]:
                     start=obj["start"],
                     duration=obj["duration"],
                     attrs=obj.get("attrs", {}),
+                    pid=obj.get("pid", 0),
                 )
             )
     return records
@@ -76,21 +79,37 @@ def to_chrome_trace(
     """Write a Chrome Trace Event Format file (complete "X" events).
 
     Timestamps are microseconds relative to the earliest span, so the
-    viewer's timeline starts at zero.
+    viewer's timeline starts at zero.  Each span's own ``pid`` selects
+    its process lane (spans merged from pool workers keep the worker
+    pid, so a multi-process run renders one lane per process); ``pid``
+    is the fallback lane for legacy records with no pid.  One ``"M"``
+    ``process_name`` metadata event labels each lane.
     """
     t0 = min((s.start for s in spans), default=0.0)
-    events = [
+    events: List[dict] = [
         {
             "name": s.name,
             "ph": "X",
             "ts": (s.start - t0) * 1e6,
             "dur": s.duration * 1e6,
-            "pid": pid,
+            "pid": s.pid or pid,
             "tid": s.thread_id,
             "args": {k: _jsonable(v) for k, v in s.attrs.items()},
         }
         for s in spans
     ]
+    own = os.getpid()
+    for lane in sorted({e["pid"] for e in events}):
+        label = f"pid {lane}" + (" (parent)" if lane == own else " (worker)")
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": lane,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
     payload = {"traceEvents": events, "displayTimeUnit": "ms"}
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)

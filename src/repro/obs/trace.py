@@ -23,8 +23,9 @@ import itertools
 import os
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 
 def _env_truthy(value: Optional[str]) -> bool:
@@ -46,6 +47,10 @@ class SpanRecord:
     #: Wall-clock duration in seconds.
     duration: float
     attrs: Dict[str, Any] = field(default_factory=dict)
+    #: OS process id the span was recorded in.  Spans merged from pool
+    #: workers keep their worker pid, which is how the Chrome-trace
+    #: exporter lays one timeline out per process.
+    pid: int = 0
 
 
 class _NullSpan:
@@ -116,6 +121,7 @@ class _ActiveSpan:
                 start=self._start,
                 duration=duration,
                 attrs=self.attrs,
+                pid=os.getpid(),
             )
         )
         return False
@@ -132,6 +138,9 @@ class Tracer:
         if enabled is None:
             enabled = _env_truthy(os.environ.get("REPRO_TRACE"))
         self.enabled = enabled
+        #: Identifies one logical trace across every process that
+        #: contributes spans to it; pool workers adopt the parent's id.
+        self.trace_id = uuid.uuid4().hex[:16]
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
         self._local = threading.local()
@@ -178,6 +187,53 @@ class Tracer:
     def current_span_id(self) -> Optional[int]:
         stack = self._stack()
         return stack[-1].span_id if stack else None
+
+    def merge_remote(
+        self,
+        records: Sequence[SpanRecord],
+        parent_id: Optional[int] = None,
+        time_shift: float = 0.0,
+    ) -> List[SpanRecord]:
+        """Adopt spans recorded by another process into this tracer.
+
+        Worker span ids were allocated by the worker's own counter, so
+        they are remapped onto fresh ids from this tracer (collisions
+        with local spans are otherwise guaranteed -- both counters start
+        at 1).  Parent/child links *within* the batch are preserved;
+        worker-root spans (and spans whose parent was not shipped) are
+        re-parented under ``parent_id``, typically the span that was
+        open when the worker task was dispatched.  ``time_shift`` is
+        added to every start timestamp to place the spans on this
+        process's monotonic clock (see
+        :func:`repro.obs.context.merge_worker_telemetry`).
+
+        Returns the adopted records (with their new ids).
+        """
+        records = list(records)
+        if not records:
+            return []
+        with self._lock:
+            mapping = {r.span_id: next(self._ids) for r in records}
+        adopted = [
+            SpanRecord(
+                name=r.name,
+                span_id=mapping[r.span_id],
+                parent_id=(
+                    mapping.get(r.parent_id, parent_id)
+                    if r.parent_id is not None
+                    else parent_id
+                ),
+                thread_id=r.thread_id,
+                start=r.start + time_shift,
+                duration=r.duration,
+                attrs=r.attrs,
+                pid=r.pid,
+            )
+            for r in records
+        ]
+        with self._lock:
+            self._spans.extend(adopted)
+        return adopted
 
 
 #: The process-wide tracer used by all instrumentation call-sites.

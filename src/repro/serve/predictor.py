@@ -26,7 +26,7 @@ from typing import Any, Dict, Mapping, Optional
 import numpy as np
 
 from repro.models.base import RegressionModel
-from repro.obs import counter, histogram
+from repro.obs import counter, histogram, span
 from repro.space import ParameterSpace
 
 _REQUESTS = counter("serve.requests")
@@ -130,40 +130,45 @@ class Predictor:
         cached on the way out.
         """
         t0 = time.perf_counter()
-        x = self._validate(x)
-        n = x.shape[0]
-        _REQUESTS.inc()
-        _PREDICTIONS.inc(n)
-        if self.cache_size <= 0:
-            y = np.asarray(self.model.predict(x), dtype=float)
-            _CACHE_MISS.inc(n)
+        with span("serve.predict", model=self.name or "?") as sp:
+            x = self._validate(x)
+            n = x.shape[0]
+            sp.set_attr("n", n)
+            _REQUESTS.inc()
+            _PREDICTIONS.inc(n)
+            if self.cache_size <= 0:
+                y = np.asarray(self.model.predict(x), dtype=float)
+                _CACHE_MISS.inc(n)
+                _PREDICT_MS.observe((time.perf_counter() - t0) * 1e3)
+                return y
+
+            keys = [x[i].tobytes() for i in range(n)]
+            y = np.empty(n, dtype=float)
+            miss_rows = []
+            with self._lock:
+                for i, key in enumerate(keys):
+                    hit = self._cache.get(key)
+                    if hit is not None:
+                        self._cache.move_to_end(key)
+                        y[i] = hit
+                    else:
+                        miss_rows.append(i)
+            _CACHE_HIT.inc(n - len(miss_rows))
+            _CACHE_MISS.inc(len(miss_rows))
+            sp.set_attr("misses", len(miss_rows))
+            if miss_rows:
+                fresh = np.asarray(
+                    self.model.predict(x[miss_rows]), dtype=float
+                )
+                y[miss_rows] = fresh
+                with self._lock:
+                    for i, value in zip(miss_rows, fresh):
+                        self._cache[keys[i]] = float(value)
+                        self._cache.move_to_end(keys[i])
+                    while len(self._cache) > self.cache_size:
+                        self._cache.popitem(last=False)
             _PREDICT_MS.observe((time.perf_counter() - t0) * 1e3)
             return y
-
-        keys = [x[i].tobytes() for i in range(n)]
-        y = np.empty(n, dtype=float)
-        miss_rows = []
-        with self._lock:
-            for i, key in enumerate(keys):
-                hit = self._cache.get(key)
-                if hit is not None:
-                    self._cache.move_to_end(key)
-                    y[i] = hit
-                else:
-                    miss_rows.append(i)
-        _CACHE_HIT.inc(n - len(miss_rows))
-        _CACHE_MISS.inc(len(miss_rows))
-        if miss_rows:
-            fresh = np.asarray(self.model.predict(x[miss_rows]), dtype=float)
-            y[miss_rows] = fresh
-            with self._lock:
-                for i, value in zip(miss_rows, fresh):
-                    self._cache[keys[i]] = float(value)
-                    self._cache.move_to_end(keys[i])
-                while len(self._cache) > self.cache_size:
-                    self._cache.popitem(last=False)
-        _PREDICT_MS.observe((time.perf_counter() - t0) * 1e3)
-        return y
 
     def predict_point(self, point: Mapping[str, float]) -> float:
         """Predict at a raw design-point dict (requires a space)."""

@@ -24,6 +24,10 @@ Ops
 ``predict_point``
     ``point`` is a raw ``{variable: value}`` dict, validated against
     the model's design space and encoded server-side.
+``stats``
+    RED/SLO telemetry for this server instance: uptime, total request
+    and error counts, and per-op count / errors / latency percentiles
+    (p50/p95/p99 in milliseconds).  See :meth:`PredictionServer.stats`.
 ``shutdown``
     Acknowledge, then stop the server (available unless the server was
     started with ``allow_remote_shutdown=False``).
@@ -44,7 +48,8 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.obs import counter, histogram
+from repro.obs import counter, histogram, span
+from repro.obs.metrics import Histogram
 from repro.serve.predictor import Predictor
 from repro.serve.registry import ModelRegistry, RegistryError, default_registry
 
@@ -52,6 +57,10 @@ _REQUESTS = counter("serve.server.requests")
 _ERRORS = counter("serve.server.errors")
 _CONNECTIONS = counter("serve.server.connections")
 _REQUEST_MS = histogram("serve.server.request_ms")
+
+#: Op label used in stats for lines that never parsed far enough to
+#: carry a valid ``op`` field.
+_INVALID_OP = "_invalid"
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -112,6 +121,16 @@ class PredictionServer:
         self.allow_remote_shutdown = allow_remote_shutdown
         self._predictors: Dict[str, Predictor] = {}
         self._lock = threading.Lock()
+        # Per-instance RED accounting for the `stats` op.  The op
+        # latency histograms are private Histogram objects (not registry
+        # entries) so two servers in one process never mix their SLOs;
+        # the registry-level serve.server.* metrics above still feed
+        # `repro stats` as before.
+        self._started_unix = time.time()
+        self._started_monotonic = time.perf_counter()
+        self._op_counts: Dict[str, int] = {}
+        self._op_errors: Dict[str, int] = {}
+        self._op_latency: Dict[str, Histogram] = {}
         for ref in preload or []:
             self._predictor(ref)
         self._server = _ThreadedServer((host, port), _Handler)
@@ -170,14 +189,20 @@ class PredictionServer:
         t0 = time.perf_counter()
         _REQUESTS.inc()
         request_id = None
+        op: Optional[str] = None
+        failed = False
         try:
             request = json.loads(raw)
             if not isinstance(request, dict):
                 raise ValueError("request must be a JSON object")
             request_id = request.get("id")
-            response, stop = self._dispatch(request)
+            if isinstance(request.get("op"), str):
+                op = request["op"]
+            with span("serve.request", op=op or _INVALID_OP):
+                response, stop = self._dispatch(request)
         except (ValueError, KeyError, TypeError, RegistryError) as e:
             _ERRORS.inc()
+            failed = True
             response, stop = {"ok": False, "error": str(e)}, False
         response.setdefault("ok", True)
         if request_id is not None:
@@ -185,7 +210,60 @@ class PredictionServer:
         elapsed_ms = (time.perf_counter() - t0) * 1e3
         response["elapsed_ms"] = round(elapsed_ms, 4)
         _REQUEST_MS.observe(elapsed_ms)
+        self._record_op(op or _INVALID_OP, elapsed_ms, failed)
         return response, stop
+
+    def _record_op(self, op: str, elapsed_ms: float, failed: bool) -> None:
+        """Attribute one finished request to its op's RED accounting."""
+        # Global histogram: feeds `repro stats` / cross-invocation
+        # persistence.  An unknown op still gets a bucket -- a flood of
+        # bad requests is exactly what SLO telemetry must surface.
+        histogram(f"serve.server.op_ms.{op}").observe(elapsed_ms)
+        with self._lock:
+            self._op_counts[op] = self._op_counts.get(op, 0) + 1
+            if failed:
+                self._op_errors[op] = self._op_errors.get(op, 0) + 1
+            hist = self._op_latency.get(op)
+            if hist is None:
+                hist = self._op_latency[op] = Histogram(f"op_ms.{op}")
+        hist.observe(elapsed_ms)
+
+    def stats(self) -> Dict[str, Any]:
+        """RED/SLO snapshot for this server instance.
+
+        ``requests``/``errors`` are instance totals (not the
+        process-global ``serve.server.*`` counters, which other server
+        instances in the same process also feed); ``ops`` maps each op
+        seen so far to its count, error count, and latency percentiles
+        in milliseconds.
+        """
+        with self._lock:
+            counts = dict(self._op_counts)
+            errors = dict(self._op_errors)
+            hists = dict(self._op_latency)
+            loaded = sorted(self._predictors)
+        ops = {}
+        for op, hist in sorted(hists.items()):
+            n = counts.get(op, 0)
+            ops[op] = {
+                "count": n,
+                "errors": errors.get(op, 0),
+                "mean_ms": round(hist.sum / hist.count, 4) if hist.count else 0.0,
+                "p50_ms": round(hist.percentile(50), 4),
+                "p95_ms": round(hist.percentile(95), 4),
+                "p99_ms": round(hist.percentile(99), 4),
+            }
+        total = sum(counts.values())
+        total_errors = sum(errors.values())
+        return {
+            "uptime_s": round(time.perf_counter() - self._started_monotonic, 3),
+            "started_unix": self._started_unix,
+            "requests": total,
+            "errors": total_errors,
+            "error_rate": round(total_errors / total, 6) if total else 0.0,
+            "ops": ops,
+            "loaded": loaded,
+        }
 
     def _dispatch(self, request: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
         op = request.get("op")
@@ -208,6 +286,8 @@ class PredictionServer:
             if not isinstance(point, dict):
                 raise ValueError("'point' must be a {variable: value} object")
             return {"y": pred.predict_point(point)}, False
+        if op == "stats":
+            return {"stats": self.stats()}, False
         if op == "shutdown":
             if not self.allow_remote_shutdown:
                 raise ValueError("shutdown is disabled on this server")
@@ -271,6 +351,9 @@ class PredictionClient:
         return float(
             self.request("predict_point", model=model, point=point)["y"]
         )
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")["stats"]
 
     def shutdown_server(self) -> None:
         self.request("shutdown")

@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.harness.experiments.search import frozen_microarch_objective
 from repro.models.base import RegressionModel
-from repro.obs import counter, span
+from repro.obs import counter, histogram, span
 from repro.opt.flags import CompilerConfig
 from repro.search import GeneticSearch, SearchResult
 from repro.serve.predictor import Predictor
@@ -42,6 +42,11 @@ from repro.space import COMPILER_VARIABLE_NAMES, ParameterSpace
 
 _VALIDATIONS = counter("serve.surrogate.validations")
 _DRIFT = counter("serve.surrogate.drift")
+#: Elite pairs whose surrogate-vs-simulator ordering was compared; the
+#: live misrank rate is drift / compared_pairs across invocations.
+_COMPARED = counter("serve.surrogate.compared_pairs")
+#: Absolute percentage error of the surrogate on each validated elite.
+_ELITE_ERR = histogram("serve.surrogate.elite_abs_err_pct")
 
 
 @dataclass
@@ -252,6 +257,11 @@ def surrogate_search(
     _VALIDATIONS.inc(len(validations))
     if drift_events:
         _DRIFT.inc(drift_events)
+    if compared_pairs:
+        _COMPARED.inc(compared_pairs)
+    for v in validations:
+        if np.isfinite(v.abs_pct_error):
+            _ELITE_ERR.observe(v.abs_pct_error)
 
     return SurrogateSearchResult(
         search=result,

@@ -30,9 +30,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.codegen.isa import OpClass, RA, ZERO
 from repro.codegen.linker import Executable, INSTR_BYTES, TEXT_BASE
 from repro.codegen.machine_desc import MachineDescription
+from repro.obs import counter
 from repro.sim.bpred import BranchTargetBuffer, CombinedPredictor, ReturnAddressStack
 from repro.sim.cache import CacheHierarchy
 from repro.sim.config import MicroarchConfig
+
+# Hot-loop telemetry.  Accumulated in local ints inside simulate_window
+# and flushed once per window, so the per-instruction path never touches
+# a lock; totals explain *where* simulated cycles go (ROADMAP items 1-2).
+_INSTRUCTIONS = counter("sim.ooo.instructions")
+_MISPREDICTS = counter("sim.ooo.branch_mispredicts")
+_ICACHE_STALLS = counter("sim.ooo.icache_stall_cycles")
+_RUU_STALLS = counter("sim.ooo.ruu_stalls")
 
 # Class codes for the static tables (indexable, faster than Enum).
 _IALU, _IMULT, _FPALU, _FPMULT, _LOAD, _STORE, _BRANCH, _JUMP, _CALL, _RET, _PF, _NOP = range(12)
@@ -169,6 +178,9 @@ class OooTimingModel:
         commits_this_cycle = 0
 
         n = len(trace)
+        n_mispredicts = 0
+        n_icache_stall_cycles = 0
+        n_ruu_stalls = 0
         measure_from = start if measure_from is None else measure_from
         measure_to = end if measure_to is None else measure_to
         warm_boundary_commit = 0
@@ -192,6 +204,7 @@ class OooTimingModel:
                 ilat = hierarchy.inst_latency(byte_addr, fetch_cycle)
                 if ilat > icache_lat:
                     fetch_cycle += ilat - icache_lat
+                    n_icache_stall_cycles += ilat - icache_lat
                     slots = 0
                 cur_block = block
             if slots >= width:
@@ -206,6 +219,7 @@ class OooTimingModel:
                 oldest = ruu.popleft()
                 if oldest > disp:
                     disp = oldest
+                    n_ruu_stalls += 1
 
             # ---------------- issue ----------------
             ready = disp
@@ -281,6 +295,7 @@ class OooTimingModel:
                 )
                 if mispredict:
                     redirect_at = max(redirect_at, complete + penalty)
+                    n_mispredicts += 1
                 elif taken:
                     fetch_cycle = fetch_time + 1
                     slots = 0
@@ -298,6 +313,7 @@ class OooTimingModel:
                 pred_pc = ras.pop()
                 if pred_pc != next_pc:
                     redirect_at = max(redirect_at, complete + penalty)
+                    n_mispredicts += 1
                 else:
                     fetch_cycle = fetch_time + 1
                     slots = 0
@@ -319,6 +335,13 @@ class OooTimingModel:
 
         if end_boundary_commit is None:
             end_boundary_commit = last_commit
+        _INSTRUCTIONS.inc(end - start)
+        if n_mispredicts:
+            _MISPREDICTS.inc(n_mispredicts)
+        if n_icache_stall_cycles:
+            _ICACHE_STALLS.inc(n_icache_stall_cycles)
+        if n_ruu_stalls:
+            _RUU_STALLS.inc(n_ruu_stalls)
         return TimingResult(
             cycles=end_boundary_commit - warm_boundary_commit,
             instructions=measure_to - measure_from,

@@ -1,0 +1,226 @@
+"""Bench harness (repro.obs.bench): schema round-trip and regression gate.
+
+The gate's contract is the PR acceptance criterion "demonstrably fails
+on an injected slowdown": the two-run test below writes a baseline,
+re-runs the same scenario 3x slower, and asserts the second run
+reports a regression while improvements and sub-threshold drift pass.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    SCHEMA_VERSION,
+    BenchScenario,
+    bench_json_path,
+    compare_against_baseline,
+    discover_scenarios,
+    load_bench_json,
+    run_scenarios,
+    write_bench_json,
+)
+
+REPO_ROOT = __import__("pathlib").Path(__file__).resolve().parents[1]
+
+
+def _scenario(run=None, gates=None, threshold_pct=50.0, name="toy"):
+    return BenchScenario(
+        name=name,
+        description="toy scenario for tests",
+        run=run or (lambda quick: {"elapsed_ms": 10.0}),
+        gates=gates if gates is not None else {"elapsed_ms": "lower"},
+        threshold_pct=threshold_pct,
+    )
+
+
+# ----------------------------------------------------------------------
+# Schema round-trip
+# ----------------------------------------------------------------------
+class TestSchema:
+    def test_write_then_load_round_trips(self, tmp_path):
+        sc = _scenario()
+        path = write_bench_json(
+            tmp_path, sc, {"elapsed_ms": 12.5}, quick=True, elapsed_s=0.3
+        )
+        assert path == bench_json_path(tmp_path, "toy")
+        assert path.name == "BENCH_toy.json"
+        payload = load_bench_json(path)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["name"] == "toy"
+        assert payload["quick"] is True
+        assert payload["metrics"] == {"elapsed_ms": 12.5}
+        assert payload["gates"] == {"elapsed_ms": "lower"}
+        assert payload["threshold_pct"] == 50.0
+        assert payload["env"]["cpu_count"] >= 1
+        # Atomic write leaves no tmp file behind.
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_load_missing_file_is_none(self, tmp_path):
+        assert load_bench_json(tmp_path / "BENCH_nope.json") is None
+
+    def test_load_corrupt_file_is_none(self, tmp_path):
+        p = tmp_path / "BENCH_bad.json"
+        p.write_text("{not json")
+        assert load_bench_json(p) is None
+        p.write_text(json.dumps([1, 2, 3]))
+        assert load_bench_json(p) is None
+
+    def test_load_wrong_schema_version_is_none(self, tmp_path):
+        sc = _scenario()
+        path = write_bench_json(
+            tmp_path, sc, {"elapsed_ms": 1.0}, quick=False, elapsed_s=0.1
+        )
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        assert load_bench_json(path) is None
+
+    def test_invalid_gate_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            _scenario(gates={"elapsed_ms": "sideways"})
+
+
+# ----------------------------------------------------------------------
+# Gate semantics
+# ----------------------------------------------------------------------
+class TestGate:
+    def _baseline(self, tmp_path, metrics):
+        sc = _scenario()
+        write_bench_json(tmp_path, sc, metrics, quick=False, elapsed_s=0.1)
+        return load_bench_json(bench_json_path(tmp_path, sc.name))
+
+    def test_lower_direction_regression_and_improvement(self, tmp_path):
+        base = self._baseline(tmp_path, {"elapsed_ms": 100.0})
+        sc = _scenario()
+        # 3x slower: +200% > 50% threshold -> regressed.
+        (worse,) = compare_against_baseline(sc, {"elapsed_ms": 300.0}, base)
+        assert worse.regressed and worse.change_pct == pytest.approx(200.0)
+        assert "REGRESSED" in worse.describe()
+        # 2x faster: improvement, negative change_pct.
+        (better,) = compare_against_baseline(sc, {"elapsed_ms": 50.0}, base)
+        assert not better.regressed
+        assert better.change_pct == pytest.approx(-50.0)
+        # Within threshold: drift, not a regression.
+        (drift,) = compare_against_baseline(sc, {"elapsed_ms": 140.0}, base)
+        assert not drift.regressed
+
+    def test_higher_direction_flips_the_sign(self, tmp_path):
+        sc = _scenario(gates={"preds_per_s": "higher"})
+        write_bench_json(
+            tmp_path, sc, {"preds_per_s": 1000.0}, quick=False, elapsed_s=0.1
+        )
+        base = load_bench_json(bench_json_path(tmp_path, sc.name))
+        # Throughput dropped 60%: that's +60% in the bad direction.
+        (f,) = compare_against_baseline(sc, {"preds_per_s": 400.0}, base)
+        assert f.regressed and f.change_pct == pytest.approx(60.0)
+        # Throughput doubled: improvement.
+        (g,) = compare_against_baseline(sc, {"preds_per_s": 2000.0}, base)
+        assert not g.regressed and g.change_pct == pytest.approx(-100.0)
+
+    def test_missing_metrics_and_zero_baseline_skipped(self, tmp_path):
+        base = self._baseline(tmp_path, {"other": 1.0, "zeroed": 0.0})
+        sc = _scenario(gates={"elapsed_ms": "lower", "zeroed": "lower"})
+        assert compare_against_baseline(sc, {"elapsed_ms": 5.0, "zeroed": 9.0}, base) == []
+
+    def test_no_baseline_means_no_findings(self):
+        sc = _scenario()
+        assert compare_against_baseline(sc, {"elapsed_ms": 5.0}, None) == []
+
+    def test_threshold_override(self, tmp_path):
+        base = self._baseline(tmp_path, {"elapsed_ms": 100.0})
+        sc = _scenario()
+        (f,) = compare_against_baseline(
+            sc, {"elapsed_ms": 120.0}, base, threshold_pct=10.0
+        )
+        assert f.regressed and f.threshold_pct == 10.0
+
+
+# ----------------------------------------------------------------------
+# run_scenarios: baseline-before-write and the injected-slowdown gate
+# ----------------------------------------------------------------------
+class TestRunScenarios:
+    def test_injected_slowdown_fails_the_gate(self, tmp_path):
+        logs = []
+        fast = _scenario(run=lambda quick: {"elapsed_ms": 100.0})
+        written, regressions = run_scenarios(
+            [fast], tmp_path, quick=True, log=logs.append
+        )
+        assert len(written) == 1 and regressions == []  # first run: no baseline
+
+        slow = _scenario(run=lambda quick: {"elapsed_ms": 300.0})
+        written, regressions = run_scenarios(
+            [slow], tmp_path, quick=True, log=logs.append
+        )
+        assert len(regressions) == 1
+        assert regressions[0].metric == "elapsed_ms"
+        assert regressions[0].regressed
+        # The slow result still replaced the baseline on disk.
+        assert load_bench_json(written[0])["metrics"]["elapsed_ms"] == 300.0
+
+    def test_gate_false_reports_but_never_fails(self, tmp_path):
+        run_scenarios(
+            [_scenario(run=lambda quick: {"elapsed_ms": 100.0})],
+            tmp_path,
+            log=lambda _: None,
+        )
+        _, regressions = run_scenarios(
+            [_scenario(run=lambda quick: {"elapsed_ms": 10_000.0})],
+            tmp_path,
+            gate=False,
+            log=lambda _: None,
+        )
+        assert regressions == []
+
+    def test_separate_baseline_dir(self, tmp_path):
+        baseline_dir = tmp_path / "committed"
+        out_dir = tmp_path / "fresh"
+        run_scenarios(
+            [_scenario(run=lambda quick: {"elapsed_ms": 100.0})],
+            baseline_dir,
+            log=lambda _: None,
+        )
+        _, regressions = run_scenarios(
+            [_scenario(run=lambda quick: {"elapsed_ms": 300.0})],
+            out_dir,
+            baseline_dir=baseline_dir,
+            log=lambda _: None,
+        )
+        assert len(regressions) == 1
+        # Baseline dir untouched by the new run.
+        base = load_bench_json(bench_json_path(baseline_dir, "toy"))
+        assert base["metrics"]["elapsed_ms"] == 100.0
+
+    def test_quick_flag_reaches_the_scenario(self, tmp_path):
+        seen = []
+        sc = _scenario(run=lambda quick: seen.append(quick) or {"x": 1.0})
+        run_scenarios([sc], tmp_path, quick=True, log=lambda _: None)
+        run_scenarios([sc], tmp_path, quick=False, log=lambda _: None)
+        assert seen == [True, False]
+
+
+# ----------------------------------------------------------------------
+# Discovery over the real benchmarks/ directory
+# ----------------------------------------------------------------------
+class TestDiscovery:
+    def test_repo_benchmarks_publish_scenarios(self):
+        scenarios = discover_scenarios(REPO_ROOT / "benchmarks")
+        names = {s.name for s in scenarios}
+        assert {"obs_overhead", "serve_throughput", "parallel_measure"} <= names
+        for s in scenarios:
+            assert s.gates, f"{s.name} has no gated metric"
+            assert all(d in ("lower", "higher") for d in s.gates.values())
+
+    def test_files_without_scenario_are_skipped(self, tmp_path):
+        (tmp_path / "bench_plain.py").write_text("X = 1\n")
+        (tmp_path / "bench_good.py").write_text(
+            "from repro.obs.bench import BenchScenario\n"
+            "BENCH_SCENARIO = BenchScenario(\n"
+            "    name='good', description='d',\n"
+            "    run=lambda quick: {'v': 1.0}, gates={'v': 'lower'})\n"
+        )
+        (tmp_path / "not_a_bench.py").write_text(
+            "raise RuntimeError('must not be imported')\n"
+        )
+        scenarios = discover_scenarios(tmp_path)
+        assert [s.name for s in scenarios] == ["good"]

@@ -23,7 +23,14 @@ from repro.obs import (
     to_chrome_trace,
     to_jsonl,
 )
-from repro.obs.metrics import Counter, Histogram, MetricsRegistry, format_report
+from repro.obs.metrics import (
+    HISTOGRAM_MAX_SAMPLES,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    format_report,
+    summarize_histogram_entry,
+)
 from repro.obs.trace import Tracer, _NullSpan
 
 
@@ -156,6 +163,99 @@ class TestMetrics:
         text = format_report(reg.snapshot())
         assert "measure.compilations" in text and "7" in text
         assert "opt.delta.unroll" in text
+        assert "p99" in text  # percentile columns in the header
+
+
+class TestReservoir:
+    """Bounded-memory histogram: the reservoir must stay capped while
+    keeping percentiles close to the true distribution."""
+
+    def test_memory_stays_bounded_and_moments_stay_exact(self):
+        h = Histogram("h", max_samples=256)
+        n = 20_000
+        for v in range(1, n + 1):
+            h.observe(float(v))
+        assert len(h._sample) == 256  # reservoir, not the full stream
+        # Exact moments are tracked outside the reservoir.
+        assert h.count == n
+        assert h.sum == pytest.approx(n * (n + 1) / 2)
+        assert h.summary()["max"] == float(n)
+        assert h.summary()["mean"] == pytest.approx((n + 1) / 2)
+
+    def test_percentiles_approximate_uniform_stream(self):
+        # Deterministic per-name RNG makes this reproducible.
+        h = Histogram("uniform-stream", max_samples=512)
+        for v in range(1, 10_001):
+            h.observe(float(v))
+        # Nearest-rank over a 512-sample reservoir of U(1, 10000):
+        # generous +/-10%-of-range tolerance kills flakiness while still
+        # catching a broken reservoir (e.g. keep-first or keep-last).
+        for q in (50, 95, 99):
+            assert h.percentile(q) == pytest.approx(100 * q, abs=1000)
+
+    def test_below_cap_percentiles_are_exact(self):
+        h = Histogram("h", max_samples=HISTOGRAM_MAX_SAMPLES)
+        for v in range(1, 1001):
+            h.observe(float(v))
+        assert h.percentile(50) == 500
+        assert h.percentile(99) == 990
+
+    def test_default_cap_applies(self):
+        h = Histogram("h")
+        for v in range(HISTOGRAM_MAX_SAMPLES + 500):
+            h.observe(float(v))
+        assert len(h._sample) == HISTOGRAM_MAX_SAMPLES
+
+    def test_merge_state_keeps_moments_exact(self):
+        a = Histogram("h")
+        b = Histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            a.observe(v)
+        for v in (10.0, 20.0):
+            b.observe(v)
+        a.merge_state(b.export_state())
+        assert a.count == 5
+        assert a.sum == pytest.approx(36.0)
+        s = a.summary()
+        assert s["max"] == 20.0
+        assert s["mean"] == pytest.approx(7.2)
+
+    def test_export_state_round_trips(self):
+        a = Histogram("h")
+        for v in (5.0, 1.0, 9.0):
+            a.observe(v)
+        state = a.export_state()
+        b = Histogram("h")
+        b.merge_state(state)
+        assert b.export_state() == state
+
+    def test_persist_merges_histogram_deltas(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_ms")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        reg.persist(path)
+        for v in (10.0, 11.0):
+            h.observe(v)
+        reg.persist(path)  # only the 2-observation delta merges
+        # A second "process" accumulates into the same file.
+        reg2 = MetricsRegistry()
+        reg2.histogram("lat_ms").observe(100.0)
+        reg2.persist(path)
+
+        stored = MetricsRegistry.load_persisted(path)
+        entry = stored["histograms"]["lat_ms"]
+        assert entry["count"] == 6
+        assert entry["sum"] == pytest.approx(127.0)
+        assert entry["min"] == 1.0 and entry["max"] == 100.0
+        assert len(entry["sample"]) <= 512
+        # The normalized summary reads back from the stored sample.
+        s = summarize_histogram_entry(entry)
+        assert s["count"] == 6
+        assert s["p99"] == 100.0
+        text = format_report(stored)
+        assert "lat_ms" in text
 
 
 class TestExport:
@@ -179,13 +279,16 @@ class TestExport:
         path = tmp_path / "trace.chrome.json"
         to_chrome_trace(spans, path)
         payload = json.loads(path.read_text())
-        events = payload["traceEvents"]
-        assert len(events) == len(spans)
-        for ev in events:
-            assert ev["ph"] == "X"
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert len(complete) == len(spans)
+        for ev in complete:
             assert ev["ts"] >= 0 and ev["dur"] >= 0
-        root = next(e for e in events if e["name"] == "root")
+        root = next(e for e in complete if e["name"] == "root")
         assert root["args"] == {"workload": "gzip"}
+        # One process_name metadata event per pid lane.
+        assert {e["pid"] for e in meta} == {e["pid"] for e in complete}
+        assert all(e["name"] == "process_name" for e in meta)
 
     def test_self_timing_report(self, tracer):
         spans = self._make_spans(tracer)

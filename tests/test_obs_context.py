@@ -1,0 +1,222 @@
+"""Cross-process telemetry propagation (repro.obs.context).
+
+Covers the PR's acceptance criteria for the measurement pool: a single
+unified trace containing spans from >= 2 worker pids with resolvable
+parent/child links, Chrome-trace export validity for multi-process
+spans, and `repro stats` counter parity between jobs=1 and jobs=2 runs
+of the same point set -- plus the cheap merge primitives in isolation.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.harness.measure import MeasurementEngine
+from repro.obs import (
+    Tracer,
+    WorkerTelemetry,
+    get_registry,
+    get_tracer,
+    merge_worker_telemetry,
+    to_chrome_trace,
+)
+from repro.obs.context import TelemetryContext, _wall_anchor
+from repro.space import full_space
+
+
+@pytest.fixture()
+def tracer():
+    t = get_tracer()
+    was_enabled = t.enabled
+    t.reset()
+    t.enable()
+    yield t
+    t.reset()
+    t.enabled = was_enabled
+
+
+@pytest.fixture()
+def registry():
+    reg = get_registry()
+    reg.reset()
+    yield reg
+    reg.reset()
+
+
+def _random_points(n, seed=0):
+    space = full_space()
+    rng = np.random.default_rng(seed)
+    return [space.random_point(rng) for _ in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Merge primitives (no pool, no simulator)
+# ----------------------------------------------------------------------
+class TestMergePrimitives:
+    def _worker_spans(self):
+        """Spans recorded by a standalone 'worker' tracer: a root with
+        one child, using ids that collide with any fresh tracer."""
+        worker = Tracer(enabled=True)
+        with worker.span("measure.task", workload="w"):
+            with worker.span("measure.simulate"):
+                pass
+        return worker.spans
+
+    def test_merge_remote_remaps_ids_and_reparents(self):
+        # A fresh local tracer, so both sides count span ids from 1:
+        # guaranteed collision unless merge_remote remaps.
+        tracer = Tracer(enabled=True)
+        with tracer.span("local"):
+            pass
+        remote = self._worker_spans()
+        local_ids = {s.span_id for s in tracer.spans}
+        assert local_ids & {s.span_id for s in remote}
+        adopted = tracer.merge_remote(remote, parent_id=99, time_shift=2.5)
+        merged = tracer.spans
+        assert len(merged) == 3
+        ids = {s.span_id for s in merged}
+        assert len(ids) == 3  # no collisions survived
+        by_name = {s.name: s for s in adopted}
+        task = by_name["measure.task"]
+        sim = by_name["measure.simulate"]
+        assert task.parent_id == 99  # worker root re-parented
+        assert sim.parent_id == task.span_id  # intra-batch link preserved
+        # time_shift lands the worker spans on the parent clock.
+        originals = {s.name: s for s in remote}
+        assert task.start == originals["measure.task"].start + 2.5
+
+    def test_merge_worker_telemetry_merges_metrics_without_spans(
+        self, registry
+    ):
+        telemetry = WorkerTelemetry(
+            pid=1234,
+            epoch=_wall_anchor(),
+            spans=[],
+            metrics={
+                "counters": {"measure.simulations": 3},
+                "histograms": {
+                    "measure.batch.worker_ms": {
+                        "count": 2,
+                        "sum": 30.0,
+                        "min": 10.0,
+                        "max": 20.0,
+                        "values": [10.0, 20.0],
+                    }
+                },
+            },
+        )
+        merge_worker_telemetry(telemetry, None)
+        assert registry.counter("measure.simulations").value == 3
+        hist = registry.histogram("measure.batch.worker_ms")
+        assert hist.count == 2 and hist.sum == 30.0
+
+    def test_merge_none_telemetry_is_a_noop(self, registry):
+        merge_worker_telemetry(None, None)
+        assert registry.export_state() == {"counters": {}, "histograms": {}}
+
+    def test_context_round_trips_through_pickle(self, tracer):
+        import pickle
+
+        with tracer.span("batch"):
+            from repro.obs.context import capture_context
+
+            ctx = capture_context()
+            back = pickle.loads(pickle.dumps(ctx))
+        assert isinstance(back, TelemetryContext)
+        assert back.trace_id == tracer.trace_id
+        assert back.parent_span_id is not None
+
+
+# ----------------------------------------------------------------------
+# Whole-pool round trips (real workers, art workload)
+# ----------------------------------------------------------------------
+class TestPoolRoundTrip:
+    def test_jobs2_merges_spans_and_keeps_counter_parity(
+        self, tracer, registry, tmp_path
+    ):
+        points = _random_points(3, seed=7)
+
+        # Serial reference run (tracing off keeps it cheap).
+        tracer.disable()
+        serial_engine = MeasurementEngine(cache_dir=None)
+        serial = serial_engine.measure_batch("art", points, jobs=1)
+        serial_counters = registry.export_state()["counters"]
+
+        # Parallel run of the same points, tracing on.
+        registry.reset()
+        tracer.reset()
+        tracer.enable()
+        pool_engine = MeasurementEngine(cache_dir=None)
+        parallel = pool_engine.measure_batch("art", points, jobs=2)
+        parallel_counters = registry.export_state()["counters"]
+
+        assert parallel == serial
+
+        # Counter parity: identical totals for every metric except the
+        # documented parent-side pool bookkeeping (measure.batch.*).
+        def strip(counters):
+            return {
+                k: v
+                for k, v in counters.items()
+                if not k.startswith("measure.batch.")
+            }
+
+        assert strip(parallel_counters) == strip(serial_counters)
+        assert pool_engine.simulations == serial_engine.simulations
+
+        # One unified trace: spans from >= 2 distinct worker pids plus
+        # the parent, unique span ids, every parent link resolvable.
+        spans = tracer.spans
+        pids = {s.pid for s in spans}
+        assert len(pids) >= 2
+        ids = {s.span_id for s in spans}
+        assert len(ids) == len(spans)
+        for s in spans:
+            assert s.parent_id is None or s.parent_id in ids
+        by_id = {s.span_id: s for s in spans}
+        batch = next(s for s in spans if s.name == "measure.batch")
+        tasks = [s for s in spans if s.name == "measure.task"]
+        assert len(tasks) == 3
+        for task in tasks:
+            assert task.parent_id == batch.span_id
+            assert task.pid != batch.pid  # recorded inside a worker
+        # Worker-side children nest under their task span.
+        sims = [s for s in spans if s.name == "measure.simulate"]
+        assert sims
+        for sim in sims:
+            ancestor = sim
+            while ancestor.parent_id is not None:
+                ancestor = by_id[ancestor.parent_id]
+            assert ancestor.span_id == batch.span_id
+
+        # Chrome-trace export: one lane per pid, all X events valid.
+        path = tmp_path / "trace.chrome.json"
+        to_chrome_trace(spans, path)
+        payload = json.loads(path.read_text())
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert {e["pid"] for e in complete} == pids
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in complete)
+
+    def test_jobs2_merges_metrics_with_tracing_disabled(
+        self, registry
+    ):
+        """Worker counters must flow back even when no trace is active
+        (the satellite fix for silent under-reporting)."""
+        tracer = get_tracer()
+        was_enabled = tracer.enabled
+        tracer.disable()
+        try:
+            points = _random_points(2, seed=11)
+            engine = MeasurementEngine(cache_dir=None)
+            engine.measure_batch("art", points, jobs=2)
+        finally:
+            tracer.enabled = was_enabled
+        counters = registry.export_state()["counters"]
+        # The simulations happened in workers; without the telemetry
+        # ship-back these would read 0 in the parent.
+        assert counters.get("measure.simulations") == 2
+        assert counters.get("measure.compilations", 0) >= 1
+        assert counters.get("sim.ooo.instructions", 0) > 0
+        # And no spans leaked into the disabled tracer.
+        assert tracer.spans == []

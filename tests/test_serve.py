@@ -402,6 +402,50 @@ class TestServer:
                 # The connection survives errors.
                 assert client.ping()
 
+    def test_stats_op_reports_red_metrics(self, registry_with_model):
+        reg, _ = registry_with_model
+        with PredictionServer(registry=reg) as server:
+            with PredictionClient(*server.address) as client:
+                client.ping()
+                xq = np.zeros((2, 6))
+                for _ in range(4):
+                    client.predict("lin", xq)
+                with pytest.raises(RuntimeError, match="features"):
+                    client.predict("lin", np.zeros((1, 3)))
+                stats = client.stats()
+
+        # ping + 5 predicts; the in-flight stats request is recorded
+        # only after its response is built, so it is not yet counted.
+        assert stats["requests"] == 6
+        assert stats["errors"] == 1
+        assert stats["error_rate"] == pytest.approx(1 / 6, abs=1e-4)
+        assert stats["uptime_s"] >= 0
+        assert stats["started_unix"] <= time.time()
+        assert stats["loaded"] == ["lin"]
+
+        ops = stats["ops"]
+        assert ops["ping"]["count"] == 1 and ops["ping"]["errors"] == 0
+        predict = ops["predict"]
+        assert predict["count"] == 5
+        assert predict["errors"] == 1  # bad-shape request charged to its op
+        for key in ("mean_ms", "p50_ms", "p95_ms", "p99_ms"):
+            assert predict[key] >= 0.0
+        assert predict["p50_ms"] <= predict["p95_ms"] <= predict["p99_ms"]
+
+    def test_stats_buckets_unparseable_requests(self, registry_with_model):
+        reg, _ = registry_with_model
+        with PredictionServer(registry=reg) as server:
+            with PredictionClient(*server.address) as client:
+                # Malformed JSON straight onto the socket: no "op" to
+                # attribute, so it lands in the _invalid bucket.
+                client._file.write(b"this is not json\n")
+                client._file.flush()
+                line = client._file.readline()
+                assert json.loads(line)["ok"] is False
+                stats = client.stats()
+        assert stats["ops"]["_invalid"]["count"] == 1
+        assert stats["ops"]["_invalid"]["errors"] == 1
+
     def test_concurrent_clients_match_direct_predict(
         self, registry_with_model
     ):
