@@ -44,10 +44,27 @@ Commands
 ``trace``
     Run any other command with tracing enabled and dump the spans as
     JSONL + Chrome ``trace_event`` JSON + a self-timing text report
-    (equivalent to ``REPRO_TRACE=1 python -m repro <cmd>``).
+    (equivalent to ``REPRO_TRACE=1 python -m repro <cmd>``).  With
+    ``--gc`` it instead prunes old telemetry files from the trace
+    directory by age (``--max-age``) and/or count (``--max-files``).
 ``stats``
     Print the telemetry counters/histograms accumulated in
-    ``<cache_dir>/metrics.json`` across runs (see docs/OBSERVABILITY.md).
+    ``<cache_dir>/metrics.json`` across runs (see docs/OBSERVABILITY.md);
+    ``--json`` emits the same data machine-readably.
+``ledger``
+    Query (``list``), integrity-check (``verify``), or retention-prune
+    (``compact``) the provenance ledger (see docs/OBSERVABILITY.md).
+``lineage``
+    Reconstruct a registry model's provenance chain from the ledger:
+    publish -> fit -> measurement batches -> serve sessions -> alerts.
+``monitor``
+    Evaluate alert rules (thresholds + EWMA drift) over metric
+    snapshots -- a fixture series, a ``/metrics`` endpoint, or the
+    persisted ``metrics.json``; fired alerts land in the ledger and set
+    a nonzero exit code for CI.
+``top``
+    Live terminal dashboard over a ``/metrics`` endpoint (and,
+    optionally, a running ``repro serve`` instance's RED stats).
 """
 
 from __future__ import annotations
@@ -240,12 +257,20 @@ def _measure_random_points(args) -> int:
         f"measuring {len(points)} random points of {args.workload} "
         f"({args.input}), seed {args.seed}, jobs {jobs or engine.jobs}"
     )
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.obs import start_metrics_server
+
+        metrics_server = start_metrics_server(args.metrics_port)
+        print(f"  metrics: {metrics_server.url}")
     try:
         measurements = engine.measure_batch(
             args.workload, points, args.input, jobs=jobs
         )
     finally:
         engine.save()
+        if metrics_server is not None:
+            metrics_server.close()
     for i, m in enumerate(measurements):
         print(
             f"  point {i:3d}: {m.cycles:12.0f} cycles "
@@ -487,6 +512,7 @@ def cmd_serve(args) -> int:
         host=args.host,
         port=args.port,
         allow_remote_shutdown=not args.no_remote_shutdown,
+        metrics_port=args.metrics_port,
     )
     host, port = server.address
     known = registry.names()
@@ -495,6 +521,8 @@ def cmd_serve(args) -> int:
         f"  models: {', '.join(known) if known else '(none registered yet)'}"
     )
     print("  protocol: one JSON object per line (see docs/SERVING.md)")
+    if server.metrics_url:
+        print(f"  metrics: {server.metrics_url}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -587,14 +615,19 @@ def _trace_out_dir() -> Path:
     return Path(os.environ.get("REPRO_TRACE_DIR", ".repro_trace"))
 
 
+_TRACE_DUMPED = False
+
+
 def _dump_trace(out_dir: Path) -> None:
     """Write trace.jsonl / trace.chrome.json / report.txt and print the
     self-timing report.  No-op if no spans were collected."""
+    global _TRACE_DUMPED
     from repro.obs import get_tracer, self_timing_report, to_chrome_trace, to_jsonl
 
     spans = get_tracer().spans
     if not spans:
         return
+    _TRACE_DUMPED = True
     out_dir.mkdir(parents=True, exist_ok=True)
     to_jsonl(spans, out_dir / "trace.jsonl")
     to_chrome_trace(spans, out_dir / "trace.chrome.json")
@@ -610,11 +643,27 @@ def _dump_trace(out_dir: Path) -> None:
 def cmd_trace(args) -> int:
     from repro.obs import get_tracer
 
+    if args.gc:
+        from repro.obs import gc_directory
+
+        out_dir = Path(args.out) if args.out else _trace_out_dir()
+        report = gc_directory(
+            out_dir,
+            max_age_s=_parse_age(args.max_age) if args.max_age else None,
+            max_files=args.max_files,
+            dry_run=args.dry_run,
+        )
+        verb = "would remove" if args.dry_run else "removed"
+        print(f"trace gc {out_dir}: {report.summary().replace('removed', verb, 1)}")
+        return 0
     rest = list(args.rest)
     if rest and rest[0] == "--":
         rest = rest[1:]
     if not rest:
-        raise SystemExit("usage: repro trace [--out DIR] <command> [args...]")
+        raise SystemExit(
+            "usage: repro trace [--out DIR] <command> [args...] | "
+            "repro trace --gc [--max-age AGE] [--max-files N]"
+        )
     tracer = get_tracer()
     tracer.reset()
     tracer.enable()
@@ -626,6 +675,8 @@ def cmd_trace(args) -> int:
 
 
 def cmd_stats(args) -> int:
+    import json as _json
+
     from repro.obs import get_registry
     from repro.obs.metrics import MetricsRegistry, format_report
 
@@ -641,6 +692,30 @@ def cmd_stats(args) -> int:
     has_live = bool(live["counters"]) or any(
         s.get("count") for s in live["histograms"].values()
     )
+    if args.json:
+        from repro.obs.metrics import summarize_histogram_entry
+
+        def normalized(snap):
+            return {
+                "counters": dict(snap.get("counters") or {}),
+                "histograms": {
+                    name: summarize_histogram_entry(dict(entry))
+                    for name, entry in (snap.get("histograms") or {}).items()
+                },
+            }
+
+        print(
+            _json.dumps(
+                {
+                    "path": str(path) if path is not None else None,
+                    "persisted": normalized(persisted) if persisted else None,
+                    "live": normalized(live) if has_live else None,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     if persisted:
         print(f"cumulative metrics ({path})")
         print(format_report(persisted))
@@ -652,6 +727,216 @@ def cmd_stats(args) -> int:
     else:
         print("(no metrics recorded; run a measurement command first)")
     return 0
+
+
+_AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+
+
+def _parse_age(text: str) -> float:
+    """``"90"``/``"90s"``/``"15m"``/``"6h"``/``"7d"`` -> seconds."""
+    text = text.strip().lower()
+    unit = 1.0
+    if text and text[-1] in _AGE_UNITS:
+        unit = _AGE_UNITS[text[-1]]
+        text = text[:-1]
+    try:
+        seconds = float(text) * unit
+    except ValueError:
+        raise SystemExit(
+            f"bad age {text!r}: expected NUMBER[s|m|h|d|w], e.g. 6h or 7d"
+        )
+    if seconds < 0:
+        raise SystemExit("age must be non-negative")
+    return seconds
+
+
+def _ledger(args):
+    from repro.obs.ledger import Ledger, default_ledger_path
+
+    path = Path(args.path) if getattr(args, "path", None) else default_ledger_path()
+    if path is None:
+        raise SystemExit(
+            "no ledger available: set REPRO_LEDGER_PATH or enable the "
+            "cache directory (REPRO_CACHE_DIR)"
+        )
+    return Ledger(path)
+
+
+def cmd_ledger(args) -> int:
+    import json as _json
+
+    ledger = _ledger(args)
+    if args.action == "verify":
+        report = ledger.verify()
+        print(f"ledger {ledger.path}")
+        print(report.summary())
+        return 0 if report.ok else 1
+    if args.action == "compact":
+        if args.max_age is None and args.max_events is None:
+            raise SystemExit(
+                "repro ledger compact needs --max-age and/or --max-events"
+            )
+        result = ledger.compact(
+            max_age_s=_parse_age(args.max_age) if args.max_age else None,
+            max_events=args.max_events,
+        )
+        print(
+            f"ledger {ledger.path}: kept {result['kept']} event(s), "
+            f"dropped {result['dropped']}"
+        )
+        return 0
+    # list
+    events = ledger.events(kind=args.kind, run=args.run, limit=args.limit)
+    if args.json:
+        for e in events:
+            print(e.to_json())
+        return 0
+    if not events:
+        print(f"(ledger {ledger.path} has no matching events)")
+        return 0
+    import time as _time
+
+    print(f"ledger {ledger.path}: {len(events)} event(s)")
+    for e in events:
+        when = _time.strftime("%Y-%m-%d %H:%M:%S", _time.localtime(e.ts))
+        brief = {
+            "measure_batch": lambda a, r: (
+                f"{a.get('workload')}/{a.get('input')} "
+                f"{a.get('n_points')} pts ({a.get('n_misses')} sims)"
+            ),
+            "model_fit": lambda a, r: (
+                f"{a.get('family')} on {a.get('workload')}/{a.get('input')}, "
+                f"{a.get('n_samples')} samples, "
+                f"{a.get('test_error_pct', float('nan')):.2f}% err"
+            ),
+            "registry_publish": lambda a, r: (
+                f"{a.get('name')!r} -> {r.get('model_id')}"
+            ),
+            "serve_session": lambda a, r: (
+                f"[{a.get('phase')}] {a.get('address')} "
+                + (f"{a.get('requests')} req" if a.get("phase") == "end" else "")
+            ),
+            "alert": lambda a, r: f"{a.get('rule')}: {a.get('message')}",
+            "compact": lambda a, r: (
+                f"dropped {a.get('dropped')}, kept {a.get('kept')}"
+            ),
+        }.get(e.kind, lambda a, r: "")(e.attrs, e.refs)
+        print(f"  {when}  {e.run}  {e.kind:<17} {brief}")
+    return 0
+
+
+def cmd_lineage(args) -> int:
+    import json as _json
+
+    ledger = _ledger(args)
+    lineage = ledger.lineage(args.model_ref, registry=_registry(args))
+    if args.json:
+        print(_json.dumps(lineage.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(lineage.describe())
+    if args.require_complete and not lineage.complete:
+        return 1
+    return 0
+
+
+def cmd_monitor(args) -> int:
+    from repro.obs.ledger import default_ledger
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.monitor import (
+        Monitor,
+        default_rules,
+        load_rules,
+        load_snapshot_series,
+    )
+
+    rules = load_rules(args.rules) if args.rules else default_rules()
+    ledger = None
+    if not args.no_ledger:
+        try:
+            ledger = _ledger(args)
+        except SystemExit:
+            ledger = default_ledger()  # disabled -> alerts just print
+    monitor = Monitor(rules, ledger=ledger)
+
+    if args.series:
+        monitor.observe_series(load_snapshot_series(args.series))
+    elif args.url:
+        import time as _time
+
+        from repro.obs.promexport import scrape, snapshot_from_prometheus
+
+        for i in range(args.count):
+            monitor.observe(snapshot_from_prometheus(scrape(args.url)))
+            if i + 1 < args.count:
+                _time.sleep(args.interval)
+    else:
+        path = _metrics_path()
+        snapshot = (
+            MetricsRegistry.load_persisted(path) if path is not None else None
+        )
+        if not snapshot:
+            raise SystemExit(
+                "nothing to monitor: no persisted metrics found "
+                f"({path}); pass --url or --series instead"
+            )
+        monitor.observe(snapshot)
+
+    print(monitor.summary())
+    return 1 if monitor.fired else 0
+
+
+def cmd_top(args) -> int:
+    from repro.obs.top import run_top
+
+    serve_addr = None
+    if args.serve:
+        host, _, port = args.serve.rpartition(":")
+        if not host or not port.isdigit():
+            raise SystemExit(f"bad --serve {args.serve!r}; expected HOST:PORT")
+        serve_addr = (host, int(port))
+    url = args.url
+    if "://" not in url:
+        url = f"http://{url}"
+    if not url.rstrip("/").endswith("/metrics"):
+        url = url.rstrip("/") + "/metrics"
+    return run_top(
+        url,
+        serve_addr=serve_addr,
+        interval=args.interval,
+        iterations=1 if args.once else args.iterations,
+    )
+
+
+_FINAL_FLUSH_REGISTERED = False
+
+
+def _register_final_flush() -> None:
+    """Idempotently register an ``atexit`` flush of metrics + spans.
+
+    The normal path flushes in :func:`main`'s ``finally`` block, but
+    anything that ends the process early (an atexit-less sys.exit from
+    a library, a KeyboardInterrupt swallowed upstream, embedding apps
+    that call command handlers directly) would otherwise drop the tail
+    of the telemetry.  ``persist`` is delta-tracked, so flushing twice
+    never double-counts.
+    """
+    global _FINAL_FLUSH_REGISTERED
+    if _FINAL_FLUSH_REGISTERED:
+        return
+    _FINAL_FLUSH_REGISTERED = True
+    import atexit
+
+    def _final_flush() -> None:
+        try:
+            _persist_metrics()
+            from repro.obs.trace import _env_truthy
+
+            if not _TRACE_DUMPED and _env_truthy(os.environ.get("REPRO_TRACE")):
+                _dump_trace(_trace_out_dir())
+        except Exception:  # noqa: BLE001 - dying process, best effort
+            pass
+
+    atexit.register(_final_flush)
 
 
 def _persist_metrics() -> None:
@@ -711,6 +996,14 @@ def build_parser() -> argparse.ArgumentParser:
                 metavar="DIR",
                 help="profile output directory (default $REPRO_TRACE_DIR "
                 "or .repro_trace)",
+            )
+            p.add_argument(
+                "--metrics-port",
+                type=int,
+                default=None,
+                metavar="PORT",
+                help="batch mode: expose a Prometheus /metrics endpoint "
+                "on PORT for the duration of the run (0 = ephemeral)",
             )
 
     p = sub.add_parser(
@@ -838,6 +1131,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore the wire protocol's shutdown op",
     )
+    p.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="expose a Prometheus /metrics endpoint on PORT "
+        "(0 = ephemeral; off when omitted)",
+    )
     _add_registry_argument(p)
 
     p = sub.add_parser(
@@ -893,6 +1194,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="output directory (default $REPRO_TRACE_DIR or .repro_trace)",
     )
+    p.add_argument(
+        "--gc",
+        action="store_true",
+        help="prune old telemetry files from the trace directory "
+        "instead of running a command",
+    )
+    p.add_argument(
+        "--max-age",
+        default=None,
+        metavar="AGE",
+        help="gc: remove telemetry files older than AGE (e.g. 6h, 7d)",
+    )
+    p.add_argument(
+        "--max-files",
+        type=int,
+        default=None,
+        metavar="N",
+        help="gc: keep at most the N newest telemetry files",
+    )
+    p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="gc: report what would be removed without deleting",
+    )
     p.add_argument("rest", nargs=argparse.REMAINDER, metavar="command ...")
 
     p = sub.add_parser("stats", help="print accumulated telemetry metrics")
@@ -900,6 +1225,173 @@ def build_parser() -> argparse.ArgumentParser:
         "--reset",
         action="store_true",
         help="zero the in-process registry and delete the persisted file",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the merged persisted + live snapshot as JSON",
+    )
+
+    p = sub.add_parser(
+        "ledger", help="query or maintain the provenance ledger"
+    )
+    p.add_argument(
+        "action",
+        nargs="?",
+        default="list",
+        choices=["list", "verify", "compact"],
+    )
+    p.add_argument(
+        "--path",
+        default=None,
+        metavar="FILE",
+        help="ledger file (default $REPRO_LEDGER_PATH or "
+        "<cache_dir>/ledger.jsonl)",
+    )
+    p.add_argument(
+        "--kind",
+        default=None,
+        metavar="KIND",
+        help="list: only events of this kind (measure_batch, model_fit, "
+        "registry_publish, serve_session, alert, compact)",
+    )
+    p.add_argument(
+        "--run",
+        default=None,
+        metavar="RUN",
+        help="list: only events from this run id",
+    )
+    p.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="list: only the newest N matching events",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="list: one raw JSON event per line",
+    )
+    p.add_argument(
+        "--max-age",
+        default=None,
+        metavar="AGE",
+        help="compact: drop events older than AGE (e.g. 30d); "
+        "alert events are always kept",
+    )
+    p.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="compact: keep at most the N newest events",
+    )
+
+    p = sub.add_parser(
+        "lineage", help="reconstruct a model's provenance chain"
+    )
+    p.add_argument("model_ref", metavar="model")
+    p.add_argument(
+        "--path",
+        default=None,
+        metavar="FILE",
+        help="ledger file (default $REPRO_LEDGER_PATH or "
+        "<cache_dir>/ledger.jsonl)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit the chain as JSON"
+    )
+    p.add_argument(
+        "--require-complete",
+        action="store_true",
+        help="exit nonzero unless the publish->fit->measurements chain "
+        "is fully recorded",
+    )
+    _add_registry_argument(p)
+
+    p = sub.add_parser(
+        "monitor", help="evaluate alert rules over metric snapshots"
+    )
+    p.add_argument(
+        "--rules",
+        default=None,
+        metavar="FILE",
+        help="JSON rule file (default: the built-in operational rules)",
+    )
+    p.add_argument(
+        "--series",
+        default=None,
+        metavar="FILE",
+        help="observe a JSONL file of metrics snapshots (the CI drift "
+        "fixture format) instead of live metrics",
+    )
+    p.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="scrape a Prometheus /metrics endpoint --count times",
+    )
+    p.add_argument(
+        "--count",
+        type=int,
+        default=5,
+        metavar="N",
+        help="scrape mode: number of observations (default 5)",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SEC",
+        help="scrape mode: seconds between observations (default 2)",
+    )
+    p.add_argument(
+        "--path",
+        default=None,
+        metavar="FILE",
+        help="ledger file for alert events (default "
+        "$REPRO_LEDGER_PATH or <cache_dir>/ledger.jsonl)",
+    )
+    p.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not record fired alerts to the ledger",
+    )
+
+    p = sub.add_parser(
+        "top", help="live terminal dashboard over a /metrics endpoint"
+    )
+    p.add_argument(
+        "url",
+        nargs="?",
+        default="127.0.0.1:9464",
+        metavar="URL",
+        help="metrics endpoint (default 127.0.0.1:9464; bare HOST:PORT "
+        "gets http:// and /metrics added)",
+    )
+    p.add_argument(
+        "--serve",
+        default=None,
+        metavar="HOST:PORT",
+        help="also poll a running `repro serve` for RED/SLO stats",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SEC",
+        help="refresh interval (default 2s)",
+    )
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N frames (default: run until Ctrl-C)",
+    )
+    p.add_argument(
+        "--once", action="store_true", help="render one frame and exit"
     )
     return parser
 
@@ -920,12 +1412,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": cmd_lint,
         "trace": cmd_trace,
         "stats": cmd_stats,
+        "ledger": cmd_ledger,
+        "lineage": cmd_lineage,
+        "monitor": cmd_monitor,
+        "top": cmd_top,
     }
     _apply_verify_argument(args)
+    _register_final_flush()
     try:
         return handlers[args.command](args)
     finally:
-        if args.command not in ("trace", "stats"):
+        if args.command not in ("trace", "stats", "ledger", "lineage", "monitor", "top"):
             # Accumulate counters across processes next to the
             # measurement cache, and honour REPRO_TRACE=1 runs by
             # dumping the collected spans (`repro trace` dumps itself).

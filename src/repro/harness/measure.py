@@ -52,6 +52,7 @@ from repro.obs.context import (
     install_context,
     merge_worker_telemetry,
 )
+from repro.obs.ledger import cap_result_keys, record_event
 from repro.opt.flags import CompilerConfig
 from repro.sim import simulate
 from repro.sim.config import MicroarchConfig
@@ -423,7 +424,49 @@ class MeasurementEngine:
                     results[i] = m
         elif pending:
             self._measure_pending_parallel(requests, pending, results, jobs)
+        if requests:
+            self._record_batch_provenance(requests, pending, jobs)
         return results  # type: ignore[return-value]
+
+    def _record_batch_provenance(
+        self,
+        requests: Sequence[Tuple[str, CompilerConfig, MicroarchConfig, str]],
+        pending: "OrderedDict[str, List[int]]",
+        jobs: int,
+    ) -> None:
+        """Append one ``measure_batch`` ledger event covering this call.
+
+        Every result key in the batch (cache hit or fresh simulation) is
+        referenced, because lineage needs the *inputs* of a model fit,
+        not just the simulator work this particular process happened to
+        do.  The config digest fingerprints the full ordered key list,
+        so two batches over the same design are recognizably identical.
+        """
+        keys = [
+            self._result_key(
+                w, inp, comp, micro, self.mode, self.smarts_interval
+            )
+            for w, comp, micro, inp in requests
+        ]
+        workloads = sorted({r[0] for r in requests})
+        inputs = sorted({r[3] for r in requests})
+        record_event(
+            "measure_batch",
+            attrs={
+                "workload": workloads[0] if len(workloads) == 1 else workloads,
+                "input": inputs[0] if len(inputs) == 1 else inputs,
+                "n_points": len(requests),
+                "n_misses": len(pending),
+                "n_hits": len(requests) - sum(len(v) for v in pending.values()),
+                "jobs": jobs,
+                "mode": self.mode,
+                "interval": self.smarts_interval,
+            },
+            refs={
+                "config_digest": _md5_hex("|".join(keys).encode())[:16],
+                "result_keys": cap_result_keys(sorted(set(keys))),
+            },
+        )
 
     def _measure_pending_parallel(
         self,

@@ -137,23 +137,25 @@ class Histogram:
         """Nearest-rank percentile over the reservoir (p in [0, 100]);
         exact below the reservoir cap."""
         with self._lock:
-            if not self._sample:
-                return math.nan
-            ordered = sorted(self._sample)
-        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
-        return ordered[min(rank, len(ordered)) - 1]
+            sample = list(self._sample)
+        return _rank_percentile(sorted(sample), p)
 
     def summary(self) -> Dict[str, float]:
+        # One lock hold to copy, one sort for all three quantiles: a
+        # /metrics scrape must not stall concurrent observe() calls on
+        # the serving hot path while it sorts the reservoir.
         with self._lock:
             if not self._count:
                 return {"count": 0}
             count, total, vmax = self._count, self._sum, self._max
+            sample = list(self._sample)
+        ordered = sorted(sample)
         return {
             "count": count,
             "mean": total / count,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
+            "p50": _rank_percentile(ordered, 50),
+            "p95": _rank_percentile(ordered, 95),
+            "p99": _rank_percentile(ordered, 99),
             "max": vmax,
         }
 
@@ -371,12 +373,16 @@ class MetricsRegistry:
         }
 
 
-def _sample_percentile(sample: List[float], p: float) -> float:
-    if not sample:
+def _rank_percentile(ordered: List[float], p: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not ordered:
         return math.nan
-    ordered = sorted(sample)
     rank = max(1, math.ceil(p / 100.0 * len(ordered)))
     return ordered[min(rank, len(ordered)) - 1]
+
+
+def _sample_percentile(sample: List[float], p: float) -> float:
+    return _rank_percentile(sorted(sample), p)
 
 
 def _merge_stored_histogram(

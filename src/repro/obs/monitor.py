@@ -1,0 +1,388 @@
+"""Rule-based anomaly monitor over metrics snapshots.
+
+``repro monitor`` watches the same series the rest of the telemetry
+stack produces -- counters, counter rates, histogram quantiles, derived
+ratios -- and fires *alerts* when a rule trips: a threshold crossed, or
+a value drifting away from its own exponentially-weighted moving
+average.  Alerts are appended to the provenance ledger as ``alert``
+events and set a nonzero exit code, which is what lets CI (and, per the
+roadmap, the active-learning loop) treat "the surrogate is drifting" as
+a first-class failure instead of a number somebody has to eyeball.
+
+Series vocabulary (one flat namespace, fed by any snapshot source --
+the live registry, a persisted ``metrics.json``, a fixture JSONL, or a
+``/metrics`` scrape round-tripped through
+:func:`repro.obs.promexport.snapshot_from_prometheus`):
+
+* ``<counter>`` -- cumulative counter value;
+* ``<counter>.rate`` -- per-second rate between consecutive
+  observations (needs >= 2 snapshots);
+* ``<histogram>.count/.mean/.p50/.p95/.p99/.max`` -- summary fields;
+* derived ratios: ``serve.server.error_rate`` (errors/requests),
+  ``measure.result_cache.hit_rate`` and ``measure.trace_cache.hit_rate``
+  (hits/(hits+misses)), ``sim.cycles_per_point`` where both sides exist.
+
+Rule syntax (JSON list, see ``docs/OBSERVABILITY.md``)::
+
+    [{"type": "threshold", "name": "serve-error-rate",
+      "series": "serve.server.error_rate", "op": ">", "value": 0.05},
+     {"type": "ewma_drift", "name": "surrogate-drift",
+      "series": "serve.surrogate.elite_abs_err_pct.p95",
+      "alpha": 0.3, "factor": 2.0, "min_samples": 3}]
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.obs.ledger import Ledger
+from repro.obs.metrics import summarize_histogram_entry
+
+_OPS = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+#: Histogram summary fields exposed as series suffixes.
+_HIST_FIELDS = ("count", "mean", "p50", "p95", "p99", "max")
+
+
+def flatten_snapshot(snapshot: Mapping[str, Any]) -> Dict[str, float]:
+    """One metrics snapshot -> the flat ``{series: value}`` namespace."""
+    flat: Dict[str, float] = {}
+    for name, value in (snapshot.get("counters") or {}).items():
+        flat[name] = float(value)
+    for name, value in (snapshot.get("gauges") or {}).items():
+        flat[name] = float(value)
+    for name, entry in (snapshot.get("histograms") or {}).items():
+        summary = summarize_histogram_entry(dict(entry))
+        for fld in _HIST_FIELDS:
+            if fld in summary:
+                flat[f"{name}.{fld}"] = float(summary[fld])
+    # Derived ratios -- the series operators actually alert on.
+    requests = flat.get("serve.server.requests", 0.0)
+    if requests:
+        flat["serve.server.error_rate"] = (
+            flat.get("serve.server.errors", 0.0) / requests
+        )
+    for cache in ("result_cache", "trace_cache"):
+        hits = flat.get(f"measure.{cache}.hits", 0.0)
+        misses = flat.get(f"measure.{cache}.misses", 0.0)
+        if hits + misses:
+            flat[f"measure.{cache}.hit_rate"] = hits / (hits + misses)
+    sims = flat.get("measure.simulations", 0.0)
+    cycles = flat.get("sim.ooo.instructions", 0.0)
+    if sims and cycles:
+        flat["sim.instructions_per_point"] = cycles / sims
+    return flat
+
+
+@dataclass
+class Alert:
+    """One fired rule."""
+
+    rule: str
+    series: str
+    value: float
+    message: str
+    ts: float = field(default_factory=time.time)
+
+    def describe(self) -> str:
+        return f"ALERT [{self.rule}] {self.series}={self.value:.6g}: {self.message}"
+
+
+class RuleError(ValueError):
+    """A rule specification is malformed."""
+
+
+@dataclass
+class ThresholdRule:
+    """Fires when a series crosses a fixed bound."""
+
+    name: str
+    series: str
+    op: str
+    value: float
+    #: Observations of the series required before the rule arms (guards
+    #: against alerting on an all-zero cold start).
+    min_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise RuleError(f"rule {self.name!r}: bad op {self.op!r}")
+        self._seen = 0
+
+    def check(self, series: Mapping[str, float]) -> Optional[Alert]:
+        if self.series not in series:
+            return None
+        self._seen += 1
+        if self._seen < self.min_count:
+            return None
+        current = series[self.series]
+        if math.isnan(current):
+            return None
+        if _OPS[self.op](current, self.value):
+            return Alert(
+                rule=self.name,
+                series=self.series,
+                value=current,
+                message=f"{self.series} {self.op} {self.value:.6g}",
+            )
+        return None
+
+
+@dataclass
+class EwmaDriftRule:
+    """Fires when a series drifts away from its own EWMA.
+
+    After ``min_samples`` warmup observations, an observation more than
+    ``factor`` x the EWMA (for direction ``"up"``; below EWMA/``factor``
+    for ``"down"``) fires.  ``min_delta`` suppresses drift alerts on
+    absolute moves too small to matter (noise around zero).
+    """
+
+    name: str
+    series: str
+    alpha: float = 0.3
+    factor: float = 2.0
+    min_samples: int = 3
+    direction: str = "up"
+    min_delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise RuleError(f"rule {self.name!r}: alpha must be in (0, 1]")
+        if self.factor <= 1.0:
+            raise RuleError(f"rule {self.name!r}: factor must exceed 1")
+        if self.direction not in ("up", "down"):
+            raise RuleError(
+                f"rule {self.name!r}: direction must be 'up' or 'down'"
+            )
+        self._ewma: Optional[float] = None
+        self._n = 0
+
+    def check(self, series: Mapping[str, float]) -> Optional[Alert]:
+        if self.series not in series:
+            return None
+        current = series[self.series]
+        if math.isnan(current):
+            return None
+        alert = None
+        if self._n >= self.min_samples and self._ewma is not None:
+            baseline = self._ewma
+            if self.direction == "up":
+                drifted = (
+                    current > baseline * self.factor
+                    and current - baseline > self.min_delta
+                )
+            else:
+                drifted = (
+                    baseline != 0.0
+                    and current < baseline / self.factor
+                    and baseline - current > self.min_delta
+                )
+            if drifted:
+                alert = Alert(
+                    rule=self.name,
+                    series=self.series,
+                    value=current,
+                    message=(
+                        f"{self.series}={current:.6g} drifted {self.direction} "
+                        f"from EWMA {baseline:.6g} (factor {self.factor:g})"
+                    ),
+                )
+        if self._ewma is None:
+            self._ewma = current
+        else:
+            self._ewma += self.alpha * (current - self._ewma)
+        self._n += 1
+        return alert
+
+
+Rule = Union[ThresholdRule, EwmaDriftRule]
+
+_RULE_TYPES = {"threshold": ThresholdRule, "ewma_drift": EwmaDriftRule}
+
+
+def rule_from_spec(spec: Mapping[str, Any]) -> Rule:
+    """Instantiate one rule from its JSON spec dict."""
+    spec = dict(spec)
+    kind = spec.pop("type", None)
+    cls = _RULE_TYPES.get(kind)
+    if cls is None:
+        raise RuleError(
+            f"unknown rule type {kind!r} (expected one of "
+            f"{', '.join(sorted(_RULE_TYPES))})"
+        )
+    try:
+        return cls(**spec)
+    except TypeError as e:
+        raise RuleError(f"bad {kind} rule {spec.get('name', '?')!r}: {e}") from e
+
+
+def load_rules(path: Union[str, Path]) -> List[Rule]:
+    """Load a JSON rule file (a list of rule spec objects)."""
+    try:
+        raw = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        raise RuleError(f"cannot read rule file {path}: {e}") from e
+    if not isinstance(raw, list):
+        raise RuleError(f"rule file {path} must hold a JSON list")
+    return [rule_from_spec(spec) for spec in raw]
+
+
+def default_rules() -> List[Rule]:
+    """The built-in operational rules (used when no file is given)."""
+    return [
+        ThresholdRule(
+            name="serve-error-rate",
+            series="serve.server.error_rate",
+            op=">",
+            value=0.05,
+        ),
+        EwmaDriftRule(
+            name="surrogate-elite-error-drift",
+            series="serve.surrogate.elite_abs_err_pct.p95",
+            alpha=0.3,
+            factor=2.0,
+            min_samples=3,
+            min_delta=1.0,
+        ),
+        ThresholdRule(
+            name="measurement-cache-collapse",
+            series="measure.result_cache.hit_rate",
+            op="<",
+            value=0.01,
+            min_count=3,
+        ),
+        EwmaDriftRule(
+            name="serve-latency-drift",
+            series="serve.server.request_ms.p99",
+            alpha=0.3,
+            factor=3.0,
+            min_samples=3,
+            min_delta=1.0,
+        ),
+    ]
+
+
+class Monitor:
+    """Feed metrics snapshots through a rule set, collecting alerts.
+
+    Parameters
+    ----------
+    rules:
+        Rule instances (see :func:`load_rules` / :func:`default_rules`).
+    ledger:
+        Where fired alerts are recorded as ``alert`` events (None
+        disables recording).
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        ledger: Optional[Ledger] = None,
+    ):
+        self.rules = list(rules)
+        self.ledger = ledger
+        self.alerts: List[Alert] = []
+        self.observations = 0
+        self._prev_flat: Optional[Dict[str, float]] = None
+        self._prev_ts: Optional[float] = None
+
+    @property
+    def fired(self) -> bool:
+        return bool(self.alerts)
+
+    def observe(
+        self, snapshot: Mapping[str, Any], ts: Optional[float] = None
+    ) -> List[Alert]:
+        """Evaluate every rule against one snapshot; returns the alerts
+        fired by *this* observation (also accumulated on ``alerts``)."""
+        ts = time.time() if ts is None else float(ts)
+        flat = flatten_snapshot(snapshot)
+        if self._prev_flat is not None and self._prev_ts is not None:
+            dt = ts - self._prev_ts
+            if dt > 0:
+                for name, value in list(flat.items()):
+                    prev = self._prev_flat.get(name)
+                    # Rates only make sense for cumulative series:
+                    # summary quantiles and derived ratios are levels,
+                    # not monotone totals.
+                    if prev is None or name.endswith(
+                        (".p50", ".p95", ".p99", ".mean", ".max", "_rate")
+                    ):
+                        continue
+                    delta = value - prev
+                    if delta >= 0:
+                        flat[f"{name}.rate"] = delta / dt
+        fired: List[Alert] = []
+        for rule in self.rules:
+            alert = rule.check(flat)
+            if alert is not None:
+                alert.ts = ts
+                fired.append(alert)
+        self.alerts.extend(fired)
+        if self.ledger is not None:
+            for alert in fired:
+                try:
+                    self.ledger.append(
+                        "alert",
+                        attrs={
+                            "rule": alert.rule,
+                            "series": alert.series,
+                            "value": alert.value,
+                            "message": alert.message,
+                        },
+                    )
+                except OSError:
+                    pass  # alerting must not crash the monitored process
+        self._prev_flat = flat
+        self._prev_ts = ts
+        self.observations += 1
+        return fired
+
+    def observe_series(
+        self, snapshots: Sequence[Mapping[str, Any]]
+    ) -> List[Alert]:
+        """Evaluate a pre-recorded sequence of snapshots (each may carry
+        its own ``"ts"``); returns all alerts fired."""
+        before = len(self.alerts)
+        for snap in snapshots:
+            self.observe(snap, ts=snap.get("ts"))
+        return self.alerts[before:]
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.observations} observation(s), {len(self.rules)} rule(s), "
+            f"{len(self.alerts)} alert(s)"
+        ]
+        lines.extend("  " + a.describe() for a in self.alerts)
+        if not self.alerts:
+            lines.append("  all quiet")
+        return "\n".join(lines)
+
+
+def load_snapshot_series(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read a JSONL file of metrics snapshots (one JSON object per
+    line, each optionally carrying ``"ts"``) -- the fixture format the
+    CI drift gate injects."""
+    series: List[Dict[str, Any]] = []
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), 1):
+        if not raw.strip():
+            continue
+        try:
+            obj = json.loads(raw)
+        except json.JSONDecodeError as e:
+            raise RuleError(f"{path}:{lineno}: bad snapshot line: {e}") from e
+        if not isinstance(obj, dict):
+            raise RuleError(f"{path}:{lineno}: snapshot must be an object")
+        series.append(obj)
+    return series

@@ -1,0 +1,382 @@
+"""Prometheus text-format exposition for the metrics registry.
+
+Zero-dependency ``/metrics``: counters and histograms from
+:mod:`repro.obs.metrics` rendered in the Prometheus text exposition
+format (version 0.0.4) and served by a stdlib ``ThreadingHTTPServer``.
+Attach it to a long-running process with ``repro serve --metrics-port``
+or ``repro measure --metrics-port`` and point a Prometheus scraper (or
+``repro top`` / ``repro monitor --scrape``) at it.
+
+Name mapping
+------------
+Registry names are dotted (``serve.server.requests``); Prometheus names
+must match ``[a-zA-Z_:][a-zA-Z0-9_:]*``.  Dots map to underscores, a
+``repro_`` prefix namespaces everything, and counters get the
+conventional ``_total`` suffix.  Each family's ``# HELP`` line carries
+the original dotted name, which is how :func:`snapshot_from_prometheus`
+maps a scrape *back* into registry naming -- the monitor and dashboard
+therefore speak one series vocabulary regardless of the transport.
+
+Histograms are exposed as Prometheus *summaries*: ``{quantile="0.5"}``
+/ ``0.95`` / ``0.99`` sample series plus ``_sum`` and ``_count``, which
+is the honest mapping for reservoir-sampled percentiles (no fixed
+buckets exist to expose as a native histogram).
+"""
+
+from __future__ import annotations
+
+import http.server
+import math
+import re
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    summarize_histogram_entry,
+)
+
+#: Extra metric families contributed by the embedding process (e.g. the
+#: prediction server's RED gauges): a callable returning
+#: ``{dotted_name: (type, value_or_quantiles)}`` -- see
+#: :func:`render_prometheus`.
+Collector = Callable[[], Dict[str, Tuple[str, Any]]]
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_LINE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"  # metric name
+    r"(?:\{([^}]*)\})?"  # optional labels
+    r"\s+(-?(?:[0-9.eE+-]+|[Nn]a[Nn]|[+-]?[Ii]nf))$"  # value
+)
+_LABEL = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Dotted registry name -> valid Prometheus metric name."""
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not out or not re.match(r"[a-zA-Z_:]", out[0]):
+        out = "_" + out
+    return f"repro_{out}"
+
+
+def _fmt_value(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def render_prometheus(
+    snapshot: Optional[Dict[str, Dict[str, Any]]] = None,
+    collectors: Tuple[Collector, ...] = (),
+) -> str:
+    """Render a metrics snapshot (default: the live global registry) as
+    Prometheus text-format exposition.
+
+    ``collectors`` contribute additional families; each returns
+    ``{dotted_name: ("gauge"|"counter", float)}`` or, for summaries,
+    ``{dotted_name: ("summary", {"p50": ..., "p95": ..., "p99": ...,
+    "count": ..., "sum": ...})}``.
+    """
+    if snapshot is None:
+        snapshot = get_registry().snapshot()
+    lines: List[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        prom = sanitize_metric_name(name) + "_total"
+        lines.append(f"# HELP {prom} repro counter {name}")
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_fmt_value(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        entry = summarize_histogram_entry(snapshot["histograms"][name])
+        prom = sanitize_metric_name(name)
+        lines.append(f"# HELP {prom} repro histogram {name}")
+        lines.append(f"# TYPE {prom} summary")
+        count = int(entry.get("count", 0))
+        mean = float(entry.get("mean", 0.0)) if count else 0.0
+        for q, key in _QUANTILES:
+            value = entry.get(key, math.nan) if count else math.nan
+            lines.append(f'{prom}{{quantile="{q}"}} {_fmt_value(value)}')
+        lines.append(f"{prom}_sum {_fmt_value(mean * count)}")
+        lines.append(f"{prom}_count {count}")
+    for collect in collectors:
+        for name, (kind, value) in sorted(collect().items()):
+            prom = sanitize_metric_name(name)
+            if kind == "counter":
+                prom += "_total"
+            lines.append(f"# HELP {prom} repro {kind} {name}")
+            if kind == "summary":
+                lines.append(f"# TYPE {prom} summary")
+                for q, key in _QUANTILES:
+                    lines.append(
+                        f'{prom}{{quantile="{q}"}} '
+                        f"{_fmt_value(value.get(key, math.nan))}"
+                    )
+                lines.append(f"{prom}_sum {_fmt_value(value.get('sum', 0.0))}")
+                lines.append(f"{prom}_count {int(value.get('count', 0))}")
+            else:
+                lines.append(f"# TYPE {prom} {kind}")
+                lines.append(f"{prom} {_fmt_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Validation + parsing (used by tests, CI smoke scrapes, monitor, top)
+# ----------------------------------------------------------------------
+def validate_prometheus_text(text: str) -> List[str]:
+    """Check ``text`` against the exposition-format grammar; returns a
+    list of problems (empty = valid)."""
+    problems: List[str] = []
+    typed: Dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter",
+                "gauge",
+                "summary",
+                "histogram",
+                "untyped",
+            ):
+                problems.append(f"line {lineno}: malformed TYPE line")
+            elif not _NAME_OK.match(parts[2]):
+                problems.append(f"line {lineno}: bad metric name {parts[2]!r}")
+            elif parts[2] in typed:
+                problems.append(f"line {lineno}: duplicate TYPE for {parts[2]}")
+            else:
+                typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            if not line.startswith("# HELP ") and not line.startswith("# TYPE"):
+                problems.append(f"line {lineno}: unknown comment form")
+            continue
+        m = _SAMPLE_LINE.match(line)
+        if not m:
+            problems.append(f"line {lineno}: malformed sample {line!r}")
+            continue
+        name, labels, _value = m.groups()
+        base = re.sub(r"_(sum|count|total|bucket)$", "", name)
+        if name not in typed and base not in typed:
+            problems.append(f"line {lineno}: sample {name!r} has no TYPE")
+        if labels:
+            for pair in labels.split(","):
+                if pair and not _LABEL.match(pair.strip()):
+                    problems.append(
+                        f"line {lineno}: malformed label pair {pair!r}"
+                    )
+    if not typed:
+        problems.append("no metric families found")
+    return problems
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse exposition text into
+    ``{prom_name: {"type": ..., "help": ..., "samples": {label_key: value}}}``
+    where ``label_key`` is ``""`` for unlabelled samples or e.g.
+    ``quantile=0.95``; ``_sum``/``_count`` land under their family."""
+    families: Dict[str, Dict[str, Any]] = {}
+
+    def family(name: str) -> Dict[str, Any]:
+        return families.setdefault(
+            name, {"type": "untyped", "help": "", "samples": {}}
+        )
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) == 4:
+                family(parts[2])["help"] = parts[3]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) == 4:
+                family(parts[2])["type"] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = _SAMPLE_LINE.match(line)
+        if not m:
+            continue
+        name, labels, value = m.groups()
+        suffix = ""
+        base = name
+        for s in ("_sum", "_count"):
+            if name.endswith(s) and name[: -len(s)] in families:
+                base, suffix = name[: -len(s)], s
+                break
+        key = suffix.lstrip("_")
+        if labels:
+            key = ",".join(
+                sorted(p.strip().replace('"', "") for p in labels.split(","))
+            )
+        family(base)["samples"][key] = float(value)
+    return families
+
+
+def snapshot_from_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
+    """Invert a scrape back into registry-shaped naming.
+
+    Families whose HELP line carries the original dotted name (the ones
+    this module rendered) come back under that name; counters land in
+    ``"counters"``, summaries in ``"histograms"`` with
+    count/mean/p50/p95/p99 entries, gauges in ``"gauges"``.
+    """
+    snapshot: Dict[str, Dict[str, Any]] = {
+        "counters": {},
+        "histograms": {},
+        "gauges": {},
+    }
+    for prom_name, fam in parse_prometheus(text).items():
+        help_text = fam.get("help", "")
+        m = re.match(r"^repro (?:counter|histogram|gauge|summary) (\S+)$", help_text)
+        dotted = m.group(1) if m else prom_name
+        samples = fam["samples"]
+        if fam["type"] == "counter":
+            snapshot["counters"][dotted] = samples.get("", 0.0)
+        elif fam["type"] == "summary":
+            count = int(samples.get("count", 0))
+            total = float(samples.get("sum", 0.0))
+            entry = {
+                "count": count,
+                "mean": total / count if count else 0.0,
+                "p50": samples.get("quantile=0.5", math.nan),
+                "p95": samples.get("quantile=0.95", math.nan),
+                "p99": samples.get("quantile=0.99", math.nan),
+                "max": math.nan,
+            }
+            snapshot["histograms"][dotted] = entry
+        else:
+            snapshot["gauges"][dotted] = samples.get("", 0.0)
+    return snapshot
+
+
+# ----------------------------------------------------------------------
+# HTTP endpoint
+# ----------------------------------------------------------------------
+class _MetricsHandler(http.server.BaseHTTPRequestHandler):
+    server_version = "repro-metrics/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            body = self.server.exporter.render().encode()
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif path == "/healthz":
+            body = b"ok\n"
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self.send_error(404, "try /metrics or /healthz")
+
+    def log_message(self, *args: Any) -> None:
+        pass  # scrapes every few seconds must not spam the console
+
+
+class _MetricsHTTPD(http.server.ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    exporter: "MetricsHTTPServer"
+
+
+class MetricsHTTPServer:
+    """Serve ``/metrics`` (and ``/healthz``) from a daemon thread.
+
+    Parameters
+    ----------
+    port / host:
+        Bind address; port 0 picks an ephemeral port (see ``address``).
+    registry:
+        Metrics source (default: the process-global registry).
+    collectors:
+        Extra :data:`Collector` callables merged into every scrape.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: Optional[MetricsRegistry] = None,
+        collectors: Tuple[Collector, ...] = (),
+    ):
+        self.registry = registry or get_registry()
+        self.collectors = tuple(collectors)
+        self._httpd = _MetricsHTTPD((host, port), _MetricsHandler)
+        self._httpd.exporter = self
+        self._thread: Optional[threading.Thread] = None
+        self.scrapes = 0
+        self._scrape_lock = threading.Lock()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}/metrics"
+
+    def render(self) -> str:
+        with self._scrape_lock:
+            self.scrapes += 1
+        return render_prometheus(
+            self.registry.snapshot(), collectors=self.collectors
+        )
+
+    def start(self) -> "MetricsHTTPServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def start_metrics_server(
+    port: int,
+    host: str = "127.0.0.1",
+    collectors: Tuple[Collector, ...] = (),
+) -> MetricsHTTPServer:
+    """Convenience: construct + start a :class:`MetricsHTTPServer`."""
+    return MetricsHTTPServer(port=port, host=host, collectors=collectors).start()
+
+
+def scrape(url: str, timeout: float = 5.0) -> str:
+    """Fetch one exposition document (stdlib urllib; http(s) only)."""
+    from urllib.request import urlopen
+
+    if not url.startswith(("http://", "https://")):
+        raise ValueError(f"refusing non-http metrics url {url!r}")
+    with urlopen(url, timeout=timeout) as resp:  # noqa: S310 - checked above
+        return resp.read().decode()

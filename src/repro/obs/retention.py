@@ -1,0 +1,85 @@
+"""Retention/GC for telemetry artifacts.
+
+Long sessions accumulate trace dumps, profiles, and ledger events
+without bound; this module implements the shared retention policy:
+``repro trace --gc`` prunes the trace directory by age and/or count,
+and :meth:`repro.obs.ledger.Ledger.compact` applies the same
+``--max-age`` / ``--max-files``-shaped limits to ledger events.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+#: File name patterns the trace-directory GC considers its own.  The GC
+#: refuses to touch anything else, so a mistyped ``--out`` pointing at a
+#: source tree cannot delete work.
+TELEMETRY_PATTERNS = (
+    "trace*.jsonl",
+    "*.chrome.json",
+    "report*.txt",
+    "profile*.collapsed",
+    "*.tmp",
+)
+
+
+@dataclass
+class GcReport:
+    """What one GC sweep did."""
+
+    removed: List[Path] = field(default_factory=list)
+    kept: int = 0
+    freed_bytes: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"removed {len(self.removed)} file(s) "
+            f"({self.freed_bytes / 1024:.1f} KiB), kept {self.kept}"
+        )
+
+
+def gc_directory(
+    directory: Union[str, Path],
+    max_age_s: Optional[float] = None,
+    max_files: Optional[int] = None,
+    patterns: Sequence[str] = TELEMETRY_PATTERNS,
+    dry_run: bool = False,
+) -> GcReport:
+    """Delete telemetry files older than ``max_age_s`` and/or beyond the
+    newest ``max_files`` (by mtime).  Only files matching ``patterns``
+    are candidates; everything else in the directory is ignored.
+    """
+    directory = Path(directory)
+    report = GcReport()
+    if not directory.is_dir():
+        return report
+    candidates = []
+    for pattern in patterns:
+        candidates.extend(p for p in directory.glob(pattern) if p.is_file())
+    candidates = sorted(set(candidates), key=lambda p: p.stat().st_mtime)
+    doomed = set()
+    if max_age_s is not None:
+        cutoff = time.time() - max_age_s
+        doomed.update(p for p in candidates if p.stat().st_mtime < cutoff)
+    if max_files is not None and max_files >= 0:
+        survivors = [p for p in candidates if p not in doomed]
+        excess = len(survivors) - max_files
+        if excess > 0:
+            doomed.update(survivors[:excess])  # oldest first
+    for path in candidates:
+        if path not in doomed:
+            continue
+        try:
+            size = path.stat().st_size
+            if not dry_run:
+                os.unlink(path)
+            report.removed.append(path)
+            report.freed_bytes += size
+        except OSError:
+            pass  # raced with another GC / already gone
+    report.kept = len(candidates) - len(report.removed)
+    return report

@@ -1,0 +1,218 @@
+"""``repro top``: a live terminal dashboard over ``/metrics``.
+
+No curses, no dependencies: each refresh scrapes a Prometheus endpoint
+(:mod:`repro.obs.promexport`), optionally asks a running ``repro serve``
+for its RED/SLO ``stats``, computes per-interval rates, and redraws one
+plain-text frame (ANSI home+clear when attached to a TTY, plain append
+otherwise -- so piping ``repro top --once`` into a file or a test stays
+readable).
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.monitor import flatten_snapshot
+from repro.obs.promexport import scrape, snapshot_from_prometheus
+
+#: Series whose rates get a dedicated headline row, in display order.
+_HEADLINE_RATES = (
+    ("serve.server.requests", "req/s"),
+    ("serve.predictions", "pred/s"),
+    ("measure.simulations", "sims/s"),
+    ("measure.compilations", "compiles/s"),
+)
+
+#: Histogram series surfaced in the latency table when present.
+_LATENCY_SERIES = (
+    "serve.server.request_ms",
+    "serve.predict_ms",
+    "serve.surrogate.elite_abs_err_pct",
+    "measure.batch.worker_ms",
+)
+
+
+@dataclass
+class TopFrame:
+    """One sampled dashboard state."""
+
+    ts: float
+    flat: Dict[str, float]
+    histograms: Dict[str, Dict[str, float]]
+    stats: Optional[Dict[str, Any]] = None
+    rates: Dict[str, float] = field(default_factory=dict)
+
+
+def sample_endpoint(
+    url: str,
+    serve_addr: Optional[Tuple[str, int]] = None,
+    timeout: float = 5.0,
+) -> TopFrame:
+    """Scrape one frame: ``/metrics`` plus (optionally) serve stats."""
+    snapshot = snapshot_from_prometheus(scrape(url, timeout=timeout))
+    stats = None
+    if serve_addr is not None:
+        from repro.serve import PredictionClient  # deferred: obs <- serve
+
+        with PredictionClient(*serve_addr, timeout=timeout) as client:
+            stats = client.stats()
+    return TopFrame(
+        ts=time.time(),
+        flat=flatten_snapshot(snapshot),
+        histograms=dict(snapshot.get("histograms") or {}),
+        stats=stats,
+    )
+
+
+def compute_rates(prev: Optional[TopFrame], cur: TopFrame) -> None:
+    """Fill ``cur.rates`` from the counter deltas since ``prev``."""
+    if prev is None:
+        return
+    dt = cur.ts - prev.ts
+    if dt <= 0:
+        return
+    for name, value in cur.flat.items():
+        if name.endswith((".p50", ".p95", ".p99", ".mean", ".max", "_rate")):
+            continue
+        before = prev.flat.get(name)
+        if before is None:
+            continue
+        delta = value - before
+        if delta >= 0:
+            cur.rates[name] = delta / dt
+
+
+def _fmt(value: Optional[float], unit: str = "") -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    if abs(value) >= 1e6:
+        return f"{value / 1e6:.2f}M{unit}"
+    if abs(value) >= 1e3:
+        return f"{value / 1e3:.1f}k{unit}"
+    return f"{value:.4g}{unit}"
+
+
+def render_frame(frame: TopFrame, width: int = 78) -> str:
+    """One dashboard frame as plain text."""
+    bar = "=" * width
+    when = time.strftime("%H:%M:%S", time.localtime(frame.ts))
+    lines = [bar, f"repro top  {when}", bar]
+
+    headline = []
+    for series, label in _HEADLINE_RATES:
+        rate = frame.rates.get(series)
+        total = frame.flat.get(series)
+        if total is None:
+            continue
+        headline.append(f"{label} {_fmt(rate)} (total {_fmt(total)})")
+    if headline:
+        lines.append("  ".join(headline))
+
+    if frame.stats:
+        s = frame.stats
+        lines.append(
+            f"serve: up {s.get('uptime_s', 0):.0f}s  "
+            f"requests {s.get('requests', 0)}  "
+            f"errors {s.get('errors', 0)}  "
+            f"error rate {s.get('error_rate', 0.0):.4f}  "
+            f"loaded [{', '.join(s.get('loaded', []))}]"
+        )
+        ops = s.get("ops") or {}
+        if ops:
+            lines.append(
+                f"  {'op':<16} {'count':>8} {'errs':>6} "
+                f"{'p50ms':>9} {'p95ms':>9} {'p99ms':>9}"
+            )
+            for op, row in sorted(ops.items()):
+                lines.append(
+                    f"  {op:<16} {row.get('count', 0):>8} "
+                    f"{row.get('errors', 0):>6} "
+                    f"{row.get('p50_ms', 0.0):>9.3f} "
+                    f"{row.get('p95_ms', 0.0):>9.3f} "
+                    f"{row.get('p99_ms', 0.0):>9.3f}"
+                )
+
+    shown = [
+        (name, frame.histograms[name])
+        for name in _LATENCY_SERIES
+        if frame.histograms.get(name, {}).get("count")
+    ]
+    if shown:
+        lines.append(
+            f"{'histogram':<38} {'count':>8} {'mean':>9} {'p95':>9} {'p99':>9}"
+        )
+        for name, entry in shown:
+            lines.append(
+                f"{name:<38} {int(entry.get('count', 0)):>8} "
+                f"{_fmt(entry.get('mean')):>9} {_fmt(entry.get('p95')):>9} "
+                f"{_fmt(entry.get('p99')):>9}"
+            )
+
+    counters = {
+        n: v
+        for n, v in frame.flat.items()
+        if "." in n
+        and not n.endswith(
+            (".p50", ".p95", ".p99", ".mean", ".max", ".count", "_rate")
+        )
+        and n not in frame.histograms
+    }
+    if counters:
+        lines.append("counters (top by value):")
+        top = sorted(counters.items(), key=lambda kv: -kv[1])[:12]
+        half = (len(top) + 1) // 2
+        left, right = top[:half], top[half:]
+        for i in range(half):
+            cell = f"  {left[i][0]:<32} {_fmt(left[i][1]):>10}"
+            if i < len(right):
+                cell += f"    {right[i][0]:<32} {_fmt(right[i][1]):>10}"
+            lines.append(cell)
+    lines.append(bar)
+    return "\n".join(lines)
+
+
+def run_top(
+    url: str,
+    serve_addr: Optional[Tuple[str, int]] = None,
+    interval: float = 2.0,
+    iterations: Optional[int] = None,
+    out=None,
+    clear: Optional[bool] = None,
+) -> int:
+    """Poll-and-redraw loop; ``iterations=None`` runs until Ctrl-C.
+
+    Returns 0 (or 1 if the very first scrape fails -- a dead endpoint
+    should be visible to scripts).
+    """
+    out = out or sys.stdout
+    if clear is None:
+        clear = bool(getattr(out, "isatty", lambda: False)())
+    prev: Optional[TopFrame] = None
+    done = 0
+    while True:
+        try:
+            frame = sample_endpoint(url, serve_addr=serve_addr)
+        except OSError as e:
+            if prev is None:
+                print(f"repro top: cannot scrape {url}: {e}", file=out)
+                return 1
+            print(f"(scrape failed: {e}; retrying)", file=out)
+            time.sleep(interval)
+            continue
+        compute_rates(prev, frame)
+        if clear:
+            out.write("\x1b[H\x1b[2J")
+        out.write(render_frame(frame) + "\n")
+        out.flush()
+        prev = frame
+        done += 1
+        if iterations is not None and done >= iterations:
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0

@@ -16,6 +16,7 @@ from repro.doe import (
 from repro.models.base import RegressionModel
 from repro.models.metrics import mean_absolute_percentage_error
 from repro.obs import counter, span
+from repro.obs.ledger import record_event
 from repro.space import ParameterSpace
 
 _ITERATIONS = counter("pipeline.iterations")
@@ -193,6 +194,28 @@ def build_model(
             history.append((x_train.shape[0], mean_err, std_err))
 
         top.set_attrs(n_samples=x_train.shape[0], final_error=mean_err)
+
+    # Provenance: one model_fit event ties this fit to the measurement
+    # batches the oracle just recorded under the same run id (the
+    # workload/input attributes come from batch-aware engine oracles).
+    record_event(
+        "model_fit",
+        attrs={
+            "family": type(model).__name__,
+            "workload": getattr(oracle, "workload", None),
+            "input": getattr(oracle, "input_name", None),
+            "response": getattr(oracle, "response", "cycles"),
+            "n_samples": int(x_train.shape[0]),
+            "n_test": int(np.asarray(y_test).shape[0]),
+            "test_error_pct": float(mean_err),
+            "iterations": len(history),
+            "initial_size": initial_size,
+            "batch_size": batch_size,
+            "max_samples": max_samples,
+            "target_error": target_error,
+            "space_dim": space.dim,
+        },
+    )
 
     return ModelBuildResult(
         model=model,

@@ -48,7 +48,7 @@ from repro.serve.registry import (
     default_registry,
 )
 from repro.serve.predictor import Predictor
-from repro.serve.server import PredictionClient, PredictionServer
+from repro.serve.server import PredictionClient, PredictionServer, ProtocolError
 from repro.serve.surrogate import (
     EliteValidation,
     SurrogateSearchResult,
@@ -80,6 +80,7 @@ __all__ = [
     "Predictor",
     "PredictionServer",
     "PredictionClient",
+    "ProtocolError",
     "surrogate_search",
     "SurrogateSearchResult",
     "EliteValidation",

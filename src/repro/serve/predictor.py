@@ -59,6 +59,7 @@ class Predictor:
         space: Optional[ParameterSpace] = None,
         cache_size: int = 65536,
         name: Optional[str] = None,
+        model_id: Optional[str] = None,
     ):
         if not model.is_fitted:
             raise ValueError("Predictor requires a fitted model")
@@ -70,6 +71,9 @@ class Predictor:
         self.model = model
         self.space = space
         self.name = name
+        #: Registry content digest this predictor was loaded from, if
+        #: any -- the link serve-session provenance events record.
+        self.model_id = model_id
         self.cache_size = int(cache_size)
         self._cache: "OrderedDict[bytes, float]" = OrderedDict()
         self._lock = threading.Lock()
@@ -91,6 +95,7 @@ class Predictor:
             space=loaded.space,
             cache_size=cache_size,
             name=loaded.name or loaded.id,
+            model_id=loaded.id,
         )
 
     @property
@@ -197,6 +202,7 @@ class Predictor:
         """Serving metadata (used by the wire protocol's ``info`` op)."""
         return {
             "name": self.name,
+            "model_id": self.model_id,
             "family": type(self.model).__name__,
             "n_features": self.n_features,
             "variable_names": self.model.variable_names,

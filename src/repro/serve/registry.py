@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.models.base import RegressionModel
 from repro.obs import counter
+from repro.obs.ledger import record_event
 from repro.serve.serialize import load_model, manifest_space, save_model
 from repro.space import ParameterSpace
 
@@ -128,6 +129,19 @@ class ModelRegistry:
             os.replace(scratch, final)
         self._append_version(name, digest)
         _SAVES.inc()
+        record_event(
+            "registry_publish",
+            attrs={
+                "name": name,
+                "family": manifest.get("family"),
+                "n_features": manifest.get("n_features"),
+                "space_fingerprint": manifest.get("space_fingerprint"),
+                "corpus_fingerprint": manifest.get("corpus_fingerprint"),
+                "fit_metrics": dict(fit_metrics or {}),
+                "registry_root": str(self.root),
+            },
+            refs={"model_id": digest},
+        )
         return LoadedModel(
             model=model,
             manifest=manifest,

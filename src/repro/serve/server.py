@@ -49,6 +49,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.obs import counter, histogram, span
+from repro.obs.ledger import record_event
 from repro.obs.metrics import Histogram
 from repro.serve.predictor import Predictor
 from repro.serve.registry import ModelRegistry, RegistryError, default_registry
@@ -105,6 +106,11 @@ class PredictionServer:
     allow_remote_shutdown:
         Whether the ``shutdown`` op is honoured (on by default: the
         server is a local-loopback tool, and tests/CI need clean stops).
+    metrics_port:
+        When not ``None``, expose a Prometheus ``/metrics`` endpoint on
+        this port (0 picks an ephemeral one; see ``metrics_url``).  The
+        endpoint serves the process-wide metrics registry plus live
+        ``serve.session.*`` gauges from :meth:`stats`.
     """
 
     def __init__(
@@ -115,6 +121,7 @@ class PredictionServer:
         port: int = 0,
         cache_size: int = 65536,
         allow_remote_shutdown: bool = True,
+        metrics_port: Optional[int] = None,
     ):
         self.registry = registry or default_registry()
         self.cache_size = cache_size
@@ -136,12 +143,57 @@ class PredictionServer:
         self._server = _ThreadedServer((host, port), _Handler)
         self._server.app = self
         self._thread: Optional[threading.Thread] = None
+        self._session_ended = False
+        self._metrics_server = None
+        if metrics_port is not None:
+            from repro.obs.promexport import MetricsHTTPServer
+
+            self._metrics_server = MetricsHTTPServer(
+                port=metrics_port, host=host, collectors=(self._session_series,)
+            ).start()
+        record_event(
+            "serve_session",
+            attrs={
+                "phase": "start",
+                "address": list(self.address),
+                "preload": list(preload or []),
+                "metrics_url": self.metrics_url,
+            },
+            refs=self._model_refs(),
+        )
 
     # ------------------------------------------------------------------
     @property
     def address(self) -> Tuple[str, int]:
         """The bound ``(host, port)``."""
         return self._server.server_address[:2]
+
+    @property
+    def metrics_url(self) -> Optional[str]:
+        """URL of the attached ``/metrics`` endpoint, if any."""
+        if self._metrics_server is None:
+            return None
+        return self._metrics_server.url
+
+    def _model_refs(self) -> Dict[str, Any]:
+        """Ledger refs naming every currently loaded model."""
+        with self._lock:
+            preds = list(self._predictors.values())
+        return {
+            "model_ids": sorted({p.model_id for p in preds if p.model_id}),
+            "model_names": sorted({p.name for p in preds if p.name}),
+        }
+
+    def _session_series(self) -> Dict[str, Tuple[str, Any]]:
+        """Live serve-session gauges for the /metrics collector."""
+        s = self.stats()
+        return {
+            "serve.session.uptime_s": ("gauge", s["uptime_s"]),
+            "serve.session.requests": ("counter", s["requests"]),
+            "serve.session.errors": ("counter", s["errors"]),
+            "serve.session.error_rate": ("gauge", s["error_rate"]),
+            "serve.session.loaded_models": ("gauge", len(s["loaded"])),
+        }
 
     def serve_forever(self) -> None:
         """Block serving requests until :meth:`shutdown`."""
@@ -161,6 +213,27 @@ class PredictionServer:
         self._server.server_close()
         if self._thread is not None and self._thread is not threading.current_thread():
             self._thread.join(timeout=5)
+        if not self._session_ended:
+            # Guard against double shutdown (context-manager exit after a
+            # remote `shutdown` op): one end event per session.
+            self._session_ended = True
+            stats = self.stats()
+            record_event(
+                "serve_session",
+                attrs={
+                    "phase": "end",
+                    "address": list(self.address),
+                    "uptime_s": stats["uptime_s"],
+                    "requests": stats["requests"],
+                    "errors": stats["errors"],
+                    "error_rate": stats["error_rate"],
+                    "ops": {op: o["count"] for op, o in stats["ops"].items()},
+                },
+                refs=self._model_refs(),
+            )
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            self._metrics_server = None
 
     def __enter__(self) -> "PredictionServer":
         return self.start_background()
@@ -302,12 +375,27 @@ def _model_ref(request: Dict[str, Any]) -> str:
     return ref
 
 
+class ProtocolError(RuntimeError):
+    """The server's reply line was not a valid protocol response.
+
+    Distinct from :class:`ConnectionError` (the connection died) and
+    from the plain :class:`RuntimeError` raised for well-formed
+    ``{"ok": false}`` error responses.
+    """
+
+
 class PredictionClient:
     """Blocking JSON-lines client for :class:`PredictionServer`.
 
     One TCP connection per client; safe to share across threads only
     with external locking -- concurrent test clients should each open
     their own.
+
+    Failure modes of :meth:`request`: :class:`ConnectionError` when the
+    server closes the connection, :class:`ProtocolError` when the reply
+    line is not a JSON object, :class:`RuntimeError` for server-side op
+    errors, and :class:`socket.timeout` when no reply arrives within the
+    connection timeout.
     """
 
     def __init__(self, host: str, port: int, timeout: float = 30.0):
@@ -326,7 +414,16 @@ class PredictionClient:
         raw = self._file.readline()
         if not raw:
             raise ConnectionError("server closed the connection")
-        response = json.loads(raw)
+        try:
+            response = json.loads(raw)
+        except json.JSONDecodeError as e:
+            raise ProtocolError(
+                f"malformed server reply {raw[:80]!r}: {e}"
+            ) from e
+        if not isinstance(response, dict):
+            raise ProtocolError(
+                f"server reply is {type(response).__name__}, expected object"
+            )
         if not response.get("ok"):
             raise RuntimeError(f"server error: {response.get('error')}")
         return response

@@ -1,0 +1,12 @@
+"""Suite-wide defaults.
+
+The provenance ledger is opt-in under pytest: without this, every test
+that saves a registry model or starts a ``PredictionServer`` would
+append events to the working copy's ``.repro_cache/ledger.jsonl``.
+Tests that exercise the ledger install their own tmp-path ledger via
+``repro.obs.ledger.set_default_ledger``.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_LEDGER", "off")

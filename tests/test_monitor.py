@@ -1,0 +1,336 @@
+"""Tests for the rule-based anomaly monitor and the `repro top`
+dashboard plumbing."""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.obs.ledger import Ledger
+from repro.obs.monitor import (
+    Alert,
+    EwmaDriftRule,
+    Monitor,
+    RuleError,
+    ThresholdRule,
+    default_rules,
+    flatten_snapshot,
+    load_rules,
+    load_snapshot_series,
+    rule_from_spec,
+)
+
+DATA = Path(__file__).parent / "data"
+
+
+# ----------------------------------------------------------------------
+# Series namespace
+# ----------------------------------------------------------------------
+class TestFlatten:
+    def test_counters_histograms_and_ratios(self):
+        flat = flatten_snapshot(
+            {
+                "counters": {
+                    "serve.server.requests": 100,
+                    "serve.server.errors": 7,
+                    "measure.result_cache.hits": 30,
+                    "measure.result_cache.misses": 10,
+                },
+                "gauges": {"serve.session.uptime_s": 5.0},
+                "histograms": {
+                    "serve.server.request_ms": {
+                        "count": 3,
+                        "mean": 2.0,
+                        "p50": 1.0,
+                        "p95": 4.0,
+                        "p99": 5.0,
+                        "max": 6.0,
+                    }
+                },
+            }
+        )
+        assert flat["serve.server.requests"] == 100
+        assert flat["serve.session.uptime_s"] == 5.0
+        assert flat["serve.server.request_ms.p95"] == 4.0
+        assert flat["serve.server.error_rate"] == pytest.approx(0.07)
+        assert flat["measure.result_cache.hit_rate"] == pytest.approx(0.75)
+
+    def test_no_ratio_without_denominator(self):
+        flat = flatten_snapshot({"counters": {"serve.server.errors": 3}})
+        assert "serve.server.error_rate" not in flat
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+class TestThresholdRule:
+    def test_fires_on_crossing(self):
+        rule = ThresholdRule("r", "x", ">", 10.0)
+        assert rule.check({"x": 5.0}) is None
+        alert = rule.check({"x": 11.0})
+        assert alert is not None and alert.value == 11.0
+
+    def test_min_count_arms_late(self):
+        rule = ThresholdRule("r", "x", ">", 0.5, min_count=3)
+        assert rule.check({"x": 1.0}) is None
+        assert rule.check({"x": 1.0}) is None
+        assert rule.check({"x": 1.0}) is not None
+
+    def test_missing_series_is_silent(self):
+        assert ThresholdRule("r", "x", ">", 1.0).check({"y": 5.0}) is None
+
+    def test_nan_is_silent(self):
+        assert ThresholdRule("r", "x", ">", 1.0).check({"x": math.nan}) is None
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(RuleError):
+            ThresholdRule("r", "x", "!=", 1.0)
+
+
+class TestEwmaDriftRule:
+    def test_fires_only_after_warmup(self):
+        rule = EwmaDriftRule("r", "x", alpha=0.5, factor=2.0, min_samples=3)
+        for _ in range(3):
+            assert rule.check({"x": 2.0}) is None
+        assert rule.check({"x": 2.1}) is None  # within band
+        alert = rule.check({"x": 50.0})
+        assert alert is not None and "drifted up" in alert.message
+
+    def test_min_delta_suppresses_noise_near_zero(self):
+        rule = EwmaDriftRule(
+            "r", "x", alpha=0.5, factor=2.0, min_samples=2, min_delta=1.0
+        )
+        for _ in range(2):
+            rule.check({"x": 0.01})
+        assert rule.check({"x": 0.05}) is None  # 5x EWMA but tiny move
+
+    def test_downward_drift(self):
+        rule = EwmaDriftRule(
+            "r", "x", alpha=0.5, factor=2.0, min_samples=2, direction="down"
+        )
+        for _ in range(3):
+            rule.check({"x": 100.0})
+        alert = rule.check({"x": 10.0})
+        assert alert is not None and "drifted down" in alert.message
+
+    def test_validation(self):
+        with pytest.raises(RuleError):
+            EwmaDriftRule("r", "x", alpha=0.0)
+        with pytest.raises(RuleError):
+            EwmaDriftRule("r", "x", factor=1.0)
+        with pytest.raises(RuleError):
+            EwmaDriftRule("r", "x", direction="sideways")
+
+
+class TestRuleLoading:
+    def test_rule_from_spec(self):
+        rule = rule_from_spec(
+            {"type": "threshold", "name": "r", "series": "x", "op": ">", "value": 1}
+        )
+        assert isinstance(rule, ThresholdRule)
+        with pytest.raises(RuleError):
+            rule_from_spec({"type": "nope", "name": "r"})
+        with pytest.raises(RuleError):
+            rule_from_spec({"type": "threshold", "name": "r", "bogus": 1})
+
+    def test_load_rules_file(self):
+        rules = load_rules(DATA / "alert_rules.json")
+        assert len(rules) == 2
+        assert {r.name for r in rules} == {
+            "serve-error-rate",
+            "surrogate-elite-error-drift",
+        }
+
+    def test_load_rules_rejects_non_list(self, tmp_path):
+        p = tmp_path / "r.json"
+        p.write_text("{}")
+        with pytest.raises(RuleError):
+            load_rules(p)
+
+    def test_default_rules_instantiate(self):
+        names = {r.name for r in default_rules()}
+        assert "surrogate-elite-error-drift" in names
+        assert "serve-error-rate" in names
+
+
+# ----------------------------------------------------------------------
+# Monitor over snapshot series
+# ----------------------------------------------------------------------
+class TestMonitor:
+    def test_drift_fixture_fires(self, tmp_path):
+        ledger = Ledger(tmp_path / "ledger.jsonl")
+        monitor = Monitor(default_rules(), ledger=ledger)
+        series = load_snapshot_series(DATA / "monitor_drift_series.jsonl")
+        fired = monitor.observe_series(series)
+        assert monitor.fired
+        assert any(a.rule == "surrogate-elite-error-drift" for a in fired)
+        # Alerts are durable: recorded as ledger events.
+        alerts = ledger.events(kind="alert")
+        assert len(alerts) == len(fired)
+        assert alerts[0].attrs["rule"] == fired[0].rule
+
+    def test_clean_fixture_is_silent(self, tmp_path):
+        ledger = Ledger(tmp_path / "ledger.jsonl")
+        monitor = Monitor(default_rules(), ledger=ledger)
+        monitor.observe_series(
+            load_snapshot_series(DATA / "monitor_clean_series.jsonl")
+        )
+        assert not monitor.fired
+        assert ledger.events(kind="alert") == []
+        assert "all quiet" in monitor.summary()
+
+    def test_rate_series_derived_between_snapshots(self):
+        seen = {}
+
+        class Spy:
+            name = "spy"
+
+            def check(self, series):
+                seen.update(series)
+                return None
+
+        monitor = Monitor([Spy()])
+        monitor.observe({"counters": {"c.total": 100}}, ts=10.0)
+        monitor.observe({"counters": {"c.total": 160}}, ts=20.0)
+        assert seen["c.total.rate"] == pytest.approx(6.0)
+
+    def test_no_rate_for_quantile_series(self):
+        seen = {}
+
+        class Spy:
+            name = "spy"
+
+            def check(self, series):
+                seen.update(series)
+                return None
+
+        hist = {"count": 1, "mean": 5.0, "p50": 5.0, "p95": 5.0, "p99": 5.0, "max": 5.0}
+        monitor = Monitor([Spy()])
+        monitor.observe({"histograms": {"h": hist}}, ts=1.0)
+        monitor.observe({"histograms": {"h": hist}}, ts=2.0)
+        assert "h.p95.rate" not in seen
+        assert "h.count.rate" in seen
+
+    def test_works_without_ledger(self):
+        monitor = Monitor([ThresholdRule("r", "x", ">", 0.0)], ledger=None)
+        monitor.observe({"counters": {"x": 1}})
+        assert monitor.fired  # no crash recording nowhere
+
+    def test_load_snapshot_series_rejects_garbage(self, tmp_path):
+        p = tmp_path / "s.jsonl"
+        p.write_text("not json\n")
+        with pytest.raises(RuleError):
+            load_snapshot_series(p)
+
+
+# ----------------------------------------------------------------------
+# CLI: the CI gate contract (nonzero exit on drift, zero on clean)
+# ----------------------------------------------------------------------
+class TestMonitorCli:
+    def test_drift_series_exits_nonzero_and_records(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        ledger_path = tmp_path / "ledger.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER_PATH", str(ledger_path))
+        monkeypatch.delenv("REPRO_LEDGER", raising=False)
+        rc = main(
+            ["monitor", "--series", str(DATA / "monitor_drift_series.jsonl")]
+        )
+        assert rc == 1
+        assert "ALERT" in capsys.readouterr().out
+        assert Ledger(ledger_path).events(kind="alert")
+
+    def test_clean_series_exits_zero(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_LEDGER_PATH", str(tmp_path / "l.jsonl"))
+        monkeypatch.delenv("REPRO_LEDGER", raising=False)
+        rc = main(
+            ["monitor", "--series", str(DATA / "monitor_clean_series.jsonl")]
+        )
+        assert rc == 0
+        assert "all quiet" in capsys.readouterr().out
+
+    def test_custom_rule_file(self, tmp_path, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_LEDGER_PATH", str(tmp_path / "l.jsonl"))
+        monkeypatch.delenv("REPRO_LEDGER", raising=False)
+        rc = main(
+            [
+                "monitor",
+                "--rules",
+                str(DATA / "alert_rules.json"),
+                "--series",
+                str(DATA / "monitor_drift_series.jsonl"),
+            ]
+        )
+        assert rc == 1
+
+    def test_nothing_to_monitor_errors(self, monkeypatch, tmp_path):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "empty"))
+        with pytest.raises(SystemExit):
+            main(["monitor", "--no-ledger"])
+
+    def test_scrape_mode_against_live_endpoint(self, tmp_path, monkeypatch):
+        from repro.cli import main
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.promexport import MetricsHTTPServer
+
+        reg = MetricsRegistry()
+        reg.counter("serve.server.requests").inc(100)
+        reg.counter("serve.server.errors").inc(50)  # 50% error rate
+        monkeypatch.setenv("REPRO_LEDGER_PATH", str(tmp_path / "l.jsonl"))
+        monkeypatch.delenv("REPRO_LEDGER", raising=False)
+        with MetricsHTTPServer(port=0, registry=reg) as srv:
+            rc = main(
+                ["monitor", "--url", srv.url, "--count", "2", "--interval", "0"]
+            )
+        assert rc == 1  # serve-error-rate threshold fires
+
+
+# ----------------------------------------------------------------------
+# repro top
+# ----------------------------------------------------------------------
+class TestTop:
+    def test_render_and_rates(self):
+        from repro.obs.top import TopFrame, compute_rates, render_frame
+
+        prev = TopFrame(ts=0.0, flat={"serve.server.requests": 10}, histograms={})
+        cur = TopFrame(
+            ts=5.0,
+            flat={"serve.server.requests": 60},
+            histograms={
+                "serve.server.request_ms": {
+                    "count": 3, "mean": 1.0, "p50": 1.0,
+                    "p95": 2.0, "p99": 2.5, "max": 3.0,
+                }
+            },
+        )
+        compute_rates(prev, cur)
+        assert cur.rates["serve.server.requests"] == pytest.approx(10.0)
+        text = render_frame(cur)
+        assert "repro top" in text
+        assert "serve.server.request_ms" in text
+
+    def test_cli_once_against_live_endpoint(self, capsys):
+        from repro.cli import main
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.promexport import MetricsHTTPServer
+
+        reg = MetricsRegistry()
+        reg.counter("serve.server.requests").inc(5)
+        with MetricsHTTPServer(port=0, registry=reg) as srv:
+            host, port = srv.address
+            rc = main(["top", f"{host}:{port}", "--once"])
+        assert rc == 0
+        assert "serve.server.requests" in capsys.readouterr().out
+
+    def test_cli_dead_endpoint_exits_nonzero(self, capsys):
+        from repro.cli import main
+
+        rc = main(["top", "127.0.0.1:1", "--once", "--interval", "0"])
+        assert rc == 1

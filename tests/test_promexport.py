@@ -1,0 +1,206 @@
+"""Tests for Prometheus exposition: rendering, grammar validation,
+scrape round-trip, the HTTP endpoint, and concurrent scrape+predict."""
+
+import math
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promexport import (
+    MetricsHTTPServer,
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+    scrape,
+    snapshot_from_prometheus,
+    validate_prometheus_text,
+)
+
+
+def make_snapshot():
+    reg = MetricsRegistry()
+    reg.counter("serve.server.requests").inc(42)
+    reg.counter("measure.simulations").inc(7)
+    h = reg.histogram("serve.server.request_ms")
+    for v in (1.0, 2.0, 3.0, 4.0, 100.0):
+        h.observe(v)
+    return reg.snapshot()
+
+
+class TestNameMapping:
+    def test_sanitize(self):
+        assert sanitize_metric_name("serve.server.requests") == (
+            "repro_serve_server_requests"
+        )
+        assert sanitize_metric_name("9bad-name!") == "repro__9bad_name_"
+
+    def test_sanitized_names_are_valid(self):
+        import re
+
+        ok = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+        for name in ("a.b.c", "x-y", "0", "", "weird!@#"):
+            assert ok.match(sanitize_metric_name(name))
+
+
+class TestRender:
+    def test_counters_and_summaries(self):
+        text = render_prometheus(make_snapshot())
+        assert "# TYPE repro_serve_server_requests_total counter" in text
+        assert "repro_serve_server_requests_total 42" in text
+        assert "# TYPE repro_serve_server_request_ms summary" in text
+        assert 'repro_serve_server_request_ms{quantile="0.95"}' in text
+        assert "repro_serve_server_request_ms_count 5" in text
+        # HELP carries the dotted name for the round-trip.
+        assert "# HELP repro_serve_server_requests_total repro counter serve.server.requests" in text
+
+    def test_render_is_valid_exposition(self):
+        assert validate_prometheus_text(render_prometheus(make_snapshot())) == []
+
+    def test_collectors_contribute_families(self):
+        def collect():
+            return {
+                "serve.session.uptime_s": ("gauge", 12.5),
+                "serve.session.requests": ("counter", 3),
+                "serve.session.op_ms": (
+                    "summary",
+                    {"p50": 1.0, "p95": 2.0, "p99": 3.0, "count": 4, "sum": 8.0},
+                ),
+            }
+
+        text = render_prometheus(make_snapshot(), collectors=(collect,))
+        assert "repro_serve_session_uptime_s 12.5" in text
+        assert "repro_serve_session_requests_total 3" in text
+        assert "repro_serve_session_op_ms_count 4" in text
+        assert validate_prometheus_text(text) == []
+
+    def test_empty_snapshot_is_flagged(self):
+        text = render_prometheus({"counters": {}, "histograms": {}})
+        assert validate_prometheus_text(text) == ["no metric families found"]
+
+
+class TestValidation:
+    def test_catches_malformed_sample(self):
+        bad = "# TYPE x counter\nx 1 2 3 extra\n"
+        assert any("malformed sample" in p for p in validate_prometheus_text(bad))
+
+    def test_catches_untyped_sample(self):
+        bad = "# TYPE x counter\ny_no_type 1\n"
+        assert any("no TYPE" in p for p in validate_prometheus_text(bad))
+
+    def test_catches_bad_type_line(self):
+        bad = "# TYPE x whatever\nx 1\n"
+        assert any("malformed TYPE" in p for p in validate_prometheus_text(bad))
+
+
+class TestRoundTrip:
+    def test_scrape_maps_back_to_dotted_names(self):
+        snap = make_snapshot()
+        back = snapshot_from_prometheus(render_prometheus(snap))
+        assert back["counters"]["serve.server.requests"] == 42
+        assert back["counters"]["measure.simulations"] == 7
+        entry = back["histograms"]["serve.server.request_ms"]
+        assert entry["count"] == 5
+        assert entry["mean"] == pytest.approx(22.0)
+        assert entry["p95"] == pytest.approx(
+            snap["histograms"]["serve.server.request_ms"]["p95"]
+        )
+
+    def test_gauges_round_trip(self):
+        def collect():
+            return {"serve.session.error_rate": ("gauge", 0.25)}
+
+        back = snapshot_from_prometheus(
+            render_prometheus(make_snapshot(), collectors=(collect,))
+        )
+        assert back["gauges"]["serve.session.error_rate"] == 0.25
+
+    def test_parse_prometheus_families(self):
+        fams = parse_prometheus(render_prometheus(make_snapshot()))
+        fam = fams["repro_serve_server_request_ms"]
+        assert fam["type"] == "summary"
+        assert fam["samples"]["count"] == 5
+        assert "quantile=0.5" in fam["samples"]
+
+    def test_nan_quantiles_survive(self):
+        reg = MetricsRegistry()
+        reg.histogram("empty.series")  # no observations
+        text = render_prometheus(reg.snapshot())
+        assert validate_prometheus_text(text) == []
+        back = snapshot_from_prometheus(text)
+        assert math.isnan(back["histograms"]["empty.series"]["p95"])
+
+
+class TestHTTPServer:
+    def test_serves_metrics_and_healthz(self):
+        reg = MetricsRegistry()
+        reg.counter("x.y").inc(3)
+        with MetricsHTTPServer(port=0, registry=reg) as srv:
+            text = scrape(srv.url)
+            assert "repro_x_y_total 3" in text
+            assert validate_prometheus_text(text) == []
+            health = scrape(srv.url.replace("/metrics", "/healthz"))
+            assert health == "ok\n"
+            assert srv.scrapes == 1
+
+    def test_unknown_path_is_404(self):
+        with MetricsHTTPServer(port=0) as srv:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(srv.url.replace("/metrics", "/nope"))
+            assert exc.value.code == 404
+
+    def test_scrape_refuses_non_http(self):
+        with pytest.raises(ValueError):
+            scrape("file:///etc/passwd")
+
+    def test_concurrent_scrapes_during_predict_traffic(self, tmp_path):
+        """The acceptance criterion: /metrics stays valid while predict
+        traffic mutates the registry's counters and histograms."""
+        from repro.models import LinearModel
+        from repro.serve import ModelRegistry, PredictionClient, PredictionServer
+
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, (60, 4))
+        y = 10 + x @ np.arange(1.0, 5.0)
+        model = LinearModel().fit(x, y)
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.save(model, "m")
+
+        errors = []
+        with PredictionServer(registry=registry, metrics_port=0) as srv:
+            host, port = srv.address
+
+            def pound():
+                try:
+                    with PredictionClient(host, port) as client:
+                        for _ in range(40):
+                            client.predict(
+                                "m", rng.uniform(-1, 1, (8, 4)).tolist()
+                            )
+                except Exception as e:  # noqa: BLE001 - fail the test below
+                    errors.append(e)
+
+            def scrape_loop():
+                try:
+                    for _ in range(25):
+                        problems = validate_prometheus_text(
+                            scrape(srv.metrics_url)
+                        )
+                        assert problems == [], problems
+                except Exception as e:  # noqa: BLE001
+                    errors.append(e)
+
+            threads = [threading.Thread(target=pound) for _ in range(3)]
+            threads += [threading.Thread(target=scrape_loop) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not errors, errors
+            assert srv._metrics_server.scrapes >= 50
+            # Session gauges reflect the traffic that just happened.
+            back = snapshot_from_prometheus(scrape(srv.metrics_url))
+            assert back["counters"]["serve.session.requests"] >= 120
