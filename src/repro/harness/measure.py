@@ -6,11 +6,16 @@ depends on it, as in the paper's per-FU-configuration gcc builds), run
 it functionally once to get the dynamic trace and checksum, and estimate
 execution time with SMARTS sampling (or exhaustive detailed simulation).
 
-Caching layers:
+Caching layers (see ``docs/SIMULATOR.md`` for keys and invalidation):
 
-* binaries + traces are memoized on (workload, input, compiler key,
-  issue width), since the trace does not depend on the rest of the
-  microarchitecture;
+* binaries + traces are memoized in-process on (workload, input,
+  compiler key, issue width) and *on disk* in the content-addressed
+  artifact store (:mod:`repro.harness.artifacts`), shared across
+  engines and pool workers, since the trace does not depend on the rest
+  of the microarchitecture;
+* SMARTS timing work is memoized on (binary digest, trace digest, full
+  timing key) at run and sampling-unit granularity
+  (:mod:`repro.sim.memo`);
 * (cycles, checksum) results are memoized on the full point, optionally
   persisted to ``.repro_cache/measurements.json`` so the benchmark suite
   reuses measurements across processes.
@@ -18,11 +23,13 @@ Caching layers:
 Design points are independent of one another, so batches of them are
 embarrassingly parallel: :meth:`MeasurementEngine.measure_many` /
 :meth:`MeasurementEngine.measure_batch` fan cache misses out to a
-process pool (``jobs`` workers, default from ``REPRO_JOBS``).  Workers
-rebuild their own binary+trace caches and return plain
-:class:`Measurement` tuples; since a point's measurement is a pure
-function of its cache key, the results are bit-identical to the serial
-path regardless of worker count.
+process pool (``jobs`` workers, default from ``REPRO_JOBS``).  Misses
+are grouped by shared binary, partitioned into one cost-balanced chunk
+per worker (a measured per-point cost model sizes the chunks), and
+workers share compiles/traces/timing units through the on-disk stores.
+Since a point's measurement is a pure function of its cache key, the
+results are bit-identical to the serial path regardless of worker
+count.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.codegen import COMPILER_VERSION, compile_module
+from repro.harness.artifacts import ArtifactStore
 from repro.harness.configs import split_point
 from repro.obs import counter, histogram, span
 from repro.obs.context import (
@@ -57,6 +65,7 @@ from repro.opt.flags import CompilerConfig
 from repro.sim import simulate
 from repro.sim.config import MicroarchConfig
 from repro.sim.func import execute
+from repro.sim.memo import TimingMemo
 from repro.workloads import get_workload
 
 _TRACE_HITS = counter("measure.trace_cache.hits")
@@ -138,6 +147,15 @@ class MeasurementEngine:
     jobs:
         Worker processes for :meth:`measure_many` / :meth:`measure_batch`
         (None reads ``REPRO_JOBS``; 1 keeps everything in-process).
+    artifact_dir:
+        Directory for the on-disk binary+trace artifact store shared
+        across engines and pool workers.  Defaults to
+        ``<cache_dir>/artifacts`` when ``cache_dir`` is set; None with
+        no ``cache_dir`` disables it.
+    memo_path:
+        File for the persistent SMARTS timing memo
+        (:class:`repro.sim.memo.TimingMemo`).  Defaults to
+        ``<cache_dir>/sim_memo.json`` when ``cache_dir`` is set.
     """
 
     def __init__(
@@ -147,6 +165,8 @@ class MeasurementEngine:
         cache_dir: Optional[str] = None,
         max_cached_traces: int = 6,
         jobs: Optional[int] = None,
+        artifact_dir: Optional[str] = None,
+        memo_path: Optional[str] = None,
     ):
         self.mode = mode
         self.smarts_interval = smarts_interval
@@ -159,10 +179,25 @@ class MeasurementEngine:
         self._dirty = False
         self.simulations = 0
         self.compilations = 0
+        #: EWMA of measured per-point seconds keyed on (workload, input);
+        #: feeds the chunk planner's cost model.
+        self._point_cost: Dict[Tuple[str, str], float] = {}
         self._cache_path: Optional[Path] = None
         if cache_dir is not None:
             self._cache_path = Path(cache_dir) / "measurements.json"
             self._load_disk_cache()
+            if artifact_dir is None:
+                artifact_dir = str(Path(cache_dir) / "artifacts")
+            if memo_path is None:
+                memo_path = str(Path(cache_dir) / "sim_memo.json")
+        self._artifact_dir = artifact_dir
+        self._memo_path = memo_path
+        self.artifacts: Optional[ArtifactStore] = (
+            ArtifactStore(artifact_dir) if artifact_dir is not None else None
+        )
+        self.memo: Optional[TimingMemo] = (
+            TimingMemo(memo_path) if memo_path is not None else None
+        )
 
     # ------------------------------------------------------------------
     # Persistent cache
@@ -213,7 +248,12 @@ class MeasurementEngine:
         cache or the new one, never a truncated file for
         ``_load_disk_cache`` to discard.  Entries found on disk but not
         in memory are absorbed into the in-memory cache as well.
+
+        The timing memo (when configured) is flushed with the same
+        discipline by :meth:`repro.sim.memo.TimingMemo.save`.
         """
+        if self.memo is not None:
+            self.memo.save()
         if self._cache_path is None or not self._dirty:
             return
         self._cache_path.parent.mkdir(parents=True, exist_ok=True)
@@ -295,19 +335,48 @@ class MeasurementEngine:
             _TRACE_HITS.inc()
             return hit
         _TRACE_MISSES.inc()
-        module = get_workload(workload).module(input_name)
-        with span(
-            "measure.compile",
-            workload=workload,
-            input=input_name,
-            issue_width=issue_width,
-        ):
-            exe = compile_module(module, compiler, issue_width=issue_width)
-        self.compilations += 1
-        _COMPILATIONS.inc()
-        with span("measure.functional", workload=workload, input=input_name) as sp:
-            functional = execute(exe, collect_trace=True)
-            sp.set_attrs(instructions=functional.instruction_count)
+        art_key = None
+        exe = None
+        if self.artifacts is not None:
+            art_key = _md5_hex(
+                "|".join(
+                    [
+                        workload,
+                        input_name,
+                        self._workload_fingerprint(workload, input_name),
+                        f"cc{COMPILER_VERSION}",
+                        str(issue_width),
+                    ]
+                    + [str(v) for v in compiler.cache_key()]
+                ).encode()
+            )
+            exe = self.artifacts.load_binary(art_key)
+        if exe is None:
+            module = get_workload(workload).module(input_name)
+            with span(
+                "measure.compile",
+                workload=workload,
+                input=input_name,
+                issue_width=issue_width,
+            ):
+                exe = compile_module(module, compiler, issue_width=issue_width)
+            self.compilations += 1
+            _COMPILATIONS.inc()
+            if self.artifacts is not None:
+                self.artifacts.store_binary(art_key, exe)
+        functional = None
+        if self.artifacts is not None:
+            # Keyed on the binary's content digest: flag settings that
+            # emit identical machine code share one stored trace.
+            functional = self.artifacts.load_trace(exe)
+        if functional is None:
+            with span(
+                "measure.functional", workload=workload, input=input_name
+            ) as sp:
+                functional = execute(exe, collect_trace=True)
+                sp.set_attrs(instructions=functional.instruction_count)
+            if self.artifacts is not None:
+                self.artifacts.store_trace(exe, functional)
         if len(self._trace_cache) >= self.max_cached_traces:
             self._trace_cache.popitem(last=False)  # evict the LRU entry
             _TRACE_EVICTIONS.inc()
@@ -347,6 +416,7 @@ class MeasurementEngine:
             _RESULT_HITS.inc()
             return cached
         _RESULT_MISSES.inc()
+        t0 = time.perf_counter()
         exe, functional = self._binary_and_trace(
             workload, input_name, compiler, microarch.issue_width
         )
@@ -363,9 +433,11 @@ class MeasurementEngine:
                 mode=self.mode,
                 interval=self.smarts_interval,
                 functional=functional,
+                memo=self.memo,
             )
         self.simulations += 1
         _SIMULATIONS.inc()
+        self._observe_cost(workload, input_name, time.perf_counter() - t0)
         result = Measurement(
             cycles=outcome.cycles,
             checksum=outcome.return_value,
@@ -376,6 +448,19 @@ class MeasurementEngine:
         self._result_cache[key] = result
         self._dirty = True
         return result
+
+    def _observe_cost(
+        self, workload: str, input_name: str, seconds: float
+    ) -> None:
+        """Fold one measured per-point duration into the cost model."""
+        key = (workload, input_name)
+        prev = self._point_cost.get(key)
+        self._point_cost[key] = (
+            seconds if prev is None else 0.7 * prev + 0.3 * seconds
+        )
+
+    def _estimated_cost(self, workload: str, input_name: str) -> float:
+        return self._point_cost.get((workload, input_name), 1.0)
 
     def cycles(
         self,
@@ -468,6 +553,52 @@ class MeasurementEngine:
             },
         )
 
+    def _plan_chunks(
+        self,
+        requests: Sequence[Tuple[str, CompilerConfig, MicroarchConfig, str]],
+        pending: "OrderedDict[str, List[int]]",
+        n_chunks: int,
+    ) -> List[List[Tuple[str, str, CompilerConfig, MicroarchConfig, str]]]:
+        """Partition pending work into at most ``n_chunks`` task chunks.
+
+        Points are ordered so that points sharing a binary (same
+        workload, input, compiler key and issue width) are contiguous --
+        a worker measuring such a run pays one compile+trace for all of
+        them via its LRU -- and the ordered list is split at cumulative
+        cost boundaries from the per-point cost model, so each chunk
+        carries roughly equal work.  One chunk per worker replaces the
+        old one-future-per-point submission, whose per-task pickling and
+        telemetry overhead dominated small batches.
+        """
+        tasks = []
+        for key, indices in pending.items():
+            workload, comp, micro, input_name = requests[indices[0]]
+            order = (
+                workload,
+                input_name,
+                comp.cache_key(),
+                micro.issue_width,
+                micro.cache_key(),
+            )
+            cost = self._estimated_cost(workload, input_name)
+            tasks.append((order, cost, (key, workload, comp, micro, input_name)))
+        tasks.sort(key=lambda t: t[0])
+        n_chunks = max(1, min(n_chunks, len(tasks)))
+        total = sum(t[1] for t in tasks)
+        chunks: List[List[tuple]] = [[] for _ in range(n_chunks)]
+        cum = 0.0
+        for order, cost, task in tasks:
+            # Place by the task's cost *midpoint*: placing by its start
+            # offset would push a boundary-straddling expensive task
+            # entirely into the earlier chunk and unbalance the split.
+            center = cum + cost / 2.0
+            idx = int(center / total * n_chunks) if total > 0 else 0
+            if idx >= n_chunks:
+                idx = n_chunks - 1
+            chunks[idx].append(task)
+            cum += cost
+        return [c for c in chunks if c]
+
     def _measure_pending_parallel(
         self,
         requests: Sequence[Tuple[str, CompilerConfig, MicroarchConfig, str]],
@@ -476,11 +607,13 @@ class MeasurementEngine:
         jobs: int,
     ) -> None:
         n_workers = min(jobs, len(pending))
+        chunks = self._plan_chunks(requests, pending, n_workers)
         with span(
             "measure.batch",
             pool_size=n_workers,
             n_points=len(requests),
             n_missing=len(pending),
+            n_chunks=len(chunks),
         ):
             # Captured *inside* the batch span so worker spans merge in
             # as its children; workers adopt the context in the pool
@@ -495,27 +628,35 @@ class MeasurementEngine:
                     self.mode,
                     self.smarts_interval,
                     self.max_cached_traces,
+                    self._artifact_dir,
+                    self._memo_path,
                     ctx,
                 ),
             ) as pool:
                 futures = []
-                for key, indices in pending.items():
-                    workload, comp, micro, input_name = requests[indices[0]]
-                    futures.append(
-                        pool.submit(
-                            _measure_task, key, workload, comp, micro, input_name
-                        )
-                    )
+                for chunk in chunks:
+                    futures.append(pool.submit(_measure_chunk, chunk))
                     _BATCH_SUBMITTED.inc()
                 for fut in as_completed(futures):
-                    key, m, worker_ms, telemetry = fut.result()
+                    items, worker_ms, telemetry = fut.result()
                     _WORKER_MS.observe(worker_ms)
                     merge_worker_telemetry(telemetry, ctx)
-                    self.simulations += 1
-                    self._result_cache[key] = m
-                    self._dirty = True
-                    for i in pending[key]:
-                        results[i] = m
+                    for key, m in items:
+                        self.simulations += 1
+                        self._result_cache[key] = m
+                        self._dirty = True
+                        for i in pending[key]:
+                            results[i] = m
+                    if items:
+                        workload = requests[pending[items[0][0]][0]][0]
+                        input_name = requests[pending[items[0][0]][0]][3]
+                        self._observe_cost(
+                            workload, input_name, worker_ms / 1e3 / len(items)
+                        )
+        if self.memo is not None:
+            # Absorb the units/runs the workers just persisted, so
+            # follow-up serial measurements in this process reuse them.
+            self.memo.load()
 
     def measure_batch(
         self,
@@ -601,8 +742,10 @@ class EngineOracle:
 
 # ----------------------------------------------------------------------
 # Worker-process side of the pool.  Each worker holds one engine (fresh
-# binary+trace caches, no persistence) alive across tasks, so repeated
-# (compiler key, issue width) pairs amortize their compilations.
+# in-memory caches, no measurement-file persistence) alive across tasks,
+# so repeated (compiler key, issue width) pairs amortize their
+# compilations; the on-disk artifact store and timing memo are shared
+# with the parent and the other workers.
 # ----------------------------------------------------------------------
 _WORKER_ENGINE: Optional[MeasurementEngine] = None
 
@@ -611,6 +754,8 @@ def _init_worker(
     mode: str,
     smarts_interval: int,
     max_cached_traces: int,
+    artifact_dir: Optional[str] = None,
+    memo_path: Optional[str] = None,
     ctx: Optional[TelemetryContext] = None,
 ) -> None:
     global _WORKER_ENGINE
@@ -620,25 +765,35 @@ def _init_worker(
         cache_dir=None,
         max_cached_traces=max_cached_traces,
         jobs=1,
+        artifact_dir=artifact_dir,
+        memo_path=memo_path,
     )
     install_context(ctx)
 
 
-def _measure_task(
-    key: str,
-    workload: str,
-    compiler: CompilerConfig,
-    microarch: MicroarchConfig,
-    input_name: str,
-) -> Tuple[str, Measurement, float, WorkerTelemetry]:
+def _measure_chunk(
+    chunk: Sequence[Tuple[str, str, CompilerConfig, MicroarchConfig, str]],
+) -> Tuple[List[Tuple[str, Measurement]], float, WorkerTelemetry]:
+    """Measure one planned chunk of (key, request) tasks in a worker.
+
+    The chunk is measured sequentially on the worker's engine -- its
+    binary LRU serves the shared-binary runs the planner grouped -- and
+    the timing memo is flushed once at the end so sibling workers and
+    future processes reuse the units this chunk simulated.
+    """
     begin_task()
     t0 = time.perf_counter()
-    with span("measure.task", workload=workload, input=input_name, key=key):
-        m = _WORKER_ENGINE.measure_configs(
-            workload, compiler, microarch, input_name
-        )
+    out: List[Tuple[str, Measurement]] = []
+    for key, workload, compiler, microarch, input_name in chunk:
+        with span("measure.task", workload=workload, input=input_name, key=key):
+            m = _WORKER_ENGINE.measure_configs(
+                workload, compiler, microarch, input_name
+            )
+        out.append((key, m))
+    if _WORKER_ENGINE.memo is not None:
+        _WORKER_ENGINE.memo.save()
     worker_ms = (time.perf_counter() - t0) * 1e3
-    return key, m, worker_ms, collect_task()
+    return out, worker_ms, collect_task()
 
 
 _DEFAULT: Optional[MeasurementEngine] = None

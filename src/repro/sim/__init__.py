@@ -16,7 +16,12 @@ Components:
   buffer and fetch redirects on taken branches and mispredictions);
 * :mod:`repro.sim.smarts` -- SMARTS systematic sampling: continuous
   functional warming with detailed timing on periodic windows, and a
-  confidence interval on the CPI estimate.
+  confidence interval on the CPI estimate;
+* :mod:`repro.sim.tracepack` -- flat-array trace tables the hot loops
+  index (built once per binary+trace, shared across configurations);
+* :mod:`repro.sim.memo` -- content-addressed memoization of SMARTS
+  timing work at run and sampling-unit granularity (see
+  ``docs/SIMULATOR.md``).
 
 :func:`repro.sim.run.simulate` is the one-call entry point.
 """
@@ -25,8 +30,10 @@ from repro.sim.config import MicroarchConfig
 from repro.sim.func import FunctionalResult, execute, SimulationError
 from repro.sim.cache import Cache, CacheHierarchy
 from repro.sim.bpred import CombinedPredictor
+from repro.sim.memo import TimingMemo, default_memo, timing_key
 from repro.sim.ooo import OooTimingModel, TimingResult
 from repro.sim.smarts import SmartsResult, smarts_simulate
+from repro.sim.tracepack import PackedTrace, TraceTables, static_digest, tables_for
 from repro.sim.run import simulate, SimulationOutcome
 
 __all__ = [
@@ -43,4 +50,11 @@ __all__ = [
     "smarts_simulate",
     "simulate",
     "SimulationOutcome",
+    "TimingMemo",
+    "default_memo",
+    "timing_key",
+    "PackedTrace",
+    "TraceTables",
+    "static_digest",
+    "tables_for",
 ]

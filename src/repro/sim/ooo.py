@@ -19,21 +19,59 @@ A SimpleScalar-sim-outorder-style model driven by the functional trace:
 Execution time is the commit cycle of the last instruction.  The model
 keeps real cache tag and predictor state, which may be shared with a
 SMARTS warming pass (:mod:`repro.sim.smarts`).
+
+Hot-loop implementation notes
+-----------------------------
+The per-instruction loops index flat per-position tables precomputed by
+:mod:`repro.sim.tracepack` (class codes, latencies, destination/source
+registers, instruction-block ids, branch outcomes) instead of chasing
+``trace[i] -> instr -> attribute`` chains, and the L1/L2 tag arrays,
+branch predictor tables, BTB and RAS are updated inline with local
+variables (statistics accumulate in local ints and flush once per
+window).  The semantics are bit-identical to the original per-event
+model -- the golden-measurement test (``tests/test_sim_memo.py``) pins
+cycles/checksums captured from the pre-flattening implementation.
+
+``warm`` walks only the precomputed *event list* (block changes, memory
+operations, control transfers) -- straight-line ALU instructions inside
+an already-tracked I-cache block touch no state during functional
+warming, so they are skipped wholesale.  ``replay_window`` reproduces a
+detailed window's cache/predictor *state* (and statistics) without the
+pipeline timing -- the memo-hit path of :mod:`repro.sim.smarts`.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.codegen.isa import OpClass, RA, ZERO
-from repro.codegen.linker import Executable, INSTR_BYTES, TEXT_BASE
+from repro.codegen.linker import Executable
 from repro.codegen.machine_desc import MachineDescription
 from repro.obs import counter
 from repro.sim.bpred import BranchTargetBuffer, CombinedPredictor, ReturnAddressStack
 from repro.sim.cache import CacheHierarchy
 from repro.sim.config import MicroarchConfig
+from repro.sim.tracepack import (
+    BRANCH as _BRANCH,
+    CALL as _CALL,
+    CLASS_CODE as _CLASS_CODE,
+    EV_BRANCH,
+    EV_CALL,
+    EV_DATA,
+    EV_INST,
+    EV_JUMP,
+    EV_PF,
+    EV_RET,
+    JUMP as _JUMP,
+    LOAD as _LOAD,
+    NOP as _NOP,
+    PF as _PF,
+    RET as _RET,
+    STORE as _STORE,
+    TraceTables,
+    tables_for,
+)
 
 # Hot-loop telemetry.  Accumulated in local ints inside simulate_window
 # and flushed once per window, so the per-instruction path never touches
@@ -42,24 +80,6 @@ _INSTRUCTIONS = counter("sim.ooo.instructions")
 _MISPREDICTS = counter("sim.ooo.branch_mispredicts")
 _ICACHE_STALLS = counter("sim.ooo.icache_stall_cycles")
 _RUU_STALLS = counter("sim.ooo.ruu_stalls")
-
-# Class codes for the static tables (indexable, faster than Enum).
-_IALU, _IMULT, _FPALU, _FPMULT, _LOAD, _STORE, _BRANCH, _JUMP, _CALL, _RET, _PF, _NOP = range(12)
-
-_CLASS_CODE = {
-    OpClass.IALU: _IALU,
-    OpClass.IMULT: _IMULT,
-    OpClass.FPALU: _FPALU,
-    OpClass.FPMULT: _FPMULT,
-    OpClass.LOAD: _LOAD,
-    OpClass.STORE: _STORE,
-    OpClass.BRANCH: _BRANCH,
-    OpClass.JUMP: _JUMP,
-    OpClass.CALL: _CALL,
-    OpClass.RET: _RET,
-    OpClass.PREFETCH: _PF,
-    OpClass.NOP: _NOP,
-}
 
 #: Front-end pipeline depth between fetch and dispatch.
 FRONT_DEPTH = 2
@@ -92,30 +112,9 @@ class OooTimingModel:
         self.bpred = CombinedPredictor(config.bpred_size)
         self.btb = BranchTargetBuffer(config.btb_entries)
         self.ras = ReturnAddressStack()
-        self._build_static_tables()
 
-    def _build_static_tables(self) -> None:
-        lat = {
-            code: self.mdesc.latency(op_class)
-            for op_class, code in _CLASS_CODE.items()
-        }
-        self.cls: List[int] = []
-        self.lat: List[int] = []
-        self.dst: List[int] = []
-        self.srcs: List[Tuple[int, ...]] = []
-        for instr in self.exe.instrs:
-            code = _CLASS_CODE[instr.op_class]
-            self.cls.append(code)
-            self.lat.append(lat[code])
-            if code == _CALL:
-                self.dst.append(RA)
-            elif instr.dst is not None:
-                self.dst.append(instr.dst)
-            else:
-                self.dst.append(-1)
-            self.srcs.append(
-                tuple(r for r in instr.srcs if r != ZERO)
-            )
+    def _tables(self, trace: Sequence[Tuple[int, int]]) -> TraceTables:
+        return tables_for(self.exe, trace)
 
     # ------------------------------------------------------------------
     def simulate_window(
@@ -144,29 +143,75 @@ class OooTimingModel:
         bpred = self.bpred
         btb = self.btb
         ras = self.ras
-        cls_tab = self.cls
-        lat_tab = self.lat
-        dst_tab = self.dst
-        srcs_tab = self.srcs
+        T = self._tables(trace)
         block_size = cfg.block_size
         width = cfg.issue_width
         ruu_size = cfg.ruu_size
         sbuf_size = cfg.store_buffer_size
         penalty = cfg.mispredict_penalty
         icache_lat = cfg.icache_latency
+        dcache_lat = cfg.dcache_latency
+        l2_lat = cfg.l2_latency
+        mem_lat = cfg.memory_latency
+        btc = cfg.bus_transfer_cycles
 
+        # Flat per-position tables (precomputed once per binary+trace).
+        eas = T.eas
+        cls_pos = T.cls
+        lat_pos = T.lat_for(mdesc)
+        dst_pos = T.dst
+        srcs_pos = T.srcs
+        pcs = T.pcs
+        blocks = T.blocks_for(block_size)
+        taken_pos = T.taken
+        next_pos = T.next_pc
+
+        # Inline cache state: local bindings of the tag arrays, stats in
+        # local ints, flushed after the loop.
+        il1 = hierarchy.il1
+        dl1 = hierarchy.dl1
+        ul2 = hierarchy.ul2
+        i_sets = il1._sets
+        i_nsets = il1.n_sets
+        i_assoc = il1.assoc
+        d_sets = dl1._sets
+        d_nsets = dl1.n_sets
+        d_assoc = dl1.assoc
+        l_sets = ul2._sets
+        l_nsets = ul2.n_sets
+        l_assoc = ul2.assoc
+        i_hits = i_miss = d_hits = d_miss = l_hits = l_miss = 0
         hierarchy.reset_bus()
-        fu_free: Dict[int, List[int]] = {
-            _IALU: [0] * mdesc.units(OpClass.IALU),
-            _IMULT: [0] * mdesc.units(OpClass.IMULT),
-            _FPALU: [0] * mdesc.units(OpClass.FPALU),
-            _FPMULT: [0] * mdesc.units(OpClass.FPMULT),
-            _LOAD: [0] * mdesc.units(OpClass.LOAD),
-            _STORE: [0] * mdesc.units(OpClass.STORE),
-            _PF: [0] * mdesc.units(OpClass.PREFETCH),
-        }
+        bus_free = 0
+        mem_acc = 0
+
+        # Inline branch predictor / BTB / RAS state.
+        bim_tab = bpred._bimodal
+        gsh_tab = bpred._gshare
+        cho_tab = bpred._chooser
+        bp_mask = bpred._mask
+        history = bpred._history
+        h_mask = bpred._history_mask
+        bp_lookups = bp_wrong = 0
+        btb_tags = btb._tags
+        btb_targets = btb._targets
+        btb_mask = btb._mask
+        ras_stack = ras._stack
+        ras_depth = ras.depth
+
+        # Control ops and NOPs contend only for issue bandwidth (no FU
+        # pool), exactly as in the per-event model.
+        fu_pools: List[Optional[List[int]]] = [None] * 12
+        for op_class, code in _CLASS_CODE.items():
+            if code in (_BRANCH, _JUMP, _CALL, _RET, _NOP):
+                continue
+            n_units = mdesc.units(op_class)
+            if n_units:
+                fu_pools[code] = [0] * n_units
         regs_ready = [0] * 64
         ruu: deque = deque()
+        ruu_append = ruu.append
+        ruu_popleft = ruu.popleft
         store_buffer: List[Tuple[int, int]] = []  # (drain_time, block)
 
         fetch_cycle = 0
@@ -177,7 +222,6 @@ class OooTimingModel:
         last_commit_cycle = -1
         commits_this_cycle = 0
 
-        n = len(trace)
         n_mispredicts = 0
         n_icache_stall_cycles = 0
         n_ruu_stalls = 0
@@ -190,18 +234,54 @@ class OooTimingModel:
                 warm_boundary_commit = last_commit
             if i == measure_to:
                 end_boundary_commit = last_commit
-            pc, ea = trace[i]
-            code = cls_tab[pc]
+            code = cls_pos[i]
 
             # ---------------- fetch ----------------
             if redirect_at > fetch_cycle:
                 fetch_cycle = redirect_at
                 slots = 0
                 cur_block = -1
-            byte_addr = TEXT_BASE + pc * INSTR_BYTES
-            block = byte_addr // block_size
+            block = blocks[i]
             if block != cur_block:
-                ilat = hierarchy.inst_latency(byte_addr, fetch_cycle)
+                # Inline inst_latency(byte_addr, fetch_cycle).
+                si = block % i_nsets
+                tag = block // i_nsets
+                ways = i_sets[si]
+                if ways and ways[-1] == tag:
+                    i_hits += 1
+                    ilat = icache_lat
+                else:
+                    try:
+                        ways.remove(tag)
+                        ways.append(tag)
+                        i_hits += 1
+                        ilat = icache_lat
+                    except ValueError:
+                        i_miss += 1
+                        ways.append(tag)
+                        if len(ways) > i_assoc:
+                            del ways[0]
+                        ilat = icache_lat + l2_lat
+                        si2 = block % l_nsets
+                        tag2 = block // l_nsets
+                        ways2 = l_sets[si2]
+                        if ways2 and ways2[-1] == tag2:
+                            l_hits += 1
+                        else:
+                            try:
+                                ways2.remove(tag2)
+                                ways2.append(tag2)
+                                l_hits += 1
+                            except ValueError:
+                                l_miss += 1
+                                ways2.append(tag2)
+                                if len(ways2) > l_assoc:
+                                    del ways2[0]
+                                req = fetch_cycle + ilat
+                                bstart = req if req > bus_free else bus_free
+                                bus_free = bstart + btc
+                                mem_acc += 1
+                                ilat += (bstart - req) + mem_lat
                 if ilat > icache_lat:
                     fetch_cycle += ilat - icache_lat
                     n_icache_stall_cycles += ilat - icache_lat
@@ -216,19 +296,19 @@ class OooTimingModel:
             # ---------------- dispatch (RUU) ----------------
             disp = fetch_time + FRONT_DEPTH
             if len(ruu) >= ruu_size:
-                oldest = ruu.popleft()
+                oldest = ruu_popleft()
                 if oldest > disp:
                     disp = oldest
                     n_ruu_stalls += 1
 
             # ---------------- issue ----------------
             ready = disp
-            for r in srcs_tab[pc]:
+            for r in srcs_pos[i]:
                 t = regs_ready[r]
                 if t > ready:
                     ready = t
             issue = ready
-            pool = fu_free.get(code)
+            pool = fu_pools[code]
             if pool is not None:
                 best = 0
                 best_t = pool[0]
@@ -242,22 +322,63 @@ class OooTimingModel:
 
             # ---------------- execute / complete ----------------
             if code == _LOAD:
-                fwd = False
+                ea = eas[i]
                 eb = ea // block_size
+                fwd = False
                 for drain, sblock in store_buffer:
                     if sblock == eb and drain > issue:
                         fwd = True
                         break
-                if fwd:
-                    complete = issue + 1
-                    hierarchy.warm_data(ea)
+                # Inline dl1/ul2 access (same tag updates whether the
+                # store buffer forwards or the hierarchy serves it).
+                si = eb % d_nsets
+                tag = eb // d_nsets
+                ways = d_sets[si]
+                if ways and ways[-1] == tag:
+                    d_hits += 1
+                    dlat = dcache_lat
+                    l2_needed = False
                 else:
-                    complete = issue + hierarchy.data_latency(ea, issue)
+                    try:
+                        ways.remove(tag)
+                        ways.append(tag)
+                        d_hits += 1
+                        dlat = dcache_lat
+                        l2_needed = False
+                    except ValueError:
+                        d_miss += 1
+                        ways.append(tag)
+                        if len(ways) > d_assoc:
+                            del ways[0]
+                        dlat = dcache_lat + l2_lat
+                        l2_needed = True
+                if l2_needed:
+                    si2 = eb % l_nsets
+                    tag2 = eb // l_nsets
+                    ways2 = l_sets[si2]
+                    if ways2 and ways2[-1] == tag2:
+                        l_hits += 1
+                    else:
+                        try:
+                            ways2.remove(tag2)
+                            ways2.append(tag2)
+                            l_hits += 1
+                        except ValueError:
+                            l_miss += 1
+                            ways2.append(tag2)
+                            if len(ways2) > l_assoc:
+                                del ways2[0]
+                            if not fwd:
+                                req = issue + dlat
+                                bstart = req if req > bus_free else bus_free
+                                bus_free = bstart + btc
+                                mem_acc += 1
+                                dlat += (bstart - req) + mem_lat
+                complete = issue + 1 if fwd else issue + dlat
             elif code == _STORE:
+                ea = eas[i]
                 if store_buffer:
-                    store_buffer = [
-                        sb for sb in store_buffer if sb[0] > issue
-                    ]
+                    store_buffer = [sb for sb in store_buffer if sb[0] > issue]
                     if len(store_buffer) >= sbuf_size:
                         earliest = min(sb[0] for sb in store_buffer)
                         if earliest > issue:
@@ -265,36 +386,144 @@ class OooTimingModel:
                         store_buffer = [
                             sb for sb in store_buffer if sb[0] > issue
                         ]
-                drain = issue + hierarchy.data_latency(ea, issue)
-                store_buffer.append((drain, ea // block_size))
+                eb = ea // block_size
+                si = eb % d_nsets
+                tag = eb // d_nsets
+                ways = d_sets[si]
+                if ways and ways[-1] == tag:
+                    d_hits += 1
+                    dlat = dcache_lat
+                else:
+                    try:
+                        ways.remove(tag)
+                        ways.append(tag)
+                        d_hits += 1
+                        dlat = dcache_lat
+                    except ValueError:
+                        d_miss += 1
+                        ways.append(tag)
+                        if len(ways) > d_assoc:
+                            del ways[0]
+                        dlat = dcache_lat + l2_lat
+                        si2 = eb % l_nsets
+                        tag2 = eb // l_nsets
+                        ways2 = l_sets[si2]
+                        if ways2 and ways2[-1] == tag2:
+                            l_hits += 1
+                        else:
+                            try:
+                                ways2.remove(tag2)
+                                ways2.append(tag2)
+                                l_hits += 1
+                            except ValueError:
+                                l_miss += 1
+                                ways2.append(tag2)
+                                if len(ways2) > l_assoc:
+                                    del ways2[0]
+                                req = issue + dlat
+                                bstart = req if req > bus_free else bus_free
+                                bus_free = bstart + btc
+                                mem_acc += 1
+                                dlat += (bstart - req) + mem_lat
+                store_buffer.append((issue + dlat, eb))
                 complete = issue + 1
             elif code == _PF:
-                hierarchy.prefetch(ea, issue)
+                # Inline hierarchy.prefetch(ea, issue).
+                ea = eas[i]
+                eb = ea // block_size
+                si = eb % d_nsets
+                tag = eb // d_nsets
+                ways = d_sets[si]
+                pf_l1_hit = False
+                if ways and ways[-1] == tag:
+                    d_hits += 1
+                    pf_l1_hit = True
+                else:
+                    try:
+                        ways.remove(tag)
+                        ways.append(tag)
+                        d_hits += 1
+                        pf_l1_hit = True
+                    except ValueError:
+                        d_miss += 1
+                        ways.append(tag)
+                        if len(ways) > d_assoc:
+                            del ways[0]
+                if not pf_l1_hit:
+                    si2 = eb % l_nsets
+                    tag2 = eb // l_nsets
+                    ways2 = l_sets[si2]
+                    if ways2 and ways2[-1] == tag2:
+                        l_hits += 1
+                    else:
+                        try:
+                            ways2.remove(tag2)
+                            ways2.append(tag2)
+                            l_hits += 1
+                        except ValueError:
+                            l_miss += 1
+                            ways2.append(tag2)
+                            if len(ways2) > l_assoc:
+                                del ways2[0]
+                            req = issue + l2_lat
+                            bstart = req if req > bus_free else bus_free
+                            bus_free = bstart + btc
+                            mem_acc += 1
                 complete = issue + 1
             else:
-                complete = issue + lat_tab[pc]
+                complete = issue + lat_pos[i]
 
-            d = dst_tab[pc]
+            d = dst_pos[i]
             if d >= 0:
                 regs_ready[d] = complete
 
             # ---------------- control flow ----------------
-            if i + 1 < n:
-                next_pc = trace[i + 1][0]
-            else:
-                next_pc = pc + 1
-            taken = next_pc != pc + 1
-
             if code == _BRANCH:
-                pred = bpred.predict_and_update(pc, taken)
+                pc = pcs[i]
+                taken = taken_pos[i]
+                # Inline bpred.predict_and_update(pc, taken).
+                pcm = pc & bp_mask
+                gsh = (pc ^ history) & bp_mask
+                if cho_tab[pcm] >= 2:
+                    pred = bim_tab[pcm] >= 2
+                else:
+                    pred = gsh_tab[gsh] >= 2
+                bp_lookups += 1
+                if pred != taken:
+                    bp_wrong += 1
+                bim_p = bim_tab[pcm] >= 2
+                gsh_p = gsh_tab[gsh] >= 2
+                if bim_p != gsh_p:
+                    c = cho_tab[pcm]
+                    if bim_p == taken:
+                        cho_tab[pcm] = c + 1 if c < 3 else 3
+                    else:
+                        cho_tab[pcm] = c - 1 if c > 0 else 0
+                b = bim_tab[pcm]
+                g = gsh_tab[gsh]
                 if taken:
-                    pred_target = btb.predict(pc)
-                    btb.update(pc, next_pc)
-                mispredict = pred != taken or (
-                    taken and pred and pred_target != next_pc
-                )
+                    bim_tab[pcm] = b + 1 if b < 3 else 3
+                    gsh_tab[gsh] = g + 1 if g < 3 else 3
+                    history = ((history << 1) | 1) & h_mask
+                else:
+                    bim_tab[pcm] = b - 1 if b > 0 else 0
+                    gsh_tab[gsh] = g - 1 if g > 0 else 0
+                    history = (history << 1) & h_mask
+                if taken:
+                    next_pc = next_pos[i]
+                    bi = pc & btb_mask
+                    pred_target = (
+                        btb_targets[bi] if btb_tags[bi] == pc else None
+                    )
+                    btb_tags[bi] = pc
+                    btb_targets[bi] = next_pc
+                    mispredict = (not pred) or pred_target != next_pc
+                else:
+                    mispredict = pred
                 if mispredict:
-                    redirect_at = max(redirect_at, complete + penalty)
+                    t = complete + penalty
+                    if t > redirect_at:
+                        redirect_at = t
                     n_mispredicts += 1
                 elif taken:
                     fetch_cycle = fetch_time + 1
@@ -305,14 +534,18 @@ class OooTimingModel:
                 slots = 0
                 cur_block = -1
             elif code == _CALL:
-                ras.push(pc + 1)
+                ras_stack.append(pcs[i] + 1)
+                if len(ras_stack) > ras_depth:
+                    del ras_stack[0]
                 fetch_cycle = fetch_time + 1
                 slots = 0
                 cur_block = -1
             elif code == _RET:
-                pred_pc = ras.pop()
-                if pred_pc != next_pc:
-                    redirect_at = max(redirect_at, complete + penalty)
+                pred_pc = ras_stack.pop() if ras_stack else None
+                if pred_pc != next_pos[i]:
+                    t = complete + penalty
+                    if t > redirect_at:
+                        redirect_at = t
                     n_mispredicts += 1
                 else:
                     fetch_cycle = fetch_time + 1
@@ -331,7 +564,20 @@ class OooTimingModel:
                 commits_this_cycle = 1
             last_commit_cycle = commit
             last_commit = commit
-            ruu.append(commit)
+            ruu_append(commit)
+
+        # Flush inline state and statistics back to the model objects.
+        il1.hits += i_hits
+        il1.misses += i_miss
+        dl1.hits += d_hits
+        dl1.misses += d_miss
+        ul2.hits += l_hits
+        ul2.misses += l_miss
+        hierarchy.bus_free = bus_free
+        hierarchy.memory_accesses += mem_acc
+        bpred._history = history
+        bpred.lookups += bp_lookups
+        bpred.mispredictions += bp_wrong
 
         if end_boundary_commit is None:
             end_boundary_commit = last_commit
@@ -358,34 +604,501 @@ class OooTimingModel:
         """Functional warming only: update caches and predictors.
 
         Used by SMARTS between detailed windows; no timing state changes.
+        Only *event* positions are visited: instruction-block changes,
+        loads/stores/prefetches, and control transfers.  Straight-line
+        instructions inside an already-tracked block touch no warming
+        state, so skipping them is exact, not an approximation.
         """
+        if start >= end:
+            return
+        cfg = self.config
         hierarchy = self.hierarchy
         bpred = self.bpred
         btb = self.btb
-        ras = self.ras
-        cls_tab = self.cls
-        block_size = self.config.block_size
-        n = len(trace)
-        cur_block = -1
-        for i in range(start, end):
-            pc, ea = trace[i]
-            byte_addr = TEXT_BASE + pc * INSTR_BYTES
-            block = byte_addr // block_size
-            if block != cur_block:
-                hierarchy.warm_inst(byte_addr)
-                cur_block = block
-            code = cls_tab[pc]
-            if code == _LOAD or code == _STORE:
-                hierarchy.warm_data(ea)
-            elif code == _PF:
-                hierarchy.prefetch(ea)
-            elif code == _BRANCH:
-                next_pc = trace[i + 1][0] if i + 1 < n else pc + 1
-                taken = next_pc != pc + 1
-                bpred.update(pc, taken)
+        T = self._tables(trace)
+        block_size = cfg.block_size
+        l2_lat = cfg.l2_latency
+        btc = cfg.bus_transfer_cycles
+
+        eas = T.eas
+        pcs = T.pcs
+        taken_pos = T.taken
+        next_pos = T.next_pc
+        byte_pos = T.byte_addr
+
+        il1 = hierarchy.il1
+        dl1 = hierarchy.dl1
+        ul2 = hierarchy.ul2
+        i_sets = il1._sets
+        i_nsets = il1.n_sets
+        i_assoc = il1.assoc
+        d_sets = dl1._sets
+        d_nsets = dl1.n_sets
+        d_assoc = dl1.assoc
+        l_sets = ul2._sets
+        l_nsets = ul2.n_sets
+        l_assoc = ul2.assoc
+        i_hits = i_miss = d_hits = d_miss = l_hits = l_miss = 0
+        bus_free = hierarchy.bus_free
+        mem_acc = 0
+
+        bim_tab = bpred._bimodal
+        gsh_tab = bpred._gshare
+        cho_tab = bpred._chooser
+        bp_mask = bpred._mask
+        history = bpred._history
+        h_mask = bpred._history_mask
+        btb_tags = btb._tags
+        btb_targets = btb._targets
+        btb_mask = btb._mask
+        ras_stack = self.ras._stack
+        ras_depth = self.ras.depth
+
+        from bisect import bisect_left
+
+        ev_pos, ev_kind = T.events_for(block_size)
+        lo = bisect_left(ev_pos, start)
+        hi = bisect_left(ev_pos, end)
+        # The warm loop tracks the current instruction block per call
+        # (reset at the window start), so the first instruction always
+        # warms IL1 even mid-block, unless its block-change event is
+        # about to do exactly that.
+        if lo >= hi or ev_pos[lo] != start or ev_kind[lo] != EV_INST:
+            blk = byte_pos[start] // block_size
+            si = blk % i_nsets
+            tag = blk // i_nsets
+            ways = i_sets[si]
+            if ways and ways[-1] == tag:
+                i_hits += 1
+            else:
+                try:
+                    ways.remove(tag)
+                    ways.append(tag)
+                    i_hits += 1
+                except ValueError:
+                    i_miss += 1
+                    ways.append(tag)
+                    if len(ways) > i_assoc:
+                        del ways[0]
+                    si2 = blk % l_nsets
+                    tag2 = blk // l_nsets
+                    ways2 = l_sets[si2]
+                    if ways2 and ways2[-1] == tag2:
+                        l_hits += 1
+                    else:
+                        try:
+                            ways2.remove(tag2)
+                            ways2.append(tag2)
+                            l_hits += 1
+                        except ValueError:
+                            l_miss += 1
+                            ways2.append(tag2)
+                            if len(ways2) > l_assoc:
+                                del ways2[0]
+
+        for idx in range(lo, hi):
+            kind = ev_kind[idx]
+            i = ev_pos[idx]
+            if kind == EV_INST:
+                blk = byte_pos[i] // block_size
+                si = blk % i_nsets
+                tag = blk // i_nsets
+                ways = i_sets[si]
+                if ways and ways[-1] == tag:
+                    i_hits += 1
+                    continue
+                try:
+                    ways.remove(tag)
+                    ways.append(tag)
+                    i_hits += 1
+                except ValueError:
+                    i_miss += 1
+                    ways.append(tag)
+                    if len(ways) > i_assoc:
+                        del ways[0]
+                    si2 = blk % l_nsets
+                    tag2 = blk // l_nsets
+                    ways2 = l_sets[si2]
+                    if ways2 and ways2[-1] == tag2:
+                        l_hits += 1
+                    else:
+                        try:
+                            ways2.remove(tag2)
+                            ways2.append(tag2)
+                            l_hits += 1
+                        except ValueError:
+                            l_miss += 1
+                            ways2.append(tag2)
+                            if len(ways2) > l_assoc:
+                                del ways2[0]
+            elif kind == EV_DATA:
+                blk = eas[i] // block_size
+                si = blk % d_nsets
+                tag = blk // d_nsets
+                ways = d_sets[si]
+                if ways and ways[-1] == tag:
+                    d_hits += 1
+                    continue
+                try:
+                    ways.remove(tag)
+                    ways.append(tag)
+                    d_hits += 1
+                except ValueError:
+                    d_miss += 1
+                    ways.append(tag)
+                    if len(ways) > d_assoc:
+                        del ways[0]
+                    si2 = blk % l_nsets
+                    tag2 = blk // l_nsets
+                    ways2 = l_sets[si2]
+                    if ways2 and ways2[-1] == tag2:
+                        l_hits += 1
+                    else:
+                        try:
+                            ways2.remove(tag2)
+                            ways2.append(tag2)
+                            l_hits += 1
+                        except ValueError:
+                            l_miss += 1
+                            ways2.append(tag2)
+                            if len(ways2) > l_assoc:
+                                del ways2[0]
+            elif kind == EV_BRANCH:
+                pc = pcs[i]
+                taken = taken_pos[i]
+                # Inline bpred.update(pc, taken) -- warming trains the
+                # tables but records no prediction statistics.
+                pcm = pc & bp_mask
+                gsh = (pc ^ history) & bp_mask
+                bim_p = bim_tab[pcm] >= 2
+                gsh_p = gsh_tab[gsh] >= 2
+                if bim_p != gsh_p:
+                    c = cho_tab[pcm]
+                    if bim_p == taken:
+                        cho_tab[pcm] = c + 1 if c < 3 else 3
+                    else:
+                        cho_tab[pcm] = c - 1 if c > 0 else 0
+                b = bim_tab[pcm]
+                g = gsh_tab[gsh]
                 if taken:
-                    btb.update(pc, next_pc)
-            elif code == _CALL:
-                ras.push(pc + 1)
-            elif code == _RET:
-                ras.pop()
+                    bim_tab[pcm] = b + 1 if b < 3 else 3
+                    gsh_tab[gsh] = g + 1 if g < 3 else 3
+                    history = ((history << 1) | 1) & h_mask
+                    bi = pc & btb_mask
+                    btb_tags[bi] = pc
+                    btb_targets[bi] = next_pos[i]
+                else:
+                    bim_tab[pcm] = b - 1 if b > 0 else 0
+                    gsh_tab[gsh] = g - 1 if g > 0 else 0
+                    history = (history << 1) & h_mask
+            elif kind == EV_CALL:
+                ras_stack.append(pcs[i] + 1)
+                if len(ras_stack) > ras_depth:
+                    del ras_stack[0]
+            elif kind == EV_RET:
+                if ras_stack:
+                    ras_stack.pop()
+            elif kind == EV_PF:
+                # Inline hierarchy.prefetch(ea) at now=0: fills DL1/L2
+                # and occupies the bus on a memory miss.
+                blk = eas[i] // block_size
+                si = blk % d_nsets
+                tag = blk // d_nsets
+                ways = d_sets[si]
+                if ways and ways[-1] == tag:
+                    d_hits += 1
+                    continue
+                try:
+                    ways.remove(tag)
+                    ways.append(tag)
+                    d_hits += 1
+                except ValueError:
+                    d_miss += 1
+                    ways.append(tag)
+                    if len(ways) > d_assoc:
+                        del ways[0]
+                    si2 = blk % l_nsets
+                    tag2 = blk // l_nsets
+                    ways2 = l_sets[si2]
+                    if ways2 and ways2[-1] == tag2:
+                        l_hits += 1
+                    else:
+                        try:
+                            ways2.remove(tag2)
+                            ways2.append(tag2)
+                            l_hits += 1
+                        except ValueError:
+                            l_miss += 1
+                            ways2.append(tag2)
+                            if len(ways2) > l_assoc:
+                                del ways2[0]
+                            req = l2_lat
+                            bstart = req if req > bus_free else bus_free
+                            bus_free = bstart + btc
+                            mem_acc += 1
+            # EV_JUMP: no warming state (only replay_window needs it).
+
+        il1.hits += i_hits
+        il1.misses += i_miss
+        dl1.hits += d_hits
+        dl1.misses += d_miss
+        ul2.hits += l_hits
+        ul2.misses += l_miss
+        hierarchy.bus_free = bus_free
+        hierarchy.memory_accesses += mem_acc
+        bpred._history = history
+
+    # ------------------------------------------------------------------
+    def replay_window(
+        self, trace: Sequence[Tuple[int, int]], start: int, end: int
+    ) -> None:
+        """Replicate a detailed window's state without the timing model.
+
+        Used by the SMARTS memo on a unit hit: the unit's cycles come
+        from the memo, but the caches, predictor, BTB and RAS must end
+        up exactly as the detailed simulation would have left them so
+        every subsequent unit stays bit-identical.  This works because
+        the detailed pipeline's cache/predictor *update sequence* is
+        timing-independent:
+
+        * data-side tag updates are the same whether a load is forwarded
+          from the store buffer (``warm_data``) or served by the
+          hierarchy (``data_latency``) -- DL1 access, then UL2 on miss;
+        * the front end re-accesses IL1 exactly after every *taken*
+          control transfer and after every misprediction, and a pending
+          redirect always lands on the immediately following instruction
+          (the resolve cycle exceeds the next fetch cycle by
+          construction: ``complete + penalty >= fetch + FRONT_DEPTH + 2``
+          while the next fetch is at most ``fetch + 1``);
+        * mispredictions are pure predictor-state functions of the
+          branch history, not of the cycle clock.
+
+        Statistics (cache hits/misses, predictor lookups/mispredicts)
+        match the detailed window too; the only divergence is
+        ``memory_accesses`` on the rare store-forwarded load that misses
+        both caches, where the detailed path skips the bus transaction.
+        """
+        cfg = self.config
+        hierarchy = self.hierarchy
+        T = self._tables(trace)
+        block_size = cfg.block_size
+
+        eas = T.eas
+        pcs = T.pcs
+        taken_pos = T.taken
+        next_pos = T.next_pc
+        blocks = T.blocks_for(block_size)
+
+        il1 = hierarchy.il1
+        dl1 = hierarchy.dl1
+        ul2 = hierarchy.ul2
+        i_sets = il1._sets
+        i_nsets = il1.n_sets
+        i_assoc = il1.assoc
+        d_sets = dl1._sets
+        d_nsets = dl1.n_sets
+        d_assoc = dl1.assoc
+        l_sets = ul2._sets
+        l_nsets = ul2.n_sets
+        l_assoc = ul2.assoc
+        i_hits = i_miss = d_hits = d_miss = l_hits = l_miss = 0
+        hierarchy.reset_bus()
+        mem_acc = 0
+
+        bpred = self.bpred
+        bim_tab = bpred._bimodal
+        gsh_tab = bpred._gshare
+        cho_tab = bpred._chooser
+        bp_mask = bpred._mask
+        history = bpred._history
+        h_mask = bpred._history_mask
+        bp_lookups = bp_wrong = 0
+        btb_tags = self.btb._tags
+        btb_targets = self.btb._targets
+        btb_mask = self.btb._mask
+        ras_stack = self.ras._stack
+        ras_depth = self.ras.depth
+
+        from bisect import bisect_left
+
+        ev_pos, ev_kind = T.events_for(block_size)
+        lo = bisect_left(ev_pos, start)
+        hi = bisect_left(ev_pos, end)
+        # `forced` is the next position whose instruction fetch must
+        # access IL1 regardless of block-change events: the window start
+        # (cold block tracker) and the instruction after every taken
+        # transfer or misprediction (fetch redirect).
+        forced = start
+        idx = lo
+        while idx <= hi:
+            if idx < hi:
+                i = ev_pos[idx]
+                kind = ev_kind[idx]
+            else:
+                i = end
+                kind = -1
+            if 0 <= forced <= i and forced < end:
+                if forced < i or kind != EV_INST:
+                    blk = blocks[forced]
+                    si = blk % i_nsets
+                    tag = blk // i_nsets
+                    ways = i_sets[si]
+                    if ways and ways[-1] == tag:
+                        i_hits += 1
+                    else:
+                        try:
+                            ways.remove(tag)
+                            ways.append(tag)
+                            i_hits += 1
+                        except ValueError:
+                            i_miss += 1
+                            ways.append(tag)
+                            if len(ways) > i_assoc:
+                                del ways[0]
+                            si2 = blk % l_nsets
+                            tag2 = blk // l_nsets
+                            ways2 = l_sets[si2]
+                            if ways2 and ways2[-1] == tag2:
+                                l_hits += 1
+                            else:
+                                try:
+                                    ways2.remove(tag2)
+                                    ways2.append(tag2)
+                                    l_hits += 1
+                                except ValueError:
+                                    l_miss += 1
+                                    ways2.append(tag2)
+                                    if len(ways2) > l_assoc:
+                                        del ways2[0]
+                                    mem_acc += 1
+                forced = -1
+            if idx >= hi:
+                break
+            idx += 1
+            if kind == EV_INST:
+                blk = blocks[i]
+                si = blk % i_nsets
+                tag = blk // i_nsets
+                ways = i_sets[si]
+                if ways and ways[-1] == tag:
+                    i_hits += 1
+                    continue
+                try:
+                    ways.remove(tag)
+                    ways.append(tag)
+                    i_hits += 1
+                except ValueError:
+                    i_miss += 1
+                    ways.append(tag)
+                    if len(ways) > i_assoc:
+                        del ways[0]
+                    si2 = blk % l_nsets
+                    tag2 = blk // l_nsets
+                    ways2 = l_sets[si2]
+                    if ways2 and ways2[-1] == tag2:
+                        l_hits += 1
+                    else:
+                        try:
+                            ways2.remove(tag2)
+                            ways2.append(tag2)
+                            l_hits += 1
+                        except ValueError:
+                            l_miss += 1
+                            ways2.append(tag2)
+                            if len(ways2) > l_assoc:
+                                del ways2[0]
+                            mem_acc += 1
+            elif kind == EV_DATA or kind == EV_PF:
+                blk = eas[i] // block_size
+                si = blk % d_nsets
+                tag = blk // d_nsets
+                ways = d_sets[si]
+                if ways and ways[-1] == tag:
+                    d_hits += 1
+                    continue
+                try:
+                    ways.remove(tag)
+                    ways.append(tag)
+                    d_hits += 1
+                except ValueError:
+                    d_miss += 1
+                    ways.append(tag)
+                    if len(ways) > d_assoc:
+                        del ways[0]
+                    si2 = blk % l_nsets
+                    tag2 = blk // l_nsets
+                    ways2 = l_sets[si2]
+                    if ways2 and ways2[-1] == tag2:
+                        l_hits += 1
+                    else:
+                        try:
+                            ways2.remove(tag2)
+                            ways2.append(tag2)
+                            l_hits += 1
+                        except ValueError:
+                            l_miss += 1
+                            ways2.append(tag2)
+                            if len(ways2) > l_assoc:
+                                del ways2[0]
+                            mem_acc += 1
+            elif kind == EV_BRANCH:
+                pc = pcs[i]
+                taken = taken_pos[i]
+                pcm = pc & bp_mask
+                gsh = (pc ^ history) & bp_mask
+                if cho_tab[pcm] >= 2:
+                    pred = bim_tab[pcm] >= 2
+                else:
+                    pred = gsh_tab[gsh] >= 2
+                bp_lookups += 1
+                if pred != taken:
+                    bp_wrong += 1
+                bim_p = bim_tab[pcm] >= 2
+                gsh_p = gsh_tab[gsh] >= 2
+                if bim_p != gsh_p:
+                    c = cho_tab[pcm]
+                    if bim_p == taken:
+                        cho_tab[pcm] = c + 1 if c < 3 else 3
+                    else:
+                        cho_tab[pcm] = c - 1 if c > 0 else 0
+                b = bim_tab[pcm]
+                g = gsh_tab[gsh]
+                if taken:
+                    bim_tab[pcm] = b + 1 if b < 3 else 3
+                    gsh_tab[gsh] = g + 1 if g < 3 else 3
+                    history = ((history << 1) | 1) & h_mask
+                    next_pc = next_pos[i]
+                    bi = pc & btb_mask
+                    pred_target = (
+                        btb_targets[bi] if btb_tags[bi] == pc else None
+                    )
+                    btb_tags[bi] = pc
+                    btb_targets[bi] = next_pc
+                    forced = i + 1  # taken or mispredicted: fetch redirects
+                else:
+                    bim_tab[pcm] = b - 1 if b > 0 else 0
+                    gsh_tab[gsh] = g - 1 if g > 0 else 0
+                    history = (history << 1) & h_mask
+                    if pred:
+                        forced = i + 1  # predicted taken, was not: redirect
+            elif kind == EV_JUMP:
+                forced = i + 1
+            elif kind == EV_CALL:
+                ras_stack.append(pcs[i] + 1)
+                if len(ras_stack) > ras_depth:
+                    del ras_stack[0]
+                forced = i + 1
+            elif kind == EV_RET:
+                ras_stack.pop() if ras_stack else None
+                forced = i + 1
+
+        il1.hits += i_hits
+        il1.misses += i_miss
+        dl1.hits += d_hits
+        dl1.misses += d_miss
+        ul2.hits += l_hits
+        ul2.misses += l_miss
+        hierarchy.memory_accesses += mem_acc
+        bpred._history = history
+        bpred.lookups += bp_lookups
+        bpred.mispredictions += bp_wrong

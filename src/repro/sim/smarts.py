@@ -23,10 +23,13 @@ from typing import List, Optional, Sequence, Tuple
 from repro.codegen.linker import Executable
 from repro.obs import counter, span
 from repro.sim.config import MicroarchConfig
+from repro.sim.memo import TimingMemo, timing_key
 from repro.sim.ooo import OooTimingModel, TimingResult
+from repro.sim.tracepack import _md5, packed_for, static_digest
 
 _UNITS_SAMPLED = counter("smarts.units.sampled")
 _UNITS_SKIPPED = counter("smarts.units.skipped")
+_UNITS_REPLAYED = counter("smarts.units.replayed")
 
 #: z-value for 99.7% confidence (three sigma), as the paper quotes.
 Z_997 = 3.0
@@ -61,6 +64,7 @@ def smarts_simulate(
     offset: int = 0,
     detailed_warmup: int = 300,
     detailed_cooldown: int = 150,
+    memo: Optional[TimingMemo] = None,
 ) -> SmartsResult:
     """Estimate execution time by systematic sampling.
 
@@ -80,11 +84,49 @@ def smarts_simulate(
     detailed_cooldown:
         Instructions simulated past each unit's end so the measured
         interval ends with a full pipeline (removing drain bias).
+    memo:
+        Optional :class:`repro.sim.memo.TimingMemo`.  Run-level hits
+        skip the simulation entirely; unit-level hits replace a sampled
+        unit's detailed window with the cheaper exact state replay
+        (:meth:`OooTimingModel.replay_window`).  Results are
+        bit-identical with and without a memo by construction
+        (test-enforced).
     """
     if unit_size < 1 or interval < 1:
         raise ValueError("unit_size and interval must be positive")
-    model = OooTimingModel(exe, config)
     n = len(trace)
+    run_key = None
+    packed = None
+    chain = None
+    if memo is not None:
+        packed = packed_for(exe, trace)
+        static_dig = static_digest(exe)
+        tkey = timing_key(config)
+        run_key = TimingMemo.run_key(
+            static_dig,
+            packed.digest(),
+            tkey,
+            "smarts",
+            unit_size,
+            interval,
+            offset,
+            detailed_warmup,
+            detailed_cooldown,
+        )
+        hit = memo.get_run(run_key)
+        if hit is not None:
+            return SmartsResult(**hit)
+        # Chained prefix digest: after processing the unit ending at
+        # ``pos``, ``chain`` covers the schedule header plus every trace
+        # byte in [0, pos) -- everything a unit's incoming cache and
+        # predictor state can depend on.
+        chain = _md5(
+            (
+                f"{static_dig}|{tkey}|{unit_size}|{interval}|{offset}|"
+                f"{detailed_warmup}|{detailed_cooldown}"
+            ).encode()
+        )
+    model = OooTimingModel(exe, config)
     unit_cpis: List[float] = []
     pos = 0
     unit_index = 0
@@ -93,20 +135,49 @@ def smarts_simulate(
         if unit_index % interval == offset % interval:
             warm_start = max(0, pos - detailed_warmup)
             cool_end = min(n, end + detailed_cooldown)
-            with span("smarts.detailed_unit", unit=unit_index, instructions=end - pos):
-                result = model.simulate_window(
-                    trace, warm_start, cool_end, measure_from=pos, measure_to=end
-                )
-            _UNITS_SAMPLED.inc()
-            # Keep cache/predictor state consistent: the cooldown
-            # instructions were simulated in detail, which already warmed
-            # them; skip re-warming only for the unit itself.
-            if result.instructions > 0:
-                unit_cpis.append(result.cycles / result.instructions)
+            unit_key = None
+            unit_hit = None
+            if memo is not None:
+                h = chain.copy()
+                h.update(packed.segment_bytes(pos, cool_end))
+                h.update(f"|{warm_start}|{pos}|{end}|{cool_end}".encode())
+                unit_key = h.hexdigest()
+                unit_hit = memo.get_unit(unit_key)
+            if unit_hit is not None:
+                # The unit's cycles come from the memo; replay the
+                # window so caches/predictors end up exactly as the
+                # detailed simulation would have left them (subsequent
+                # units stay bit-identical).
+                with span(
+                    "smarts.replay_unit", unit=unit_index, instructions=end - pos
+                ):
+                    model.replay_window(trace, warm_start, cool_end)
+                _UNITS_SAMPLED.inc()
+                _UNITS_REPLAYED.inc()
+                cycles, instructions = unit_hit
+                if instructions > 0:
+                    unit_cpis.append(cycles / instructions)
+            else:
+                with span(
+                    "smarts.detailed_unit", unit=unit_index, instructions=end - pos
+                ):
+                    result = model.simulate_window(
+                        trace, warm_start, cool_end, measure_from=pos, measure_to=end
+                    )
+                _UNITS_SAMPLED.inc()
+                if memo is not None:
+                    memo.put_unit(unit_key, result.cycles, result.instructions)
+                # Keep cache/predictor state consistent: the cooldown
+                # instructions were simulated in detail, which already warmed
+                # them; skip re-warming only for the unit itself.
+                if result.instructions > 0:
+                    unit_cpis.append(result.cycles / result.instructions)
         else:
             with span("smarts.warm", unit=unit_index, instructions=end - pos):
                 model.warm(trace, pos, end)
             _UNITS_SKIPPED.inc()
+        if memo is not None:
+            chain.update(packed.segment_bytes(pos, end))
         pos = end
         unit_index += 1
 
@@ -114,32 +185,44 @@ def smarts_simulate(
         # Degenerate short trace: fall back to detailed simulation.
         with span("smarts.fallback_detailed", instructions=n):
             result = model.simulate_trace(trace)
-        return SmartsResult(
+        outcome = SmartsResult(
             estimated_cycles=float(result.cycles),
             cpi=result.cpi,
             relative_error=0.0,
             sampled_units=1,
             instructions=n,
         )
-
-    k = len(unit_cpis)
-    mean_cpi = sum(unit_cpis) / k
-    if k > 1:
-        var = sum((c - mean_cpi) ** 2 for c in unit_cpis) / (k - 1)
-        stderr = math.sqrt(var / k)
-        rel_err = Z_997 * stderr / mean_cpi if mean_cpi > 0 else 0.0
-    elif n <= unit_size:
-        # The single unit covered the whole trace: the estimate is exact.
-        rel_err = 0.0
     else:
-        rel_err = float("inf")
-    return SmartsResult(
-        estimated_cycles=mean_cpi * n,
-        cpi=mean_cpi,
-        relative_error=rel_err,
-        sampled_units=k,
-        instructions=n,
-    )
+        k = len(unit_cpis)
+        mean_cpi = sum(unit_cpis) / k
+        if k > 1:
+            var = sum((c - mean_cpi) ** 2 for c in unit_cpis) / (k - 1)
+            stderr = math.sqrt(var / k)
+            rel_err = Z_997 * stderr / mean_cpi if mean_cpi > 0 else 0.0
+        elif n <= unit_size:
+            # The single unit covered the whole trace: the estimate is exact.
+            rel_err = 0.0
+        else:
+            rel_err = float("inf")
+        outcome = SmartsResult(
+            estimated_cycles=mean_cpi * n,
+            cpi=mean_cpi,
+            relative_error=rel_err,
+            sampled_units=k,
+            instructions=n,
+        )
+    if memo is not None:
+        memo.put_run(
+            run_key,
+            {
+                "estimated_cycles": outcome.estimated_cycles,
+                "cpi": outcome.cpi,
+                "relative_error": outcome.relative_error,
+                "sampled_units": outcome.sampled_units,
+                "instructions": outcome.instructions,
+            },
+        )
+    return outcome
 
 
 def smarts_with_target_error(
@@ -149,6 +232,7 @@ def smarts_with_target_error(
     target_relative_error: float = 0.01,
     unit_size: int = 1000,
     initial_interval: int = 20,
+    memo: Optional[TimingMemo] = None,
 ) -> SmartsResult:
     """Iteratively densify sampling until the error bound is met.
 
@@ -161,7 +245,7 @@ def smarts_with_target_error(
     interval = initial_interval
     while True:
         result = smarts_simulate(
-            exe, config, trace, unit_size=unit_size, interval=interval
+            exe, config, trace, unit_size=unit_size, interval=interval, memo=memo
         )
         if result.relative_error <= target_relative_error or interval == 1:
             return result

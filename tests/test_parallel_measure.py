@@ -2,6 +2,8 @@
 concurrent-writer-safe persistent cache."""
 
 import json
+from collections import OrderedDict
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
@@ -9,6 +11,7 @@ import pytest
 
 from repro.harness.configs import TABLE5_CONFIGS
 from repro.harness.measure import (
+    _BATCH_SUBMITTED,
     EngineOracle,
     Measurement,
     MeasurementEngine,
@@ -90,6 +93,94 @@ class TestMeasureBatch:
         assert default_jobs() == 1
         monkeypatch.setenv("REPRO_JOBS", "0")
         assert default_jobs() >= 1
+
+
+class TestChunkPlanning:
+    """The 0.39x regression came from one future per point: every task
+    paid pool pickling + telemetry overhead and points sharing a binary
+    were recompiled in different workers.  The planner must emit at most
+    one chunk per worker, keep same-binary points contiguous, and split
+    at cost-model boundaries."""
+
+    @staticmethod
+    def _pending(engine, requests):
+        pending = OrderedDict()
+        for i, (w, comp, micro, inp) in enumerate(requests):
+            key = engine._result_key(
+                w, inp, comp, micro, engine.mode, engine.smarts_interval
+            )
+            pending.setdefault(key, []).append(i)
+        return pending
+
+    def test_one_chunk_per_worker_and_same_binary_contiguous(self):
+        engine = MeasurementEngine()
+        micro = TABLE5_CONFIGS["typical"]
+        # Same issue width => O2 points share one binary, O3 points
+        # another, interleaved in request order.
+        micro_b = replace(micro, memory_latency=micro.memory_latency + 50)
+        requests = [
+            ("art", O2, micro, "train"),
+            ("art", O3, micro, "train"),
+            ("art", O2, micro_b, "train"),
+            ("art", O3, micro_b, "train"),
+        ]
+        pending = self._pending(engine, requests)
+        chunks = engine._plan_chunks(requests, pending, 2)
+        assert len(chunks) == 2, "must submit exactly one chunk per worker"
+        planned = sorted(t[0] for chunk in chunks for t in chunk)
+        assert planned == sorted(pending), "chunks must cover pending exactly"
+        for chunk in chunks:
+            compilers = {t[2].cache_key() for t in chunk}
+            assert len(compilers) == 1, (
+                "points sharing a binary were split across workers"
+            )
+
+    def test_chunks_split_at_cost_boundaries(self):
+        engine = MeasurementEngine()
+        # art points are 5x the cost of gzip points: the planner must
+        # not hand one worker all the expensive ones plus half the rest.
+        engine._point_cost[("art", "train")] = 5.0
+        engine._point_cost[("gzip", "train")] = 1.0
+        micro = TABLE5_CONFIGS["typical"]
+        requests = [
+            ("art", O2, micro, "train"),
+            ("gzip", O2, micro, "train"),
+            ("art", O3, micro, "train"),
+            ("gzip", O3, micro, "train"),
+        ]
+        pending = self._pending(engine, requests)
+        chunks = engine._plan_chunks(requests, pending, 2)
+        assert len(chunks) == 2
+        costs = [
+            sum(engine._estimated_cost(t[1], t[4]) for t in chunk)
+            for chunk in chunks
+        ]
+        assert max(costs) <= 0.75 * sum(costs), (
+            f"cost-imbalanced chunks: {costs}"
+        )
+
+    def test_planner_caps_chunks_at_pending_count(self):
+        engine = MeasurementEngine()
+        micro = TABLE5_CONFIGS["typical"]
+        requests = [("art", O2, micro, "train")]
+        pending = self._pending(engine, requests)
+        chunks = engine._plan_chunks(requests, pending, 8)
+        assert len(chunks) == 1
+
+    def test_pool_submits_at_most_one_task_per_worker(self):
+        """End-to-end regression test: a 4-point cold batch at jobs=2
+        must enqueue at most 2 pool tasks (the old backend enqueued 4)."""
+        _, points = _random_points(4, seed=6)
+        serial = MeasurementEngine()
+        expected = [serial.measure("art", p) for p in points]
+        engine = MeasurementEngine()
+        before = _BATCH_SUBMITTED.value
+        got = engine.measure_batch("art", points, jobs=2)
+        submitted = _BATCH_SUBMITTED.value - before
+        assert submitted <= 2, (
+            f"{submitted} pool tasks submitted for a 4-point batch at jobs=2"
+        )
+        assert got == expected
 
 
 class TestBatchOracleProtocol:
