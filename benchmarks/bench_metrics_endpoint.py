@@ -20,7 +20,8 @@ Phases are interleaved (plain, scraped, plain, scraped) and time-based
 so slow drift on a noisy host hits both sides equally and a single
 scrape cannot dominate a short phase.
 
-Results land in ``results/metrics_endpoint.txt``.
+Results land in the committed ``BENCH_metrics_endpoint.json`` via
+``repro bench`` (the regression gate owns the <2% enforcement).
 """
 
 import gc
@@ -133,22 +134,6 @@ def _measure(tmp_dir, quick: bool) -> dict:
         "scraped_over_plain_ratio": scraped_rate / plain_rate,
         "scrapes": float(scrapes),
     }
-
-
-def test_metrics_endpoint_overhead(tmp_path, report_sink):
-    m = _measure(tmp_path, quick=False)
-    text = (
-        f"/metrics scrape cost on live predict traffic "
-        f"(wire, batch {BATCH}, scrape every {SCRAPE_INTERVAL_S * 1e3:.0f} ms)\n"
-        f"  plain throughput     {m['plain_preds_per_s']:12,.0f} pred/s\n"
-        f"  scraped throughput   {m['scraped_preds_per_s']:12,.0f} pred/s\n"
-        f"  scraped/plain ratio  {m['scraped_over_plain_ratio']:12.4f}\n"
-        f"  scrapes completed    {m['scrapes']:12,.0f}"
-    )
-    report_sink("metrics_endpoint", text)
-    # Loose floor for noisy single-core CI hosts; the regression gate
-    # on the committed baseline is the real <2% enforcement.
-    assert m["scraped_over_plain_ratio"] > 0.80
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,144 @@
+"""Static-oracle fast path: cold speedup and fidelity vs the simulator.
+
+The ``--oracle static`` path exists to answer design-space queries
+without compiling, tracing or simulating anything.  Its acceptance
+criteria, both gated here:
+
+* ``speedup_vs_accurate`` -- predicting every workload across the
+  seeded design points must be **>= 100x faster cold** than the
+  accurate simulator.  "Cold" means fresh state on both sides: the
+  static side pays its full analyze + remark-harvest + model build per
+  workload; the accurate side runs compile + trace + simulate into a
+  fresh artifact store (timed on a sample of points, then scaled --
+  simulating every point just to time it would make the benchmark
+  slower than the thing it guards).
+* ``min_rank_corr`` -- the estimates must *rank* the design points the
+  way the accurate simulator does, Spearman >= 0.8 on every workload
+  (per-workload values are recorded as ``rank_corr_<workload>``).
+  Pointwise cycle error is explicitly not gated: the analytical model
+  is for steering searches and screening candidates, and for that the
+  ordering is what matters (the paper's own empirical models are
+  likewise judged on ranking the optimization space).
+
+The design points come from ``full_space().random_point`` under a fixed
+seed, so the committed baseline, the drift lint and re-runs all see the
+same 32-point slice of the space.  Accurate reference cycles go through
+the default (cached) engine: fidelity does not depend on cache state,
+only the timing measurement does, and that always uses fresh stores.
+
+Results land in the committed ``BENCH_static_oracle.json`` via
+``repro bench``; CI runs the quick variant (2 workloads, 16 points)
+whose floors must hold just the same.
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs import BenchScenario
+
+#: Same seed as the calibration sweep; estimates are deterministic.
+SEED = 20260807
+SPEEDUP_FLOOR = 100.0
+CORR_FLOOR = 0.8
+
+
+def _rank_corr(est, ref):
+    from repro.analysis.static.driftlint import spearman
+
+    return spearman(est, ref)
+
+
+def _static_cold_seconds(workload, splits):
+    """Analyze + build + estimate every point from a cold start."""
+    from repro.analysis.static.oracle import StaticOracle
+
+    oracle = StaticOracle()  # private instance: no shared warm cache
+    t0 = time.perf_counter()
+    est = [
+        oracle.estimate(workload, comp, micro).cycles
+        for comp, micro in splits
+    ]
+    return est, time.perf_counter() - t0
+
+
+def _accurate_cold_seconds_per_point(workload, points, store):
+    """Time the accurate simulator into fresh stores (no memo, no
+    result cache, no prebuilt artifacts)."""
+    from repro.harness.measure import MeasurementEngine
+
+    engine = MeasurementEngine(
+        cache_dir=None,
+        artifact_dir=str(store / "artifacts"),
+        memo_path=str(store / "sim_memo.json"),
+    )
+    t0 = time.perf_counter()
+    for p in points:
+        engine.measure(workload, p)
+    return (time.perf_counter() - t0) / len(points)
+
+
+def _bench(quick: bool) -> dict:
+    from repro.harness.configs import split_point
+    from repro.harness.measure import default_engine
+    from repro.space import full_space
+    from repro.workloads import workload_names
+
+    workloads = ["art", "gzip"] if quick else sorted(workload_names())
+    n_points = 16 if quick else 32
+    n_timed = 1 if quick else 2
+
+    space = full_space()
+    rng = np.random.default_rng(SEED)
+    points = [space.random_point(rng) for _ in range(32)][:n_points]
+    splits = [split_point(p) for p in points]
+
+    engine = default_engine()
+    corrs = {}
+    static_s = 0.0
+    acc_s_per_point = 0.0
+    with tempfile.TemporaryDirectory(prefix="repro-bench-oracle-") as d:
+        for i, w in enumerate(workloads):
+            est, t_static = _static_cold_seconds(w, splits)
+            static_s += t_static
+            ref = [engine.measure(w, p).cycles for p in points]
+            corrs[w] = _rank_corr(est, ref)
+            acc_s_per_point += _accurate_cold_seconds_per_point(
+                w, points[:n_timed], Path(d) / f"store{i}"
+            )
+    acc_s_per_point /= len(workloads)
+
+    total_acc_s = acc_s_per_point * len(workloads) * n_points
+    speedup = total_acc_s / max(static_s, 1e-9)
+    min_corr = min(corrs.values())
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"static oracle only {speedup:.0f}x faster than the accurate "
+        f"simulator cold (floor {SPEEDUP_FLOOR:.0f}x)"
+    )
+    assert min_corr >= CORR_FLOOR, (
+        f"static estimates mis-rank the design points: min Spearman "
+        f"{min_corr:.3f} < {CORR_FLOOR} across {corrs}"
+    )
+    out = {
+        "speedup_vs_accurate": speedup,
+        "min_rank_corr": min_corr,
+        "mean_rank_corr": sum(corrs.values()) / len(corrs),
+        "static_s_total_cold": static_s,
+        "accurate_s_per_point_cold": acc_s_per_point,
+        "n_workloads": float(len(workloads)),
+        "n_points": float(n_points),
+    }
+    for w, c in corrs.items():
+        out[f"rank_corr_{w}"] = c
+    return out
+
+
+BENCH_SCENARIO = BenchScenario(
+    name="static_oracle",
+    description="--oracle static cold speedup and rank fidelity vs simulator",
+    run=_bench,
+    gates={"speedup_vs_accurate": "higher", "min_rank_corr": "higher"},
+    threshold_pct=50.0,
+)

@@ -133,6 +133,26 @@ class LintReport:
             counts[f.pass_name] = counts.get(f.pass_name, 0) + 1
         return counts
 
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable form (``repro lint --json``; CI consumes it)."""
+        return {
+            "ok": self.ok,
+            "workload": self.workload,
+            "input": self.input_name,
+            "n_vectors": self.n_vectors,
+            "n_findings": len(self.findings),
+            "per_pass": self.per_pass_counts(),
+            "findings": [
+                {
+                    "vector": f.vector,
+                    "kind": f.kind,
+                    "pass": f.pass_name,
+                    "detail": f.detail,
+                }
+                for f in self.findings
+            ],
+        }
+
     def summary(self) -> str:
         lines = [
             f"lint {self.workload}/{self.input_name}: "

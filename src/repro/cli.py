@@ -40,7 +40,17 @@ Commands
     vectors under full verification (deep IR checks after every pass,
     machine-code checks after every backend stage, differential
     execution against the reference interpreter) and report violations
-    per pass (see docs/ANALYSIS.md).
+    per pass (see docs/ANALYSIS.md); ``--json`` emits the report
+    machine-readably.
+``analyze``
+    Static analysis summary plus an optimization-remark sweep: compile
+    one configured point (or, with ``--vectors N``, the lint corners
+    plus N seeded random vectors) under a remark collector and report
+    every pass's fired/declined decisions as schema-versioned JSONL.
+    ``--check`` gates on analysis invariants and remark-stream schema
+    validity; ``--drift GOLDEN`` cross-checks the static cost model and
+    remark benefit claims against measured timings (see
+    docs/ANALYSIS.md).
 ``trace``
     Run any other command with tracing enabled and dump the spans as
     JSONL + Chrome ``trace_event`` JSON + a self-timing text report
@@ -188,12 +198,15 @@ def cmd_spaces(_args) -> int:
     return 0
 
 
-def cmd_workloads(_args) -> int:
+def cmd_workloads(args) -> int:
     from repro.workloads import WORKLOADS
 
     for name, w in WORKLOADS.items():
-        inputs = ", ".join(w.input_names())
-        print(f"{name:8s} [{inputs}]  {w.description}")
+        if getattr(args, "names_only", False):
+            print(name)
+        else:
+            inputs = ", ".join(w.input_names())
+            print(f"{name:8s} [{inputs}]  {w.description}")
     return 0
 
 
@@ -219,12 +232,42 @@ def cmd_measure(args) -> int:
             print(profiler.report(top=15))
 
 
+def _measure_engine(args):
+    """The engine for ``repro measure``: shared accurate engine, or a
+    static-mode engine sharing the same on-disk cache (estimates carry
+    mode-tagged keys, so the two never collide)."""
+    from repro.harness.measure import MeasurementEngine, default_engine
+
+    if getattr(args, "oracle", "accurate") != "static":
+        return default_engine()
+    cache_dir = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+    if cache_dir.lower() in ("0", "off", "none", ""):
+        cache_dir = None
+    return MeasurementEngine(mode="static", cache_dir=cache_dir)
+
+
 def _measure_single(args) -> int:
     from repro.harness.measure import default_engine
     from repro.sim.stats import detailed_statistics
 
     compiler = _compiler_config(args)
     microarch = _microarch(args)
+    if args.oracle == "static":
+        from repro.analysis.static.oracle import default_static_oracle
+
+        breakdown = default_static_oracle().estimate(
+            args.workload, compiler, microarch, args.input
+        )
+        print(f"workload  {args.workload} ({args.input})")
+        print(f"compiler  {compiler.describe()}")
+        print(f"machine   {args.machine}")
+        print("oracle    static (analytical estimate; nothing executed)")
+        print(f"cycles    {breakdown.cycles:14.0f}")
+        print(f"instrs    {breakdown.instructions:14.0f}")
+        print(f"code size {breakdown.code_size:14d}")
+        for name, value in sorted(breakdown.components.items()):
+            print(f"  {name:14s} {value:14.1f}")
+        return 0
     # Route through the shared engine so the binary+trace cache (and its
     # hit/miss telemetry) covers interactive measurements too.
     exe, functional = default_engine().compile_and_trace(
@@ -243,19 +286,19 @@ def _measure_random_points(args) -> int:
     """Batch path of ``repro measure``: seeded random design points fanned
     out over the measurement pool (``--opt``/``--flag`` are unused --
     each random point carries its own compiler settings)."""
-    from repro.harness.measure import default_engine
     from repro.space import full_space
 
     space = full_space()
     rng = np.random.default_rng(args.seed)
     points = [space.random_point(rng) for _ in range(args.random_points)]
-    engine = default_engine()
+    engine = _measure_engine(args)
     jobs = None
     if args.jobs is not None:
         jobs = (os.cpu_count() or 1) if args.jobs <= 0 else args.jobs
     print(
         f"measuring {len(points)} random points of {args.workload} "
-        f"({args.input}), seed {args.seed}, jobs {jobs or engine.jobs}"
+        f"({args.input}), seed {args.seed}, jobs {jobs or engine.jobs}, "
+        f"oracle {args.oracle}"
     )
     metrics_server = None
     if args.metrics_port is not None:
@@ -585,11 +628,13 @@ def cmd_registry(args) -> int:
 
 
 def cmd_lint(args) -> int:
+    import json
+
     from repro.analysis import lint_workload
 
     microarch = _microarch(args)
     progress = None
-    if args.verbose:
+    if args.verbose and not args.json:
         progress = lambda vec: print(f"  linting {vec}...", flush=True)
     report = lint_workload(
         args.workload,
@@ -599,8 +644,139 @@ def cmd_lint(args) -> int:
         issue_width=microarch.issue_width,
         progress=progress,
     )
-    print(report.summary())
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
     return 0 if report.ok else 1
+
+
+def cmd_analyze(args) -> int:
+    """Static analysis summary + optimization-remark sweep.
+
+    Single mode (default) compiles one configured point under a remark
+    collector; ``--vectors N`` sweeps the lint corner configs plus N
+    seeded random flag vectors.  ``--check`` gates on the analysis
+    invariants (:meth:`ModuleSummary.check`) and on the remark stream
+    being schema-valid; ``--drift GOLDEN`` additionally cross-checks the
+    static cost model and remark benefit claims against a golden
+    measurement fixture.
+    """
+    import copy
+    import json
+
+    from repro.analysis.static import remarks
+    from repro.analysis.static.analyses import analyze_module
+    from repro.codegen import compile_module
+    from repro.opt.cleanup import cleanup_module
+    from repro.workloads import get_workload
+
+    microarch = _microarch(args)
+    base = get_workload(args.workload).module(args.input)
+    exit_code = 0
+
+    # -- static analysis summary (over the post-cleanup module, the
+    # form every pipeline run starts from) -----------------------------
+    module = copy.deepcopy(base)
+    cleanup_module(module)
+    summary = analyze_module(module)
+    n_loops = sum(len(f.loops) for f in summary.functions.values())
+    n_streams = sum(len(f.streams) for f in summary.functions.values())
+    n_branches = sum(len(f.branches) for f in summary.functions.values())
+    print(
+        f"analyze {args.workload}/{args.input}: "
+        f"{len(summary.functions)} function(s), "
+        f"{summary.total_instrs} instruction(s), {n_loops} loop(s), "
+        f"{n_streams} memory stream(s), {n_branches} branch(es)"
+    )
+    if args.summary:
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+    if args.check:
+        problems = summary.check(module)
+        if problems:
+            exit_code = 1
+            print(f"ANALYSIS INVARIANT VIOLATIONS ({len(problems)}):")
+            for p in problems:
+                print(f"  {p}")
+        else:
+            print("invariants: ok")
+
+    # -- remark sweep ---------------------------------------------------
+    if args.vectors is not None:
+        from repro.analysis.lint import lint_vectors
+
+        vectors = lint_vectors(args.vectors, args.seed)
+    else:
+        vectors = [("single", _compiler_config(args))]
+
+    all_lines: List[str] = []
+    for vec_name, config in vectors:
+        with remarks.collecting() as rc:
+            compile_module(
+                copy.deepcopy(base),
+                config,
+                issue_width=microarch.issue_width,
+            )
+        all_lines.extend(
+            remarks.report_lines(
+                rc.remarks,
+                header={
+                    "workload": args.workload,
+                    "input": args.input,
+                    "vector": vec_name,
+                    "machine": args.machine,
+                },
+            )
+        )
+        counts = rc.counts()
+        fired = sum(c.get("fired", 0) for c in counts.values())
+        declined = sum(c.get("declined", 0) for c in counts.values())
+        print(
+            f"[{vec_name}] {len(rc.remarks)} remark(s): "
+            f"{fired} fired, {declined} declined"
+        )
+        if args.verbose:
+            for r in rc.remarks:
+                mark = "+" if r.action == "fired" else "-"
+                print(
+                    f"  {mark} {r.pass_name:9s} "
+                    f"{r.function}:{r.location}  {r.reason}"
+                )
+
+    if args.check:
+        stream_problems = remarks.validate_report_lines(all_lines)
+        if stream_problems:
+            exit_code = 1
+            print(f"REMARK STREAM INVALID ({len(stream_problems)}):")
+            for p in stream_problems:
+                print(f"  {p}")
+        else:
+            print("remark stream: schema-valid")
+
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text("\n".join(all_lines) + "\n")
+        print(f"report -> {out} ({len(all_lines)} lines)")
+
+    # -- drift lint -----------------------------------------------------
+    if args.drift:
+        from repro.analysis.static.driftlint import drift_lint
+
+        report = drift_lint(args.drift)
+        for w, corr in sorted(report.correlations.items()):
+            print(f"  drift {w:9s} estimate rank corr {corr:+.3f}")
+        for pass_name, (r, t) in sorted(report.votes.items()):
+            print(f"  drift {pass_name:9s} claims refuted {r}/{t}")
+        if report.ok:
+            print("drift: ok")
+        else:
+            exit_code = 1
+            print(f"DRIFT FINDINGS ({len(report.findings)}):")
+            for f in report.findings:
+                print(f"  {f}")
+
+    return exit_code
 
 
 def _metrics_path() -> Optional[Path]:
@@ -959,7 +1135,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("spaces", help="print the parameter tables")
-    sub.add_parser("workloads", help="list workloads")
+    p = sub.add_parser("workloads", help="list workloads")
+    p.add_argument(
+        "--names-only",
+        action="store_true",
+        help="print bare workload names, one per line (for scripting)",
+    )
 
     for name, fn in (("measure", cmd_measure), ("disasm", cmd_disasm)):
         p = sub.add_parser(name, help=f"{name} a workload binary")
@@ -968,6 +1149,15 @@ def build_parser() -> argparse.ArgumentParser:
         _add_flag_arguments(p)
         _add_verify_argument(p)
         if name == "measure":
+            p.add_argument(
+                "--oracle",
+                choices=["accurate", "static"],
+                default="accurate",
+                help="accurate: compile + trace + simulate (default); "
+                "static: analytical cost-model estimate from the static "
+                "analysis framework -- microseconds per point, no "
+                "execution, checksum 0",
+            )
             p.add_argument(
                 "--random-points",
                 type=int,
@@ -1183,6 +1373,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--verbose", action="store_true", help="print each vector as it runs"
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON (machine-readable; CI consumes it)",
+    )
+
+    p = sub.add_parser(
+        "analyze",
+        help="static analysis summary + optimization-remark sweep",
+    )
+    p.add_argument("workload")
+    p.add_argument("--input", default="train", choices=["train", "ref"])
+    _add_flag_arguments(p)
+    p.add_argument(
+        "--vectors",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sweep the lint corner configs plus N seeded random flag "
+        "vectors instead of the single --opt/--flag point",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the remark report (schema-versioned JSONL, one "
+        "concatenated report per vector) to FILE",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="gate on analysis invariants and remark-stream schema "
+        "validity (nonzero exit on violations)",
+    )
+    p.add_argument(
+        "--summary",
+        action="store_true",
+        help="dump the full ModuleSummary as JSON",
+    )
+    p.add_argument(
+        "--drift",
+        default=None,
+        metavar="GOLDEN",
+        help="cross-check static estimates and remark benefit claims "
+        "against a golden measurement fixture (JSON list of "
+        "{workload, label, point, cycles} records)",
+    )
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print every remark, not just per-vector counts",
     )
 
     p = sub.add_parser(
@@ -1410,6 +1653,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "predict": cmd_predict,
         "registry": cmd_registry,
         "lint": cmd_lint,
+        "analyze": cmd_analyze,
         "trace": cmd_trace,
         "stats": cmd_stats,
         "ledger": cmd_ledger,

@@ -23,6 +23,7 @@ import copy
 from typing import Dict, Optional
 
 from repro.analysis.base import VerifyLevel, resolve_verify_level
+from repro.analysis.static import remarks
 from repro.codegen.frame import lower_frame
 from repro.codegen.isel import select_module
 from repro.codegen.linker import Executable, link_module
@@ -36,6 +37,38 @@ from repro.opt.flags import CompilerConfig
 from repro.opt.pipeline import optimize_module
 
 _COMPILATIONS = counter("codegen.compilations")
+
+
+def _sched_order(mf) -> "list":
+    return [tuple(id(i) for i in b.instrs) for b in mf.blocks]
+
+
+def _emit_sched_remark(mf, before, after) -> None:
+    """Report the pre-RA scheduler's effect on one function."""
+    moved = sum(
+        1
+        for (b_ids, a_ids) in zip(before, after)
+        for (b_id, a_id) in zip(b_ids, a_ids)
+        if b_id != a_id
+    )
+    if moved:
+        remarks.emit(
+            "sched",
+            "fired",
+            mf.name,
+            mf.blocks[0].label if mf.blocks else "?",
+            f"reordered {moved} instruction slot(s) to hide latency",
+            benefit=float(moved),
+            moved=moved,
+        )
+    else:
+        remarks.emit(
+            "sched",
+            "declined",
+            mf.name,
+            mf.blocks[0].label if mf.blocks else "?",
+            "already in dependence order; nothing to overlap",
+        )
 
 
 def compile_module(
@@ -94,11 +127,23 @@ def compile_module(
             with span("codegen.sched_pre_ra"):
                 for mf in funcs:
                     snaps = mc.snapshot_blocks(mf) if mc is not None else None
+                    order = _sched_order(mf) if remarks.enabled() else None
                     schedule_function(mf, mdesc)
+                    if order is not None:
+                        _emit_sched_remark(mf, order, _sched_order(mf))
                     if mc is not None:
                         mc.check_machine(
                             mc.verify_schedule(snaps, mf), "sched_pre_ra"
                         )
+        elif remarks.enabled():
+            for mf in funcs:
+                remarks.emit(
+                    "sched",
+                    "declined",
+                    mf.name,
+                    mf.blocks[0].label if mf.blocks else "?",
+                    "scheduling disabled (-fno-schedule-insns2)",
+                )
         with span("codegen.regalloc"):
             for mf in funcs:
                 allocate_registers(mf, config.omit_frame_pointer)

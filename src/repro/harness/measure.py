@@ -416,6 +416,10 @@ class MeasurementEngine:
             _RESULT_HITS.inc()
             return cached
         _RESULT_MISSES.inc()
+        if self.mode == "static":
+            return self._estimate_static(
+                key, workload, compiler, microarch, input_name
+            )
         t0 = time.perf_counter()
         exe, functional = self._binary_and_trace(
             workload, input_name, compiler, microarch.issue_width
@@ -444,6 +448,43 @@ class MeasurementEngine:
             instructions=outcome.instructions,
             sampling_error=outcome.sampling_error,
             code_size=len(exe.instrs),
+        )
+        self._result_cache[key] = result
+        self._dirty = True
+        return result
+
+    def _estimate_static(
+        self,
+        key: str,
+        workload: str,
+        compiler: CompilerConfig,
+        microarch: MicroarchConfig,
+        input_name: str,
+    ) -> Measurement:
+        """``--oracle static``: answer from the analytical cost model.
+
+        No compilation, execution or simulation happens; the program's
+        static analysis (cached per workload by the oracle) is evaluated
+        in microseconds.  ``checksum=0`` and ``sampling_error=0.0`` mark
+        the result as an estimate, and the mode field in the result key
+        keeps static entries apart from measured ones.
+        """
+        # Imported lazily: the static-analysis stack is opt-in and the
+        # accurate path must not pay for it.
+        from repro.analysis.static.oracle import default_static_oracle
+
+        with span(
+            "measure.static", workload=workload, input=input_name
+        ):
+            breakdown = default_static_oracle().estimate(
+                workload, compiler, microarch, input_name
+            )
+        result = Measurement(
+            cycles=breakdown.cycles,
+            checksum=0,
+            instructions=int(breakdown.instructions),
+            sampling_error=0.0,
+            code_size=breakdown.code_size,
         )
         self._result_cache[key] = result
         self._dirty = True
@@ -501,7 +542,9 @@ class MeasurementEngine:
                 results[i] = cached
             else:
                 pending.setdefault(key, []).append(i)
-        if pending and (jobs <= 1 or len(pending) == 1):
+        # Static estimates are microseconds each: the pool's per-worker
+        # startup would dwarf the work, so they always run in-process.
+        if pending and (jobs <= 1 or len(pending) == 1 or self.mode == "static"):
             for indices in pending.values():
                 workload, comp, micro, input_name = requests[indices[0]]
                 m = self.measure_configs(workload, comp, micro, input_name)

@@ -31,6 +31,7 @@ from repro.ir import (
     Temp,
     UnOp,
 )
+from repro.analysis.static import remarks
 from repro.ir.dataflow import def_use_counts
 from repro.ir.dominators import dominator_tree
 from repro.ir.instructions import COMMUTATIVE_OPS
@@ -89,12 +90,34 @@ def global_cse(module: Module, config=None) -> int:
     """
     total = 0
     for func in module.functions.values():
+        func_changed = 0
         for _ in range(4):
             changed = _propagate_copies_globally(func)
             changed += _cse_function(func)
-            total += changed
+            func_changed += changed
             if changed == 0:
                 break
+        total += func_changed
+        if remarks.enabled():
+            if func_changed:
+                remarks.emit(
+                    "gcse",
+                    "fired",
+                    func.name,
+                    func.entry.label,
+                    f"propagated/unified {func_changed} redundant"
+                    " expression(s)",
+                    benefit=float(func_changed),
+                    removed=func_changed,
+                )
+            else:
+                remarks.emit(
+                    "gcse",
+                    "declined",
+                    func.name,
+                    func.entry.label,
+                    "no redundant expressions found",
+                )
     return total
 
 

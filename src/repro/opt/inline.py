@@ -31,6 +31,7 @@ from repro.ir import (
     Return,
     Temp,
 )
+from repro.analysis.static import remarks
 from repro.ir.callgraph import build_callgraph
 from repro.ir.loops import natural_loops
 from repro.opt.flags import CompilerConfig
@@ -178,12 +179,23 @@ def inline_functions(module: Module, config: CompilerConfig) -> int:
     inlined = 0
     # Repeat so call sites exposed by inlining (callee bodies containing
     # calls) are considered too; bounded to avoid pathological growth.
-    for _ in range(4):
-        sites = [
-            s
-            for s in _collect_sites(module, config)
-            if _site_eligible(s, config)
-        ]
+    for round_idx in range(4):
+        sites = []
+        for s in _collect_sites(module, config):
+            if _site_eligible(s, config):
+                sites.append(s)
+            elif round_idx == 0:
+                remarks.emit(
+                    "inline",
+                    "declined",
+                    s.caller,
+                    s.block_label,
+                    f"callee {s.callee} too large"
+                    f" ({s.callee_size} insns)",
+                    callee=s.callee,
+                    size=s.callee_size,
+                    depth=s.loop_depth,
+                )
         if not sites:
             break
         # Hottest (deepest loop) first, then smallest callee.
@@ -194,6 +206,18 @@ def inline_functions(module: Module, config: CompilerConfig) -> int:
             callee = module.functions[site.callee]
             growth = callee.instruction_count()
             if current + growth > budget:
+                if round_idx == 0:
+                    remarks.emit(
+                        "inline",
+                        "declined",
+                        site.caller,
+                        site.block_label,
+                        f"unit-growth budget exhausted for {site.callee}"
+                        f" ({growth} insns)",
+                        callee=site.callee,
+                        size=growth,
+                        depth=site.loop_depth,
+                    )
                 continue
             caller = module.functions[site.caller]
             if not caller.has_block(site.block_label):
@@ -206,6 +230,18 @@ def inline_functions(module: Module, config: CompilerConfig) -> int:
             ):
                 continue  # stale site
             _inline_at(caller, block, site.instr_index, callee)
+            remarks.emit(
+                "inline",
+                "fired",
+                site.caller,
+                site.block_label,
+                f"inlined {site.callee} ({growth} insns)",
+                benefit=2.0 * remarks.depth_freq(site.loop_depth),
+                callee=site.callee,
+                size=growth,
+                n_args=len(callee.params),
+                depth=site.loop_depth,
+            )
             current += growth
             inlined += 1
             progress = True

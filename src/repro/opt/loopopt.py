@@ -25,6 +25,7 @@ from repro.ir import (
     Temp,
     UnOp,
 )
+from repro.analysis.static import remarks
 from repro.ir.dataflow import def_use_counts
 from repro.ir.loops import Loop, ensure_preheader, natural_loops
 from repro.ir.values import Const, Value
@@ -151,5 +152,28 @@ def loop_optimize(module: Module, config=None) -> int:
         # be hoisted again when the inner loop's preheader belongs to the
         # outer loop body (handled by iterating loops in depth order).
         for loop in natural_loops(func):
-            total += _hoist_loop(func, loop, single_def)
+            hoisted = _hoist_loop(func, loop, single_def)
+            total += hoisted
+            if remarks.enabled():
+                if hoisted:
+                    remarks.emit(
+                        "licm",
+                        "fired",
+                        func.name,
+                        loop.header,
+                        f"hoisted {hoisted} loop-invariant instruction(s)"
+                        " to the preheader",
+                        benefit=hoisted * remarks.depth_freq(loop.depth),
+                        hoisted=hoisted,
+                        depth=loop.depth,
+                    )
+                else:
+                    remarks.emit(
+                        "licm",
+                        "declined",
+                        func.name,
+                        loop.header,
+                        "no hoistable loop-invariant instructions",
+                        depth=loop.depth,
+                    )
     return total

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.analysis.static import remarks
 from repro.ir import Addr, BinOp, Copy, Function, Load, Module, Prefetch, Temp
 from repro.ir.dataflow import def_use_counts
 from repro.ir.loops import Loop, natural_loops
@@ -46,6 +47,14 @@ def _prefetch_loop(module: Module, func: Function, loop: Loop) -> int:
 
     ivs = {iv.temp: iv for iv in find_basic_ivs(func, loop)}
     if not ivs:
+        remarks.emit(
+            "prefetch",
+            "declined",
+            func.name,
+            loop.header,
+            "no basic induction variable to derive a stream from",
+            depth=loop.depth,
+        )
         return 0
     defs, _uses = def_use_counts(func)
 
@@ -109,4 +118,26 @@ def _prefetch_loop(module: Module, func: Function, loop: Loop) -> int:
             new_instrs.append(Prefetch(instr.base, ahead))
             inserted += 1
         block.instrs = new_instrs
+    if remarks.enabled():
+        if inserted:
+            remarks.emit(
+                "prefetch",
+                "fired",
+                func.name,
+                loop.header,
+                f"inserted {inserted} software prefetch stream(s)",
+                benefit=inserted * remarks.depth_freq(loop.depth),
+                streams=inserted,
+                symbols=sorted({s for s, _iv, _k in seen_streams}),
+                depth=loop.depth,
+            )
+        else:
+            remarks.emit(
+                "prefetch",
+                "declined",
+                func.name,
+                loop.header,
+                "no streaming loads of sufficiently large arrays",
+                depth=loop.depth,
+            )
     return inserted

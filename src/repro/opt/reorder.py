@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
+from repro.analysis.static import remarks
 from repro.ir import Branch, Cmp, Function, Jump, Module, Temp
 from repro.ir.cfg import predecessors, successors
 from repro.ir.dataflow import def_use_counts
@@ -109,9 +110,30 @@ def _reorder_function(func: Function, edge_weight=None) -> int:
     old_order = [b.label for b in func.blocks]
     func.blocks = [func.block(label) for label in order]
     func.reindex()
-    changed = int(order != old_order)
-    changed += _fix_branch_polarity(func)
-    return changed
+    moved = int(order != old_order)
+    fixed = _fix_branch_polarity(func)
+    if remarks.enabled():
+        if moved or fixed:
+            remarks.emit(
+                "reorder",
+                "fired",
+                func.name,
+                func.entry.label,
+                f"relaid out blocks (moved={moved});"
+                f" inverted {fixed} branch(es) for fall-through",
+                benefit=float(moved + fixed),
+                moved=moved,
+                inverted=fixed,
+            )
+        else:
+            remarks.emit(
+                "reorder",
+                "declined",
+                func.name,
+                func.entry.label,
+                "layout already follows likely chains",
+            )
+    return moved + fixed
 
 
 def _fix_branch_polarity(func: Function) -> int:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.analysis.static import remarks
 from repro.ir import BinOp, Copy, Function, Module, Temp
 from repro.ir.dataflow import def_use_counts
 from repro.ir.loops import Loop, ensure_preheader, natural_loops
@@ -84,6 +85,14 @@ def strength_reduce(module: Module, config=None) -> int:
 def _reduce_loop(func: Function, loop: Loop) -> int:
     ivs = find_basic_ivs(func, loop)
     if not ivs:
+        remarks.emit(
+            "strength",
+            "declined",
+            func.name,
+            loop.header,
+            "no basic induction variable",
+            depth=loop.depth,
+        )
         return 0
     defs, _uses = def_use_counts(func)
     iv_by_temp = {iv.temp: iv for iv in ivs}
@@ -108,6 +117,14 @@ def _reduce_loop(func: Function, loop: Loop) -> int:
             candidates.append((label, i, instr.dst, iv, k))
 
     if not candidates:
+        remarks.emit(
+            "strength",
+            "declined",
+            func.name,
+            loop.header,
+            "no loop-resident multiply of an induction variable",
+            depth=loop.depth,
+        )
         return 0
 
     pre_label = ensure_preheader(func, loop)
@@ -138,4 +155,17 @@ def _reduce_loop(func: Function, loop: Loop) -> int:
         # recorded indices stay valid.
         for update_index, update in sorted(inserts, key=lambda x: -x[0]):
             block.instrs.insert(update_index + 1, update)
+    if remarks.enabled():
+        # IMULT (3 cy) becomes IALU add (1 cy): 2 cycles per execution.
+        remarks.emit(
+            "strength",
+            "fired",
+            func.name,
+            loop.header,
+            f"rewrote {rewritten} induction-variable multiply(ies)"
+            " as strength-reduced additions",
+            benefit=2.0 * rewritten * remarks.depth_freq(loop.depth),
+            rewritten=rewritten,
+            depth=loop.depth,
+        )
     return rewritten

@@ -40,6 +40,7 @@ from repro.ir import (
     Module,
     Temp,
 )
+from repro.analysis.static import remarks
 from repro.ir.dataflow import liveness
 from repro.ir.instructions import Instr, Terminator
 from repro.ir.loops import Loop, ensure_preheader, natural_loops
@@ -71,22 +72,31 @@ class _CountedLoop:
     exit_target: str
 
 
-def _analyze_counted_loop(func: Function, loop: Loop) -> Optional[_CountedLoop]:
+def _analyze_counted_loop(
+    func: Function, loop: Loop
+) -> Tuple[Optional[_CountedLoop], str]:
+    """Analyze a loop for unrolling; returns (info, decline-reason).
+
+    Exactly one of the pair is meaningful: ``info`` is None iff the
+    loop is not unrollable, and then the reason says why (surfaced
+    through optimization remarks).
+    """
     if loop.children:
-        return None  # innermost only
+        return None, "not innermost"
     if len(loop.latches) != 1:
-        return None
+        return None, "multiple latches"
     header = func.block(loop.header)
     term = header.terminator
     if not isinstance(term, Branch):
-        return None
+        return None, "header does not end in a conditional branch"
     # Exactly one target inside the loop, one outside.
     then_in = term.then_target in loop.body
     else_in = term.else_target in loop.body
     if then_in == else_in:
-        return None
+        return None, "header branch is not a loop exit"
     if not then_in:
-        return None  # expect fallthrough-into-body shape from lowering
+        # Expect the fallthrough-into-body shape from lowering.
+        return None, "exit on the fall-through arm"
     body_entry, exit_target = term.then_target, term.else_target
     # The header is cloned into the unrolled-loop guard, which runs once
     # per *unrolled* iteration instead of once per original iteration, so
@@ -100,14 +110,14 @@ def _analyze_counted_loop(func: Function, loop: Loop) -> Optional[_CountedLoop]:
                 addr_of[ins.dst] = ins.symbol
     for instr in header.instrs:
         if instr.has_side_effects:
-            return None
+            return None, "header has side effects"
         if isinstance(instr, Load):
             if unknown_stores:
-                return None
+                return None, "header load vs unknown stores in loop"
             if not isinstance(instr.base, Temp) or instr.base not in addr_of:
-                return None
+                return None, "header load from unresolved address"
             if addr_of[instr.base] in stored:
-                return None
+                return None, "header load aliases a store in the loop"
     # No exits from non-header blocks.
     for label in loop.body:
         if label == loop.header:
@@ -115,14 +125,14 @@ def _analyze_counted_loop(func: Function, loop: Loop) -> Optional[_CountedLoop]:
         block = func.block(label)
         targets = block.terminator.targets()
         if not targets:  # Return inside the loop
-            return None
+            return None, "return inside the loop body"
         if any(t not in loop.body for t in targets):
-            return None
+            return None, "exit from a non-header block"
     # Find the comparison defining the branch condition: the last def of
     # the cond temp in the header must be a Cmp.
     cond = term.cond
     if not isinstance(cond, Temp):
-        return None
+        return None, "branch condition is not a temp"
     cmp_index = None
     for i in range(len(header.instrs) - 1, -1, -1):
         instr = header.instrs[i]
@@ -131,10 +141,10 @@ def _analyze_counted_loop(func: Function, loop: Loop) -> Optional[_CountedLoop]:
                 cmp_index = i
             break
     if cmp_index is None:
-        return None
+        return None, "no comparison defines the exit condition"
     cmp = header.instrs[cmp_index]
     if cmp.op not in ("lt", "le", "gt", "ge"):
-        return None
+        return None, f"exit comparison {cmp.op!r} is not an ordering"
 
     ivs = {iv.temp: iv for iv in find_basic_ivs(func, loop)}
     iv = None
@@ -148,21 +158,24 @@ def _analyze_counted_loop(func: Function, loop: Loop) -> Optional[_CountedLoop]:
         iv_is_left = False
         bound = cmp.a
     if iv is None:
-        return None
+        return None, "no basic induction variable in the exit test"
     # The bound operand must not be the IV itself and must be an int.
     if isinstance(bound, Temp) and bound.type is not Type.INT:
-        return None
+        return None, "loop bound is not an integer"
     # Direction consistency: the loop must move the IV toward the exit.
     continues_while_small = (cmp.op in ("lt", "le")) == iv_is_left
     if continues_while_small and iv.step <= 0:
-        return None
+        return None, "induction variable steps away from the bound"
     if not continues_while_small and iv.step >= 0:
-        return None
+        return None, "induction variable steps away from the bound"
     # The IV must not be updated in the header (update lives in the latch;
     # if latch == header the update must come after the comparison).
     if iv.latch_label == loop.header and iv.update_index < cmp_index:
-        return None
-    return _CountedLoop(loop, iv, cmp_index, iv_is_left, body_entry, exit_target)
+        return None, "induction variable updated before the exit test"
+    counted = _CountedLoop(
+        loop, iv, cmp_index, iv_is_left, body_entry, exit_target
+    )
+    return counted, ""
 
 
 def _loop_size(func: Function, loop: Loop) -> int:
@@ -238,31 +251,79 @@ def unroll_loops(module: Module, config: CompilerConfig) -> int:
         # the original header) and the new guard loop must not be
         # re-unrolled on the next analysis round.
         processed: Set[str] = set()
+        # Headers whose decline has already been remarked (the analysis
+        # reruns every round, so without this a stable decline would be
+        # reported up to 32 times).
+        reported: Set[str] = set()
+
+        def decline(loop: Loop, reason: str, **details: object) -> None:
+            if loop.header in reported:
+                return
+            reported.add(loop.header)
+            remarks.emit(
+                "unroll",
+                "declined",
+                func.name,
+                loop.header,
+                reason,
+                depth=loop.depth,
+                **details,
+            )
+
         # Re-analyze after each unroll: the CFG changes under us.
         for _ in range(32):
             done = True
             for loop in natural_loops(func):
                 if loop.header in processed:
                     continue
-                counted = _analyze_counted_loop(func, loop)
+                counted, reason = _analyze_counted_loop(func, loop)
                 if counted is None:
+                    if remarks.enabled():
+                        decline(loop, reason)
                     continue
                 size = _loop_size(func, loop)
                 if size > config.max_unrolled_insns:
+                    if remarks.enabled():
+                        decline(
+                            loop,
+                            f"loop too large ({size} >"
+                            f" {config.max_unrolled_insns} insns)",
+                            size=size,
+                        )
                     continue
                 factor = min(
                     config.max_unroll_times,
                     max(2, config.max_unrolled_insns // max(size, 1)),
                 )
                 if factor < 2:
+                    if remarks.enabled():
+                        decline(
+                            loop,
+                            f"max_unroll_times {config.max_unroll_times}"
+                            " allows no unrolling",
+                            size=size,
+                        )
                     continue
                 guard_label = _unroll_one(func, counted, factor)
                 if guard_label is not None:
                     processed.add(loop.header)
                     processed.add(guard_label)
+                    remarks.emit(
+                        "unroll",
+                        "fired",
+                        func.name,
+                        loop.header,
+                        f"unrolled by {factor}x ({size} insns/iteration)",
+                        benefit=factor * remarks.depth_freq(loop.depth) / 4.0,
+                        factor=factor,
+                        size=size,
+                        depth=loop.depth,
+                    )
                     total += 1
                     done = False
                     break  # loop structures are stale; re-analyze
+                elif remarks.enabled():
+                    decline(loop, "self-loop body cannot be cloned")
             if done:
                 break
     return total

@@ -233,3 +233,150 @@ class TestCallGraph:
         graph = build_callgraph(compile_source(src))
         order = graph.topo_order()
         assert order.index("leaf") < order.index("mid") < order.index("main")
+
+
+# ----------------------------------------------------------------------
+# Property tests: dominance and loop analyses on random CFGs
+# ----------------------------------------------------------------------
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+def _build_cfg(n, kinds, targets):
+    """A function with ``n`` blocks and drawn terminators; unreachable
+    blocks are pruned, as every analysis client does."""
+    f = Function("h", [Temp("c", Type.INT)], Type.INT)
+    blocks = [f.new_block(f"b{i}x") for i in range(n)]
+    cond = Temp("c", Type.INT)
+    for i in range(n):
+        kind = kinds[i]
+        t1, t2 = targets[i]
+        if kind == "jump":
+            blocks[i].terminator = Jump(blocks[t1].label)
+        elif kind == "branch":
+            blocks[i].terminator = Branch(
+                cond, blocks[t1].label, blocks[t2].label
+            )
+        else:
+            blocks[i].terminator = Return(Const(0, Type.INT))
+    remove_unreachable(f)
+    return f
+
+
+@st.composite
+def _cfg_shapes(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    kinds = draw(
+        st.lists(
+            st.sampled_from(["jump", "branch", "ret"]),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    targets = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return n, kinds, targets
+
+
+class TestDominanceProperties:
+    @given(_cfg_shapes())
+    @settings(max_examples=100, deadline=None)
+    def test_reflexive_and_entry_dominates_all(self, shape):
+        f = _build_cfg(*shape)
+        entry = f.entry.label
+        for block in f.blocks:
+            assert dominates(f, block.label, block.label)
+            assert dominates(f, entry, block.label)
+
+    @given(_cfg_shapes())
+    @settings(max_examples=100, deadline=None)
+    def test_antisymmetric(self, shape):
+        f = _build_cfg(*shape)
+        labels = [b.label for b in f.blocks]
+        for a in labels:
+            for b in labels:
+                if a != b:
+                    assert not (
+                        dominates(f, a, b) and dominates(f, b, a)
+                    ), f"mutual dominance {a} <-> {b}"
+
+    @given(_cfg_shapes())
+    @settings(max_examples=100, deadline=None)
+    def test_idom_is_a_strict_dominator(self, shape):
+        f = _build_cfg(*shape)
+        idom = immediate_dominators(f)
+        for label, parent in idom.items():
+            if parent is not None:
+                assert parent != label
+                assert dominates(f, parent, label)
+
+    @given(_cfg_shapes())
+    @settings(max_examples=100, deadline=None)
+    def test_loop_headers_dominate_bodies(self, shape):
+        f = _build_cfg(*shape)
+        for loop in natural_loops(f):
+            assert loop.header in loop.body
+            for label in loop.body:
+                assert dominates(f, loop.header, label), (
+                    f"header {loop.header} does not dominate "
+                    f"body block {label}"
+                )
+            for latch in loop.latches:
+                assert latch in loop.body
+
+
+def _loop_signature(func):
+    return {
+        (l.header, frozenset(l.body), frozenset(l.latches))
+        for l in natural_loops(func)
+    }
+
+
+class TestPermutationStability:
+    """Analyses must not depend on block layout order (beyond the entry
+    block, which defines the CFG root)."""
+
+    @given(_cfg_shapes(), st.randoms(use_true_random=False))
+    @settings(max_examples=100, deadline=None)
+    def test_dominators_and_loops_stable_under_block_order(
+        self, shape, rng
+    ):
+        f1 = _build_cfg(*shape)
+        f2 = _build_cfg(*shape)
+        tail = f2.blocks[1:]
+        rng.shuffle(tail)
+        f2.blocks[1:] = tail
+        f2.reindex()
+        assert immediate_dominators(f1) == immediate_dominators(f2)
+        assert _loop_signature(f1) == _loop_signature(f2)
+
+    def test_real_program_stable_under_block_order(self):
+        src = """
+        int N = 6;
+        int main() {
+            int s = 0;
+            for (int i = 0; i < N; i = i + 1) {
+                for (int j = 0; j < i; j = j + 1) {
+                    s = s + j;
+                }
+            }
+            return s;
+        }
+        """
+        m1 = compile_source(src)
+        m2 = compile_source(src)
+        f1 = m1.functions["main"]
+        f2 = m2.functions["main"]
+        f2.blocks[1:] = list(reversed(f2.blocks[1:]))
+        f2.reindex()
+        assert immediate_dominators(f1) == immediate_dominators(f2)
+        assert _loop_signature(f1) == _loop_signature(f2)
+        assert len(_loop_signature(f1)) == 2

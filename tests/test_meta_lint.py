@@ -1,0 +1,250 @@
+"""Source-level lint: no iteration over unordered sets in opt/codegen.
+
+The PR 2 hash-seed bug class: a pass iterating over a ``set`` of IR
+values (temps, labels, blocks) makes its decisions in hash order, which
+varies across Python processes (``PYTHONHASHSEED``) and so silently
+breaks measurement reproducibility -- two runs of the same design point
+can compile different code.  Dicts preserve insertion order and lists
+are ordered, so the lint targets sets specifically:
+
+* ``for x in {a, b}`` / ``for x in set(...)`` / set comprehensions,
+* iteration over names bound to set expressions in the same scope
+  (including ``|``/``&``/``-``/``^`` of sets and ``.union(...)`` etc.),
+* the same positions inside comprehensions and ``sorted()``-free
+  ``list()``/``tuple()`` conversions feeding a ``for``.
+
+Iteration is fine when the order provably cannot leak into output:
+wrap the iterable in ``sorted(...)`` -- or, where the loop is genuinely
+order-insensitive (e.g. membership counting, ``any``/``all`` folds),
+waive the line with a trailing ``# lint: set-order-ok`` comment.  Every
+waiver is an assertion reviewed in the diff, not an escape hatch: the
+lint reports waived sites separately so they stay visible.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+LINT_DIRS = (SRC / "opt", SRC / "codegen")
+WAIVER = "# lint: set-order-ok"
+
+#: Set-returning methods on sets (result order is unordered again).
+_SET_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "copy",
+}
+
+#: Calls that neutralize set order before iteration.
+_ORDERING_CALLS = {"sorted", "min", "max", "sum", "len", "any", "all",
+                   "frozenset"}
+
+
+def _is_set_expr(node, set_names):
+    """Conservatively true when ``node`` evaluates to a set."""
+    if isinstance(node, (ast.SetComp, ast.Set)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SET_METHODS
+            and _is_set_expr(func.value, set_names)
+        ):
+            return True
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    return False
+
+
+class _Scope(ast.NodeVisitor):
+    """Walks one function (or module) body tracking set-typed names."""
+
+    def __init__(self, source_lines, findings, waived):
+        self.set_names = set()
+        self.source_lines = source_lines
+        self.findings = findings
+        self.waived = waived
+
+    # -- name binding --------------------------------------------------
+    def _bind(self, target, value):
+        if isinstance(target, ast.Name):
+            if _is_set_expr(value, self.set_names):
+                self.set_names.add(target.id)
+            else:
+                self.set_names.discard(target.id)
+
+    def visit_Assign(self, node):
+        for target in node.targets:
+            self._bind(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node):
+        if node.value is not None:
+            self._bind(node.target, node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node):
+        # ``s |= other`` keeps s a set; no rebinding needed.
+        self.generic_visit(node)
+
+    # -- the actual check ----------------------------------------------
+    def _check_iter(self, iter_node, lineno):
+        if _is_set_expr(iter_node, self.set_names):
+            line = self.source_lines[lineno - 1]
+            if WAIVER in line:
+                self.waived.append(lineno)
+            else:
+                self.findings.append(lineno)
+
+    def visit_For(self, node):
+        self._check_iter(node.iter, node.lineno)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node):
+        for gen in node.generators:
+            self._check_iter(gen.iter, node.lineno)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+    visit_DictComp = _visit_comp
+
+    def visit_SetComp(self, node):
+        # Building a *set* from a set is order-free by construction.
+        self.generic_visit(node)
+
+    def visit_Call(self, node):
+        # sorted(s)/len(s)/any(...) neutralize order; don't descend into
+        # their direct set argument looking for trouble.
+        self.generic_visit(node)
+
+    # New scope per function: names don't leak across.
+    def visit_FunctionDef(self, node):
+        inner = _Scope(self.source_lines, self.findings, self.waived)
+        for stmt in node.body:
+            inner.visit(stmt)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+def lint_file(path):
+    """Returns (findings, waived): line numbers of set-order iteration."""
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    findings, waived = [], []
+    scope = _Scope(source.splitlines(), findings, waived)
+    scope.visit(tree)
+    return findings, waived
+
+
+def _lint_tree():
+    results = {}
+    for directory in LINT_DIRS:
+        for path in sorted(directory.rglob("*.py")):
+            findings, waived = lint_file(path)
+            if findings or waived:
+                results[path.relative_to(SRC.parent.parent)] = (
+                    findings,
+                    waived,
+                )
+    return results
+
+
+def test_no_set_order_iteration_in_opt_and_codegen():
+    """No pass or backend may iterate over an unordered set of IR
+    values without a reviewed waiver."""
+    offenders = {
+        str(path): lines
+        for path, (lines, _waived) in _lint_tree().items()
+        if lines
+    }
+    assert not offenders, (
+        "iteration over unordered sets (hash-order compile decisions); "
+        f"wrap in sorted(...) or waive with '{WAIVER}': {offenders}"
+    )
+
+
+def test_waivers_are_rare_and_tracked():
+    """Waivers exist to be read in review; a pile-up means the idiom is
+    leaking back in."""
+    n_waived = sum(
+        len(waived) for _lines, waived in _lint_tree().values()
+    )
+    assert n_waived <= 10, f"{n_waived} set-order waivers (cap 10)"
+
+
+class TestLintEngine:
+    """The lint must actually catch the bug class it claims to."""
+
+    def _lint_source(self, tmp_path, source):
+        path = tmp_path / "sample.py"
+        path.write_text(source)
+        return lint_file(path)
+
+    def test_catches_direct_set_iteration(self, tmp_path):
+        findings, _ = self._lint_source(
+            tmp_path, "for x in {1, 2, 3}:\n    print(x)\n"
+        )
+        assert findings == [1]
+
+    def test_catches_set_call_and_comprehension(self, tmp_path):
+        findings, _ = self._lint_source(
+            tmp_path,
+            "ys = [x for x in set(range(3))]\n"
+            "zs = [x for x in {i for i in range(3)}]\n",
+        )
+        assert findings == [1, 2]
+
+    def test_catches_named_set_and_set_algebra(self, tmp_path):
+        findings, _ = self._lint_source(
+            tmp_path,
+            "def f(xs, ys):\n"
+            "    seen = set(xs)\n"
+            "    for x in seen:\n"
+            "        pass\n"
+            "    for y in seen - set(ys):\n"
+            "        pass\n",
+        )
+        assert findings == [3, 5]
+
+    def test_sorted_wrapping_is_clean(self, tmp_path):
+        findings, _ = self._lint_source(
+            tmp_path,
+            "def f(xs):\n"
+            "    seen = set(xs)\n"
+            "    for x in sorted(seen):\n"
+            "        pass\n",
+        )
+        assert findings == []
+
+    def test_rebinding_to_list_clears_taint(self, tmp_path):
+        findings, _ = self._lint_source(
+            tmp_path,
+            "def f(xs):\n"
+            "    seen = set(xs)\n"
+            "    seen = sorted(seen)\n"
+            "    for x in seen:\n"
+            "        pass\n",
+        )
+        assert findings == []
+
+    def test_waiver_comment_moves_to_waived(self, tmp_path):
+        findings, waived = self._lint_source(
+            tmp_path,
+            "for x in {1, 2}:  # lint: set-order-ok (order-free fold)\n"
+            "    pass\n",
+        )
+        assert findings == []
+        assert waived == [1]

@@ -1,0 +1,364 @@
+"""Tests for the static analysis framework: remarks, oracle, drift lint.
+
+Covers the PR's acceptance criteria directly: every optimization pass
+emits both fired and declined remarks under a modest flag sweep, the
+remark JSONL stream is schema-valid (and the validator catches broken
+streams), the ``--oracle static`` path is deterministic and wired into
+the measurement engine, the drift lint runs green against the golden
+measurements, and -- critically -- the whole subsystem is *inert* when
+no collector is installed: compilation output is bit-identical with and
+without remark collection.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.analysis.lint import lint_vectors
+from repro.analysis.static import remarks
+from repro.analysis.static.analyses import analyze_module
+from repro.analysis.static.driftlint import drift_lint, spearman
+from repro.analysis.static.oracle import (
+    StaticOracle,
+    default_static_oracle,
+    harvest_features,
+)
+from repro.cli import main
+from repro.codegen import compile_module
+from repro.harness.configs import split_point
+from repro.opt.cleanup import cleanup_module
+from repro.opt.flags import O0, O2, O3, CompilerConfig
+from repro.sim.config import TYPICAL, MicroarchConfig
+from repro.workloads import get_workload, workload_names
+
+GOLDEN = "tests/data/golden_measure_pr8.json"
+
+
+def _module(workload):
+    return copy.deepcopy(get_workload(workload).module("train"))
+
+
+# ----------------------------------------------------------------------
+# Remark emission
+# ----------------------------------------------------------------------
+class TestRemarkEmission:
+    def test_every_pass_fires_and_declines(self):
+        """Acceptance: each of the 8 passes emits >= 1 fired and >= 1
+        declined remark somewhere across two workloads x a small flag
+        sweep (corners + 4 seeded random vectors)."""
+        counts = {
+            p: {"fired": 0, "declined": 0} for p in remarks.KNOWN_PASSES
+        }
+        for workload in ("gzip", "mcf"):
+            base = _module(workload)
+            for _name, config in lint_vectors(4, 0):
+                with remarks.collecting() as rc:
+                    compile_module(copy.deepcopy(base), config, issue_width=4)
+                for pass_name, slot in rc.counts().items():
+                    counts[pass_name]["fired"] += slot["fired"]
+                    counts[pass_name]["declined"] += slot["declined"]
+        missing = {
+            p: c
+            for p, c in counts.items()
+            if c["fired"] == 0 or c["declined"] == 0
+        }
+        assert not missing, f"passes without both actions: {missing}"
+
+    def test_remarks_off_by_default(self):
+        with remarks.collecting() as probe:
+            pass
+        compile_module(_module("mcf"), O3)
+        assert probe.remarks == []
+        assert not remarks.enabled()
+
+    def test_remark_fields_sane(self):
+        with remarks.collecting() as rc:
+            compile_module(_module("gzip"), O3)
+        assert rc.remarks
+        for r in rc.remarks:
+            assert r.pass_name in remarks.KNOWN_PASSES
+            assert r.action in remarks.ACTIONS
+            assert r.reason
+            assert r.benefit >= 0.0
+
+    def test_nested_collectors_both_see_stream(self):
+        with remarks.collecting() as outer:
+            with remarks.collecting() as inner:
+                compile_module(_module("mcf"), O2)
+        assert inner.remarks == outer.remarks
+        assert inner.remarks
+
+
+# ----------------------------------------------------------------------
+# JSONL report schema
+# ----------------------------------------------------------------------
+class TestRemarkReport:
+    def _lines(self):
+        with remarks.collecting() as rc:
+            compile_module(_module("gzip"), O3)
+        return remarks.report_lines(
+            rc.remarks, header={"workload": "gzip", "vector": "O3"}
+        )
+
+    def test_report_roundtrip_valid(self):
+        lines = self._lines()
+        assert remarks.validate_report_lines(lines) == []
+        head = json.loads(lines[0])
+        assert head["schema_version"] == remarks.REMARK_SCHEMA_VERSION
+        tail = json.loads(lines[-1])
+        assert tail["n_remarks"] == len(lines) - 2
+
+    def test_concatenated_reports_valid(self):
+        lines = self._lines() + self._lines()
+        assert remarks.validate_report_lines(lines) == []
+
+    def test_validator_rejects_bad_streams(self):
+        lines = self._lines()
+        # Wrong schema version.
+        head = json.loads(lines[0])
+        head["schema_version"] = 999
+        assert remarks.validate_report_lines(
+            [json.dumps(head)] + lines[1:]
+        )
+        # Summary count mismatch.
+        assert remarks.validate_report_lines(lines[:1] + lines[2:])
+        # Remark outside any report.
+        assert remarks.validate_report_lines(lines[1:])
+        # Unknown pass name.
+        bad = json.loads(lines[1])
+        bad["pass"] = "mystery"
+        assert remarks.validate_report_lines(
+            lines[:1] + [json.dumps(bad)] + lines[2:]
+        )
+        # Truncated stream (no trailing summary).
+        assert remarks.validate_report_lines(lines[:-1])
+
+    def test_write_report_appends(self, tmp_path):
+        path = tmp_path / "remarks.jsonl"
+        with remarks.collecting() as rc:
+            compile_module(_module("mcf"), O2)
+        remarks.write_report(path, rc.remarks, header={"vector": "a"})
+        remarks.write_report(
+            path, rc.remarks, header={"vector": "b"}, append=True
+        )
+        assert remarks.validate_report(path) == []
+        heads = [
+            json.loads(l)
+            for l in path.read_text().splitlines()
+            if json.loads(l)["kind"] == "header"
+        ]
+        assert [h["vector"] for h in heads] == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# Off-path bit-identity
+# ----------------------------------------------------------------------
+class TestOffPathIdentity:
+    @pytest.mark.parametrize("workload", ["gzip", "art"])
+    def test_collection_does_not_change_code(self, workload):
+        """Acceptance: with and without a remark collector the compiled
+        executable is bit-identical (emission never steers decisions)."""
+        base = _module(workload)
+        plain = compile_module(copy.deepcopy(base), O3)
+        with remarks.collecting():
+            collected = compile_module(copy.deepcopy(base), O3)
+        assert plain.instrs == collected.instrs
+        assert plain.entry_pc == collected.entry_pc
+        assert plain.function_entries == collected.function_entries
+        assert plain.data_size == collected.data_size
+
+
+# ----------------------------------------------------------------------
+# Analyses + invariants
+# ----------------------------------------------------------------------
+class TestAnalyses:
+    @pytest.mark.parametrize("workload", sorted(workload_names()))
+    def test_invariants_clean_on_all_workloads(self, workload):
+        module = _module(workload)
+        cleanup_module(module)
+        summary = analyze_module(module)
+        assert summary.check(module) == []
+        assert summary.total_instrs > 0
+        assert summary.functions
+
+    def test_summary_finds_loops_and_streams(self):
+        module = _module("mcf")
+        cleanup_module(module)
+        summary = analyze_module(module)
+        n_loops = sum(len(fs.loops) for fs in summary.functions.values())
+        n_streams = sum(len(fs.streams) for fs in summary.functions.values())
+        assert n_loops > 0
+        assert n_streams > 0
+
+
+# ----------------------------------------------------------------------
+# Static oracle + cost model
+# ----------------------------------------------------------------------
+class TestStaticOracle:
+    def test_deterministic_and_positive(self):
+        oracle = default_static_oracle()
+        a = oracle.estimate("mcf", O3, TYPICAL)
+        b = oracle.estimate("mcf", O3, TYPICAL)
+        assert a.cycles == b.cycles > 0
+        assert a.instructions > 0
+        assert a.code_size > 0
+        assert "core" in a.components and "mem" in a.components
+
+    def test_estimates_respond_to_flags_and_machine(self):
+        oracle = default_static_oracle()
+        o0 = oracle.estimate("gzip", O0, TYPICAL).cycles
+        o3 = oracle.estimate("gzip", O3, TYPICAL).cycles
+        assert o0 != o3
+        narrow = MicroarchConfig(issue_width=2)
+        wide = MicroarchConfig(issue_width=8)
+        assert (
+            oracle.estimate("gzip", O2, narrow).cycles
+            > oracle.estimate("gzip", O2, wide).cycles
+        )
+
+    def test_harvest_features_nonempty(self):
+        module = _module("gzip")
+        cleanup_module(module)
+        feats = harvest_features(module)
+        assert feats.hoistable
+        assert feats.unrollable
+        assert feats.inline_sites
+
+    def test_fresh_oracle_matches_shared(self):
+        shared = default_static_oracle().estimate("art", O2, TYPICAL)
+        fresh = StaticOracle().estimate("art", O2, TYPICAL)
+        assert shared.cycles == fresh.cycles
+
+
+class TestStaticMeasureMode:
+    def test_engine_static_mode_matches_oracle(self):
+        from repro.harness.measure import MeasurementEngine
+
+        engine = MeasurementEngine(mode="static", cache_dir=None)
+        point = {}
+        point.update(O2.to_point())
+        point.update(TYPICAL.to_point())
+        m = engine.measure("mcf", point)
+        compiler, microarch = split_point(point)
+        est = default_static_oracle().estimate("mcf", compiler, microarch)
+        assert m.cycles == est.cycles
+        # Static results must never masquerade as measurements.
+        assert m.checksum == 0
+        assert m.sampling_error == 0.0
+
+
+# ----------------------------------------------------------------------
+# Drift lint
+# ----------------------------------------------------------------------
+class TestDriftLint:
+    def test_spearman_basics(self):
+        assert spearman([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+        assert spearman([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+        assert spearman([1.0, 1.0], [1.0, 2.0]) == 0.0
+
+    def test_green_on_golden(self):
+        """Acceptance: the drift lint passes against the committed
+        golden measurements."""
+        report = drift_lint(GOLDEN)
+        assert report.ok, report.findings
+        assert report.correlations
+        for workload, corr in report.correlations.items():
+            assert corr >= 0.5, (workload, corr)
+
+    def test_fires_on_inverted_golden(self, tmp_path):
+        """Inverting the measured cycles must break the rank check."""
+        records = json.loads(open(GOLDEN).read())
+        by_workload = {}
+        for rec in records:
+            by_workload.setdefault(rec["workload"], []).append(rec)
+        # Reassign each workload's measured cycles so their order
+        # inverts the oracle's estimate order (same value multiset, so
+        # only the ranking changes).
+        oracle = default_static_oracle()
+        out = []
+        for workload, recs in by_workload.items():
+            if len(recs) < 3:
+                out.extend(recs)
+                continue
+            est = []
+            for r in recs:
+                compiler, microarch = split_point(r["point"])
+                est.append(
+                    oracle.estimate(workload, compiler, microarch).cycles
+                )
+            order = sorted(range(len(recs)), key=lambda i: est[i])
+            cycles = sorted((float(r["cycles"]) for r in recs), reverse=True)
+            for rank, idx in enumerate(order):
+                rec = dict(recs[idx])
+                rec["cycles"] = cycles[rank]
+                out.append(rec)
+        bad = tmp_path / "golden_inverted.json"
+        bad.write_text(json.dumps(out))
+        report = drift_lint(bad)
+        assert not report.ok
+        assert any("rank correlation" in f for f in report.findings)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestAnalyzeCli:
+    def test_analyze_check_ok(self, capsys):
+        assert main(["analyze", "mcf", "--check", "--opt", "O3"]) == 0
+        out = capsys.readouterr().out
+        assert "invariants: ok" in out
+        assert "remark stream: schema-valid" in out
+
+    def test_analyze_sweep_writes_valid_report(self, tmp_path, capsys):
+        out_path = tmp_path / "remarks.jsonl"
+        rc = main(
+            [
+                "analyze",
+                "mcf",
+                "--vectors",
+                "2",
+                "--check",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert rc == 0
+        assert remarks.validate_report(out_path) == []
+        # One report per vector: 6 corners + 2 random.
+        heads = [
+            json.loads(l)
+            for l in out_path.read_text().splitlines()
+            if json.loads(l).get("kind") == "header"
+        ]
+        assert len(heads) == 8
+
+    def test_analyze_summary_json(self, capsys):
+        assert main(["analyze", "art", "--summary"]) == 0
+        out = capsys.readouterr().out
+        payload, _end = json.JSONDecoder().raw_decode(out[out.index("{") :])
+        assert payload["functions"]
+
+    def test_analyze_drift_green(self, capsys):
+        assert main(["analyze", "gzip", "--drift", GOLDEN]) == 0
+        assert "drift: ok" in capsys.readouterr().out
+
+    def test_measure_oracle_static(self, capsys):
+        assert (
+            main(
+                [
+                    "measure",
+                    "mcf",
+                    "--oracle",
+                    "static",
+                    "--opt",
+                    "O2",
+                    "--machine",
+                    "typical",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "oracle" in out and "static" in out
+        assert "cycles" in out
