@@ -5,7 +5,22 @@ Commands
 ``spaces``
     Print the Table 1 / Table 2 parameter spaces.
 ``workloads``
-    List the synthetic SPEC-like workloads.
+    List the built-in SPEC-like workloads; with ``--corpus-size`` it
+    also lists a reproducible generated corpus, each entry tagged
+    ``source: generated(seed=..)`` (``--families`` filters the corpus).
+``workgen``
+    Generate a seeded synthetic-workload corpus from the MiniC kernel
+    grammar: list it, run the semantic-check gate (``--check``), write
+    or verify a reproducibility manifest (``--manifest``/``--verify``),
+    export the sources (``--export``), or print one program
+    (``--show``).  See docs/WORKLOADS.md.
+``generalize``
+    Cross-program model fitting over a generated corpus plus the seed
+    workloads: one pooled model over [design point | program features]
+    evaluated leave-one-workload-out against per-program baselines;
+    ``--save`` publishes the pooled model (with its feature schema) to
+    the registry so ``repro predict --workload`` answers for any
+    program.
 ``measure``
     Compile + simulate one workload at given flag/microarch settings and
     print the run statistics.  With ``--random-points N`` it measures a
@@ -32,7 +47,11 @@ Commands
     TCP protocol, one thread per connection.
 ``predict``
     One prediction from a registry model -- locally, or through a
-    running ``repro serve`` instance with ``--host``.
+    running ``repro serve`` instance with ``--host``.  With
+    ``--workload`` the model must be a pooled ``repro generalize``
+    model: the prediction row is the design point concatenated with
+    that program's feature vector from the model's stored schema
+    (extracted live for programs outside the training corpus).
 ``registry``
     List the model registry, or show one model's manifest.
 ``lint``
@@ -198,15 +217,183 @@ def cmd_spaces(_args) -> int:
     return 0
 
 
-def cmd_workloads(args) -> int:
-    from repro.workloads import WORKLOADS
+def _parse_families(text: Optional[str]) -> tuple:
+    if not text:
+        return ()
+    return tuple(f.strip() for f in text.split(",") if f.strip())
 
-    for name, w in WORKLOADS.items():
+
+def cmd_workloads(args) -> int:
+    from repro.workloads import WORKLOADS, get_workload
+
+    families = _parse_families(getattr(args, "families", None))
+    listing = [] if families else list(WORKLOADS)
+    if getattr(args, "corpus_size", None):
+        from repro.workgen import CorpusSpec, generate_corpus
+
+        spec = CorpusSpec(
+            seed=args.corpus_seed, count=args.corpus_size, families=families
+        )
+        listing.extend(p.name for p in generate_corpus(spec))
+    elif families:
+        raise SystemExit(
+            "--families filters a generated corpus; pass --corpus-size "
+            "(and optionally --corpus-seed) to list one"
+        )
+    for name in listing:
+        w = get_workload(name)
         if getattr(args, "names_only", False):
             print(name)
         else:
             inputs = ", ".join(w.input_names())
-            print(f"{name:8s} [{inputs}]  {w.description}")
+            print(
+                f"{name:20s} [{inputs}]  source: {w.source_tag():22s} "
+                f"{w.description}"
+            )
+    return 0
+
+
+def cmd_workgen(args) -> int:
+    from repro.workgen import (
+        CorpusSpec,
+        SemanticCheckFailure,
+        check_program,
+        corpus_digest,
+        generate_corpus,
+        load_manifest,
+        verify_manifest,
+        write_manifest,
+    )
+    from repro.workgen.corpus import export_corpus
+
+    if args.show:
+        from repro.workloads import get_workload
+
+        w = get_workload(args.show)
+        print(f"// {w.name}: {w.description} [{w.source_tag()}]")
+        print(w.source("train"), end="")
+        return 0
+
+    if args.verify:
+        manifest = load_manifest(args.verify)
+        problems = verify_manifest(manifest)
+        spec = manifest.get("spec", {})
+        print(
+            f"manifest {args.verify}: seed {spec.get('seed')}, "
+            f"{spec.get('count')} program(s), grammar "
+            f"v{manifest.get('grammar_version')}"
+        )
+        if problems:
+            print(f"MANIFEST VERIFICATION FAILED ({len(problems)}):")
+            for p in problems:
+                print(f"  {p}")
+            return 1
+        print("verified: corpus regenerates byte-identically")
+        return 0
+
+    spec = CorpusSpec(
+        seed=args.seed,
+        count=args.count,
+        families=_parse_families(args.families),
+    )
+    programs = generate_corpus(spec)
+    print(
+        f"corpus seed {spec.seed}: {len(programs)} program(s), "
+        f"digest {corpus_digest(programs)}"
+    )
+    failures = 0
+    for p in programs:
+        line = f"  {p.name:24s} {len(p.source.splitlines()):4d} lines"
+        if args.check:
+            try:
+                result = check_program(p)
+                line += (
+                    f"  gate ok (checksum {result.checksum}, "
+                    f"{result.dynamic_instructions} dyn instrs)"
+                )
+            except SemanticCheckFailure as exc:
+                failures += 1
+                line += f"  GATE FAILED: {exc.reason}"
+        print(line)
+    if args.check:
+        print(
+            f"semantic gate: {len(programs) - failures}/{len(programs)} passed"
+        )
+    if args.export:
+        root = export_corpus(args.export, spec, programs)
+        print(f"exported corpus + manifest -> {root}")
+    elif args.manifest:
+        write_manifest(args.manifest, spec, programs)
+        print(f"manifest -> {args.manifest}")
+    return 1 if failures else 0
+
+
+def cmd_generalize(args) -> int:
+    import json as _json
+
+    from repro.workgen import (
+        GeneralizeConfig,
+        build_dataset,
+        evaluate_lowo,
+        publish_pooled,
+    )
+
+    config = GeneralizeConfig(
+        corpus_seed=args.corpus_seed,
+        corpus_size=args.corpus_size,
+        families=_parse_families(args.families),
+        include_seed_workloads=not args.no_seed_workloads,
+        points_per_workload=args.points,
+        design_seed=args.seed,
+        oracle=args.oracle,
+        jobs=args.jobs,
+    )
+    print(
+        f"measuring {config.points_per_workload} design points per workload "
+        f"(corpus seed {config.corpus_seed}, size {config.corpus_size}, "
+        f"oracle {config.oracle})..."
+    )
+    dataset = build_dataset(config)
+    report = evaluate_lowo(config, dataset=dataset)
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"{'workload':24s} {'origin':10s} "
+            f"{'pooled':>9s} {'per-prog':>9s}"
+        )
+        for e in report.evals:
+            marker = "<" if e.pooled_mape <= e.baseline_mape else " "
+            print(
+                f"{e.workload:24s} {e.origin:10s} "
+                f"{e.pooled_mape:8.1f}% {e.baseline_mape:8.1f}% {marker}"
+            )
+        wins = sum(
+            1 for e in report.evals if e.pooled_mape <= e.baseline_mape
+        )
+        print(
+            f"\nLOWO over {len(report.evals)} workloads "
+            f"({report.n_rows} measured rows):"
+        )
+        print(
+            f"  pooled model    mean {report.pooled_mape:6.1f}%  "
+            f"median {np.median([e.pooled_mape for e in report.evals]):6.1f}%"
+        )
+        print(
+            f"  per-program     mean {report.baseline_mape:6.1f}%  "
+            f"median "
+            f"{np.median([e.baseline_mape for e in report.evals]):6.1f}%"
+        )
+        print(f"  pooled wins on {wins}/{len(report.evals)} workloads")
+    if args.save:
+        entry = publish_pooled(
+            _registry(args), args.save, config, dataset, report=report
+        )
+        print(
+            f"saved pooled model as {args.save!r} (id {entry.id}) in "
+            f"{_registry(args).root}; predict with "
+            f"`repro predict {args.save} --workload <name>`"
+        )
     return 0
 
 
@@ -580,6 +767,8 @@ def cmd_predict(args) -> int:
     compiler = _compiler_config(args)
     microarch = _microarch(args)
     point = joint_point(compiler, microarch)
+    if getattr(args, "workload", None):
+        return _predict_pooled(args, compiler, point)
     if args.host:
         from repro.serve import PredictionClient
 
@@ -595,6 +784,53 @@ def cmd_predict(args) -> int:
         predicted = predictor.predict_point(point)
         source = f"registry {_registry(args).root}"
     print(f"model     {args.model_ref} ({source})")
+    print(f"compiler  {compiler.describe()}")
+    print(f"machine   {args.machine}")
+    print(f"predicted {predicted:.0f} cycles")
+    return 0
+
+
+def _predict_pooled(args, compiler, point) -> int:
+    """``repro predict --workload``: program-aware prediction from a
+    pooled ``repro generalize`` model.  The feature schema always comes
+    from the local registry manifest (the wire protocol ships raw
+    matrices only); with ``--host`` the assembled row is evaluated by
+    the server, otherwise locally."""
+    from repro.space import full_space
+    from repro.workgen import pooled_response, pooled_row, pooled_schema
+
+    loaded = _registry(args).load(args.model_ref)
+    schema = pooled_schema(loaded.manifest)
+    if schema is None:
+        raise SystemExit(
+            f"registry model {args.model_ref!r} has no workgen feature "
+            "schema; --workload needs a pooled model saved by "
+            "`repro generalize --save`"
+        )
+    coded = full_space().encode(point)
+    row = pooled_row(schema, coded, args.workload)
+    if args.host:
+        from repro.serve import PredictionClient
+
+        with PredictionClient(args.host, args.port) as client:
+            raw = client.predict(args.model_ref, [row.tolist()])
+        source = f"{args.host}:{args.port}"
+    else:
+        from repro.serve import Predictor
+
+        predictor = Predictor(
+            loaded.model,
+            name=loaded.name or loaded.id,
+            model_id=loaded.id,
+            input_bound=None,
+        )
+        raw = predictor.predict(row.reshape(1, -1))
+        source = f"registry {_registry(args).root}"
+    predicted = float(pooled_response(schema, raw)[0])
+    in_corpus = args.workload in schema.get("workload_features", {})
+    print(f"model     {args.model_ref} ({source})")
+    print(f"workload  {args.workload} "
+          f"({'in training corpus' if in_corpus else 'features extracted live'})")
     print(f"compiler  {compiler.describe()}")
     print(f"machine   {args.machine}")
     print(f"predicted {predicted:.0f} cycles")
@@ -1141,6 +1377,139 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print bare workload names, one per line (for scripting)",
     )
+    p.add_argument(
+        "--corpus-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="seed of the generated corpus to list (default 0)",
+    )
+    p.add_argument(
+        "--corpus-size",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also list the N-program generated corpus for --corpus-seed",
+    )
+    p.add_argument(
+        "--families",
+        default=None,
+        metavar="LIST",
+        help="comma-separated kernel families restricting the generated "
+        "corpus (e.g. loopnest,chase); hides the built-ins",
+    )
+
+    p = sub.add_parser(
+        "workgen", help="generate and gate a synthetic-workload corpus"
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, help="corpus seed (default 0)"
+    )
+    p.add_argument(
+        "--count",
+        type=int,
+        default=16,
+        metavar="N",
+        help="programs to generate (default 16)",
+    )
+    p.add_argument(
+        "--families",
+        default=None,
+        metavar="LIST",
+        help="comma-separated kernel family subset (default: all)",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="run the semantic-check gate (frontend + IR interpreter vs "
+        "functional simulator checksum agreement) on every program",
+    )
+    p.add_argument(
+        "--manifest",
+        default=None,
+        metavar="FILE",
+        help="write the reproducibility manifest (spec, grammar version, "
+        "per-program source digests) to FILE",
+    )
+    p.add_argument(
+        "--verify",
+        default=None,
+        metavar="FILE",
+        help="regenerate the corpus recorded in manifest FILE and prove "
+        "it is byte-identical (instead of generating a new one)",
+    )
+    p.add_argument(
+        "--export",
+        default=None,
+        metavar="DIR",
+        help="write one .mc source per program plus manifest.json to DIR",
+    )
+    p.add_argument(
+        "--show",
+        default=None,
+        metavar="NAME",
+        help="print one workload's source (e.g. gen-chase-7) and exit",
+    )
+
+    p = sub.add_parser(
+        "generalize",
+        help="fit + LOWO-evaluate a cross-program pooled model",
+    )
+    p.add_argument(
+        "--corpus-seed",
+        type=int,
+        default=0,
+        help="generated-corpus seed (default 0)",
+    )
+    p.add_argument(
+        "--corpus-size",
+        type=int,
+        default=64,
+        metavar="N",
+        help="generated programs in the corpus (default 64)",
+    )
+    p.add_argument(
+        "--families",
+        default=None,
+        metavar="LIST",
+        help="comma-separated kernel family subset (default: all)",
+    )
+    p.add_argument(
+        "--no-seed-workloads",
+        action="store_true",
+        help="exclude the 7 built-in SPEC stand-ins from the pool",
+    )
+    p.add_argument(
+        "--points",
+        type=int,
+        default=48,
+        metavar="N",
+        help="design points measured per workload (default 48)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, help="design-point seed (default 0)"
+    )
+    p.add_argument(
+        "--oracle",
+        choices=["static", "accurate"],
+        default="static",
+        help="static: analytical cost model, microseconds per point "
+        "(default); accurate: SMARTS-sampled cycle simulation",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the LOWO report as JSON instead of the table",
+    )
+    p.add_argument(
+        "--save",
+        default=None,
+        metavar="NAME",
+        help="publish the pooled model (fitted on the full dataset, with "
+        "its feature schema) to the registry under NAME",
+    )
+    _add_registry_argument(p)
+    _add_jobs_argument(p)
 
     for name, fn in (("measure", cmd_measure), ("disasm", cmd_disasm)):
         p = sub.add_parser(name, help=f"{name} a workload binary")
@@ -1336,6 +1705,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("model_ref", metavar="model")
     _add_flag_arguments(p)
+    p.add_argument(
+        "--workload",
+        default=None,
+        metavar="NAME",
+        help="program-aware prediction from a pooled `repro generalize` "
+        "model (any registry-resolvable workload, incl. gen-<family>-"
+        "<seed> names)",
+    )
     p.add_argument(
         "--host",
         default=None,
@@ -1644,6 +2021,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "spaces": cmd_spaces,
         "workloads": cmd_workloads,
+        "workgen": cmd_workgen,
+        "generalize": cmd_generalize,
         "measure": cmd_measure,
         "bench": cmd_bench,
         "disasm": cmd_disasm,

@@ -12,6 +12,7 @@ The usual frontend pipeline applies: :func:`tokenize` -> :func:`parse` ->
 :func:`compile_source` runs all four.
 """
 
+from repro.minic.diagnostics import MiniCError
 from repro.minic.lexer import Token, TokenKind, tokenize, LexerError
 from repro.minic.parser import parse, ParseError
 from repro.minic.sema import analyze, SemanticError
@@ -20,14 +21,20 @@ from repro.minic import ast
 
 
 def compile_source(source: str, name: str = "module"):
-    """Front-end pipeline: MiniC source text -> verified IR module."""
-    program = parse(tokenize(source))
-    analyze(program)
+    """Front-end pipeline: MiniC source text -> verified IR module.
+
+    The source text is threaded through every stage, so any
+    :class:`MiniCError` renders line/column plus the offending source
+    line.
+    """
+    program = parse(tokenize(source), source=source)
+    analyze(program, source=source)
     module = lower_to_ir(program, name=name)
     return module
 
 
 __all__ = [
+    "MiniCError",
     "Token",
     "TokenKind",
     "tokenize",

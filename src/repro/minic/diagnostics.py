@@ -1,0 +1,75 @@
+"""Source-located diagnostics for the MiniC frontend.
+
+:class:`MiniCError` is the common base of :class:`~repro.minic.lexer.LexerError`,
+:class:`~repro.minic.parser.ParseError` and
+:class:`~repro.minic.sema.SemanticError`.  Every frontend error carries a
+structured location (``line``, and ``col`` where the stage knows it) and,
+once :meth:`MiniCError.attach_source` has run -- the lexer does it
+immediately, ``parse``/``analyze``/``compile_source`` do it for the later
+stages -- renders the offending source line with a caret:
+
+.. code-block:: text
+
+    line 3, col 9: condition must be int, got float
+        while (f) { x = x + 1; }
+               ^
+
+Generated workloads make frontend errors *generator* bugs, so the
+excerpt is what turns a checksum-less stack trace into a one-glance
+diagnosis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class MiniCError(Exception):
+    """A frontend error with structured source location."""
+
+    def __init__(
+        self,
+        message: str,
+        line: Optional[int] = None,
+        col: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.message = message
+        self.line = line
+        self.col = col
+        self.source_text: Optional[str] = None
+
+    def attach_source(self, source: Optional[str]) -> "MiniCError":
+        """Remember the program text so ``str()`` can show the offending
+        line.  Idempotent; returns self for raise-chaining."""
+        if source is not None and self.source_text is None:
+            self.source_text = source
+        return self
+
+    def excerpt(self) -> Optional[str]:
+        """The offending source line plus a caret, or None when either
+        the location or the source text is missing."""
+        if self.source_text is None or self.line is None:
+            return None
+        lines = self.source_text.splitlines()
+        if not 1 <= self.line <= len(lines):
+            return None
+        text = lines[self.line - 1].rstrip()
+        out = f"    {text}"
+        if self.col is not None and 1 <= self.col <= len(text) + 1:
+            out += "\n    " + " " * (self.col - 1) + "^"
+        return out
+
+    def location(self) -> str:
+        if self.line is None:
+            return ""
+        if self.col is None:
+            return f"line {self.line}: "
+        return f"line {self.line}, col {self.col}: "
+
+    def __str__(self) -> str:
+        out = f"{self.location()}{self.message}"
+        excerpt = self.excerpt()
+        if excerpt is not None:
+            out += "\n" + excerpt
+        return out

@@ -6,9 +6,11 @@ import enum
 from dataclasses import dataclass
 from typing import Iterator, List, Union
 
+from repro.minic.diagnostics import MiniCError
 
-class LexerError(Exception):
-    pass
+
+class LexerError(MiniCError):
+    """Lexical error; carries line/col and the offending source line."""
 
 
 class TokenKind(enum.Enum):
@@ -50,7 +52,9 @@ def tokenize(source: str) -> List[Token]:
     n = len(source)
 
     def error(msg: str) -> LexerError:
-        return LexerError(f"line {line}, col {col}: {msg}")
+        err = LexerError(msg, line=line, col=col)
+        err.attach_source(source)
+        return err
 
     while i < n:
         ch = source[i]

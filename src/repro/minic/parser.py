@@ -6,11 +6,12 @@ from typing import List, Optional
 
 from repro.ir.types import Type
 from repro.minic import ast
+from repro.minic.diagnostics import MiniCError
 from repro.minic.lexer import Token, TokenKind
 
 
-class ParseError(Exception):
-    pass
+class ParseError(MiniCError):
+    """Syntax error; carries line/col and the offending source line."""
 
 
 #: Binary operator precedence levels, lowest binding first.
@@ -47,7 +48,10 @@ class _Parser:
 
     def error(self, msg: str) -> ParseError:
         tok = self.peek()
-        return ParseError(f"line {tok.line}: {msg} (found {tok.text!r})")
+        found = tok.text if tok.kind is not TokenKind.EOF else "end of input"
+        return ParseError(
+            f"{msg} (found {found!r})", line=tok.line, col=tok.col
+        )
 
     def expect_punct(self, text: str) -> Token:
         tok = self.peek()
@@ -370,7 +374,14 @@ class _Parser:
         raise self.error("expected expression")
 
 
-def parse(tokens: List[Token]) -> ast.Program:
-    """Parse a token stream into a :class:`repro.minic.ast.Program`."""
+def parse(tokens: List[Token], source: Optional[str] = None) -> ast.Program:
+    """Parse a token stream into a :class:`repro.minic.ast.Program`.
+
+    When the original ``source`` text is supplied, syntax errors render
+    the offending line with a caret.
+    """
     parser = _Parser(tokens)
-    return parser.parse_program()
+    try:
+        return parser.parse_program()
+    except MiniCError as err:
+        raise err.attach_source(source)

@@ -12,10 +12,12 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.ir.types import Type
 from repro.minic import ast
+from repro.minic.diagnostics import MiniCError
 
 
-class SemanticError(Exception):
-    pass
+class SemanticError(MiniCError):
+    """Type/scope error; carries the line and the offending source line
+    (column resolution would need per-expression columns in the AST)."""
 
 
 _INT_ONLY_OPS = {"%", "<<", ">>", "&", "|", "^", "&&", "||"}
@@ -30,7 +32,10 @@ class _Scope:
 
     def declare(self, name: str, type_: Type, line: int) -> None:
         if name in self.symbols:
-            raise SemanticError(f"line {line}: redeclaration of {name!r}")
+            raise SemanticError(
+                f"redeclaration of {name!r}",
+                line=line,
+            )
         self.symbols[name] = type_
 
     def lookup(self, name: str) -> Optional[Type]:
@@ -58,7 +63,8 @@ class _Analyzer:
                 or g.name in self.functions
             ):
                 raise SemanticError(
-                    f"line {g.line}: redeclaration of {g.name!r}"
+                    f"redeclaration of {g.name!r}",
+                    line=g.line,
                 )
             if g.array_size is not None:
                 self.global_arrays[g.name] = (g.var_type, g.array_size)
@@ -66,8 +72,9 @@ class _Analyzer:
                 if g.init is not None:
                     if g.var_type is Type.INT and not isinstance(g.init, int):
                         raise SemanticError(
-                            f"line {g.line}: int global {g.name!r} with "
-                            f"float initializer"
+                            f"int global {g.name!r} with "
+                            f"float initializer",
+                            line=g.line,
                         )
                     if g.var_type is Type.FLOAT and isinstance(g.init, int):
                         g.init = float(g.init)
@@ -78,7 +85,10 @@ class _Analyzer:
                 or f.name in self.global_scalars
                 or f.name in self.global_arrays
             ):
-                raise SemanticError(f"line {f.line}: redeclaration of {f.name!r}")
+                raise SemanticError(
+                    f"redeclaration of {f.name!r}",
+                    line=f.line,
+                )
             self.functions[f.name] = f
         for f in self.program.functions:
             self.check_function(f)
@@ -90,7 +100,8 @@ class _Analyzer:
         for p in func.params:
             if p.name in seen:
                 raise SemanticError(
-                    f"line {func.line}: duplicate parameter {p.name!r}"
+                    f"duplicate parameter {p.name!r}",
+                    line=func.line,
                 )
             seen.add(p.name)
             scope.declare(p.name, p.type, func.line)
@@ -155,14 +166,16 @@ class _Analyzer:
             if func.return_type is Type.VOID:
                 if stmt.value is not None:
                     raise SemanticError(
-                        f"line {stmt.line}: void function {func.name!r} "
-                        f"returns a value"
+                        f"void function {func.name!r} "
+                        f"returns a value",
+                        line=stmt.line,
                     )
             else:
                 if stmt.value is None:
                     raise SemanticError(
-                        f"line {stmt.line}: {func.name!r} must return "
-                        f"{func.return_type.value}"
+                        f"{func.name!r} must return "
+                        f"{func.return_type.value}",
+                        line=stmt.line,
                     )
                 value_type = self.check_expr(stmt.value, scope)
                 self._check_assignable(func.return_type, value_type, stmt.line)
@@ -175,8 +188,9 @@ class _Analyzer:
         cond_type = self.check_expr(cond, scope)
         if cond_type is not Type.INT:
             raise SemanticError(
-                f"line {cond.line}: condition must be int, got "
-                f"{cond_type.value}"
+                f"condition must be int, got "
+                f"{cond_type.value}",
+                line=cond.line,
             )
 
     def _check_lvalue(self, target: ast.Expr, scope: _Scope) -> Type:
@@ -190,25 +204,32 @@ class _Analyzer:
                 return target.type
             if target.name in self.global_arrays:
                 raise SemanticError(
-                    f"line {target.line}: cannot assign to array "
-                    f"{target.name!r} without an index"
+                    f"cannot assign to array "
+                    f"{target.name!r} without an index",
+                    line=target.line,
                 )
             raise SemanticError(
-                f"line {target.line}: undefined variable {target.name!r}"
+                f"undefined variable {target.name!r}",
+                line=target.line,
             )
         if isinstance(target, ast.ArrayRef):
             return self._check_array_ref(target, scope)
-        raise SemanticError(f"line {target.line}: invalid assignment target")
+        raise SemanticError(
+            f"invalid assignment target",
+            line=target.line,
+        )
 
     def _check_array_ref(self, ref: ast.ArrayRef, scope: _Scope) -> Type:
         if ref.name not in self.global_arrays:
             raise SemanticError(
-                f"line {ref.line}: {ref.name!r} is not a global array"
+                f"{ref.name!r} is not a global array",
+                line=ref.line,
             )
         index_type = self.check_expr(ref.index, scope)
         if index_type is not Type.INT:
             raise SemanticError(
-                f"line {ref.line}: array index must be int"
+                f"array index must be int",
+                line=ref.line,
             )
         ref.type = self.global_arrays[ref.name][0]
         return ref.type
@@ -221,8 +242,9 @@ class _Analyzer:
         if target is Type.FLOAT and value is Type.INT:
             return  # implicit promotion
         raise SemanticError(
-            f"line {line}: cannot assign {value.value} to {target.value} "
-            f"(use an explicit cast)"
+            f"cannot assign {value.value} to {target.value} "
+            f"(use an explicit cast)",
+            line=line,
         )
 
     # ------------------------------------------------------------------
@@ -239,7 +261,8 @@ class _Analyzer:
                 expr.type = self.global_scalars[expr.name]
             else:
                 raise SemanticError(
-                    f"line {expr.line}: undefined variable {expr.name!r}"
+                    f"undefined variable {expr.name!r}",
+                    line=expr.line,
                 )
         elif isinstance(expr, ast.ArrayRef):
             self._check_array_ref(expr, scope)
@@ -248,7 +271,8 @@ class _Analyzer:
             if expr.op == "!":
                 if operand is not Type.INT:
                     raise SemanticError(
-                        f"line {expr.line}: '!' requires an int operand"
+                        f"'!' requires an int operand",
+                        line=expr.line,
                     )
                 expr.type = Type.INT
             else:  # '-'
@@ -262,8 +286,9 @@ class _Analyzer:
             if expr.op in _INT_ONLY_OPS:
                 if left is not Type.INT or right is not Type.INT:
                     raise SemanticError(
-                        f"line {expr.line}: operator {expr.op!r} requires "
-                        f"int operands"
+                        f"operator {expr.op!r} requires "
+                        f"int operands",
+                        line=expr.line,
                     )
                 expr.type = Type.INT
             elif expr.op in _CMP_OPS:
@@ -276,19 +301,22 @@ class _Analyzer:
                 )
             else:
                 raise SemanticError(
-                    f"line {expr.line}: unknown operator {expr.op!r}"
+                    f"unknown operator {expr.op!r}",
+                    line=expr.line,
                 )
         elif isinstance(expr, ast.CallExpr):
             if expr.name not in self.functions:
                 raise SemanticError(
-                    f"line {expr.line}: call to undefined function "
-                    f"{expr.name!r}"
+                    f"call to undefined function "
+                    f"{expr.name!r}",
+                    line=expr.line,
                 )
             callee = self.functions[expr.name]
             if len(expr.args) != len(callee.params):
                 raise SemanticError(
-                    f"line {expr.line}: {expr.name!r} expects "
-                    f"{len(callee.params)} arguments, got {len(expr.args)}"
+                    f"{expr.name!r} expects "
+                    f"{len(callee.params)} arguments, got {len(expr.args)}",
+                    line=expr.line,
                 )
             for arg, param in zip(expr.args, callee.params):
                 arg_type = self.check_expr(arg, scope)
@@ -299,6 +327,13 @@ class _Analyzer:
         return expr.type
 
 
-def analyze(program: ast.Program) -> None:
-    """Type-check ``program`` in place, annotating expression types."""
-    _Analyzer(program).run()
+def analyze(program: ast.Program, source: Optional[str] = None) -> None:
+    """Type-check ``program`` in place, annotating expression types.
+
+    When the original ``source`` text is supplied, semantic errors
+    render the offending line.
+    """
+    try:
+        _Analyzer(program).run()
+    except MiniCError as err:
+        raise err.attach_source(source)

@@ -51,6 +51,11 @@ class Predictor:
         cache entirely.
     name:
         Display name used in ``info()`` (e.g. the registry name).
+    input_bound:
+        Reject rows with any ``|value| > input_bound`` (the coded design
+        domain is [-1, 1]).  ``None`` disables the check -- pooled
+        cross-program models take z-scored program features whose range
+        is not the coded domain.
     """
 
     def __init__(
@@ -60,6 +65,7 @@ class Predictor:
         cache_size: int = 65536,
         name: Optional[str] = None,
         model_id: Optional[str] = None,
+        input_bound: Optional[float] = 1.0,
     ):
         if not model.is_fitted:
             raise ValueError("Predictor requires a fitted model")
@@ -74,6 +80,7 @@ class Predictor:
         #: Registry content digest this predictor was loaded from, if
         #: any -- the link serve-session provenance events record.
         self.model_id = model_id
+        self.input_bound = input_bound
         self.cache_size = int(cache_size)
         self._cache: "OrderedDict[bytes, float]" = OrderedDict()
         self._lock = threading.Lock()
@@ -90,12 +97,17 @@ class Predictor:
         from repro.serve.registry import default_registry
 
         loaded = (registry or default_registry()).load(ref)
+        # Pooled cross-program models (manifest "workgen" block, see
+        # repro.workgen.generalize.MANIFEST_KEY) take rows that extend
+        # past the coded design domain with z-scored program features.
+        bound = None if "workgen" in loaded.manifest else 1.0
         return cls(
             loaded.model,
             space=loaded.space,
             cache_size=cache_size,
             name=loaded.name or loaded.id,
             model_id=loaded.id,
+            input_bound=bound,
         )
 
     @property
@@ -119,10 +131,15 @@ class Predictor:
             )
         if not np.isfinite(x).all():
             raise ValueError("input contains non-finite values")
-        if x.size and (np.abs(x) > 1.0 + 1e-9).any():
+        if (
+            self.input_bound is not None
+            and x.size
+            and (np.abs(x) > self.input_bound + 1e-9).any()
+        ):
             raise ValueError(
-                "coded inputs must lie in [-1, 1]; encode raw points "
-                "through the design space first"
+                f"coded inputs must lie in [-{self.input_bound:g}, "
+                f"{self.input_bound:g}]; encode raw points through the "
+                "design space first"
             )
         return np.ascontiguousarray(x)
 

@@ -1,0 +1,109 @@
+"""Grammar-driven synthetic workload generation (ROADMAP item 5).
+
+The subsystem turns the 7 fixed SPEC stand-ins into an open-ended
+scenario space:
+
+* :mod:`repro.workgen.gen` -- the seeded random-program core promoted
+  from the differential fuzz tests (shared, not duplicated);
+* :mod:`repro.workgen.grammar` / :mod:`repro.workgen.skeletons` -- a
+  declarative grammar over kernel skeleton families emitting
+  semantically-checked, guaranteed-terminating MiniC programs;
+* :mod:`repro.workgen.corpus` -- seeded corpus generation, manifests,
+  and the semantic-check gate (interp vs functional-sim checksums);
+* :mod:`repro.workgen.features` -- per-program feature vectors from the
+  static analysis framework plus cheap dynamic trace features;
+* :mod:`repro.workgen.generalize` -- cross-program pooled model fitting
+  and leave-one-workload-out evaluation.
+
+Generated programs are first-class workloads: the registry resolves
+``gen-<family>-<seed>`` names by regenerating the program from the name
+alone (see :func:`repro.workloads.get_workload`), so every measurement
+path -- including pool workers in other processes -- works on them
+unchanged.
+"""
+
+from repro.workgen.gen import ProgramGenerator, generate_program
+from repro.workgen.grammar import (
+    GRAMMAR_VERSION,
+    EmitContext,
+    GeneratedProgram,
+    Grammar,
+    GrammarError,
+    ParamSpec,
+    Skeleton,
+    parse_name,
+    program_name,
+)
+from repro.workgen.skeletons import DEFAULT_SKELETONS, default_grammar
+from repro.workgen.corpus import (
+    CorpusSpec,
+    SemanticCheckFailure,
+    check_corpus,
+    check_program,
+    corpus_digest,
+    export_corpus,
+    generate_corpus,
+    load_manifest,
+    manifest_dict,
+    verify_manifest,
+    write_manifest,
+)
+from repro.workgen.features import (
+    PROGRAM_FEATURE_NAMES,
+    dynamic_features,
+    program_feature_vector,
+    program_features,
+    static_features,
+)
+from repro.workgen.generalize import (
+    POOLED_FEATURE_NAMES,
+    GeneralizeConfig,
+    GeneralizeReport,
+    build_dataset,
+    evaluate_lowo,
+    pooled_response,
+    pooled_row,
+    pooled_schema,
+    publish_pooled,
+)
+
+__all__ = [
+    "ProgramGenerator",
+    "generate_program",
+    "GRAMMAR_VERSION",
+    "EmitContext",
+    "GeneratedProgram",
+    "Grammar",
+    "GrammarError",
+    "ParamSpec",
+    "Skeleton",
+    "parse_name",
+    "program_name",
+    "DEFAULT_SKELETONS",
+    "default_grammar",
+    "CorpusSpec",
+    "SemanticCheckFailure",
+    "check_corpus",
+    "check_program",
+    "corpus_digest",
+    "export_corpus",
+    "generate_corpus",
+    "load_manifest",
+    "manifest_dict",
+    "verify_manifest",
+    "write_manifest",
+    "PROGRAM_FEATURE_NAMES",
+    "dynamic_features",
+    "program_feature_vector",
+    "program_features",
+    "static_features",
+    "POOLED_FEATURE_NAMES",
+    "GeneralizeConfig",
+    "GeneralizeReport",
+    "build_dataset",
+    "evaluate_lowo",
+    "pooled_response",
+    "pooled_row",
+    "pooled_schema",
+    "publish_pooled",
+]

@@ -1,0 +1,468 @@
+"""Cross-program generalizable models over a generated corpus.
+
+The per-workload models the paper builds answer only for the program
+they were fitted on.  This module fits ONE pooled model whose inputs
+are the 25 coded design-point variables concatenated with the
+:mod:`per-program feature vector <repro.workgen.features>` (z-scored
+across the corpus), trained over a generated corpus plus the seed
+workloads, against ``log(cycles)`` -- programs span orders of magnitude
+in dynamic size, and the log keeps big kernels from drowning out small
+ones in the least-squares objective.
+
+Evaluation is leave-one-workload-out (LOWO): for each workload the
+pooled model is refitted with every one of that workload's rows held
+out and scored on the held-out test rows -- i.e. genuine cross-program
+generalization to a never-seen program -- and compared against the
+status-quo baseline, a dedicated per-program model trained on the same
+workload's own train rows.
+
+``publish_pooled`` stores the pooled model in the serving registry with
+the full feature schema (variable order, normalization, per-workload
+raw features, response transform) in the manifest's ``workgen`` block,
+so one served model answers for any known program and client-side
+concatenation is mechanical (:func:`pooled_row`, :func:`pooled_response`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.linear import LinearModel
+from repro.obs import span
+from repro.obs.ledger import record_event
+from repro.space import full_space
+from repro.workgen.corpus import CorpusSpec, generate_corpus
+from repro.workgen.features import PROGRAM_FEATURE_NAMES, program_feature_vector
+from repro.workgen.grammar import GRAMMAR_VERSION, _stable_hash
+
+#: Manifest block name under which pooled-model schemas are stored.
+MANIFEST_KEY = "workgen"
+
+#: Z-scored program features are winsorized to this many standard
+#: deviations (training AND prediction): a never-seen program with an
+#: out-of-distribution feature must degrade toward the corpus mean, not
+#: extrapolate a linear trend to absurd cycle predictions.
+Z_CLIP = 3.0
+
+#: The anchor feature: log cycles of ONE reference-point measurement
+#: per program, taken with the same oracle that labels the training
+#: rows.  Static summaries cannot recover a program's absolute cycle
+#: scale when the oracle's own scale drifts (the analytical oracle is
+#: orders of magnitude off on bzip2's data-dependent loop bounds, which
+#: per-program models absorb silently); anchored pooling needs exactly
+#: one cheap measurement for a never-seen program and leaves the whole
+#: design-response surface to the model.
+ANCHOR_FEATURE = "ref_log_cycles"
+
+#: Feature order for pooled models: static+dynamic program features,
+#: then the anchor.
+POOLED_FEATURE_NAMES: List[str] = list(PROGRAM_FEATURE_NAMES) + [ANCHOR_FEATURE]
+
+
+def reference_point() -> Dict[str, float]:
+    """The fixed mid-domain design point used for anchor measurements."""
+    space = full_space()
+    return space.decode(np.zeros(space.dim))
+
+
+def _clip_summary(z: np.ndarray) -> np.ndarray:
+    """Winsorize the summary features but never the anchor (the last
+    column): the anchor is a trusted measurement whose whole job is to
+    carry out-of-distribution scale, so truncating it reintroduces the
+    scale error it exists to remove."""
+    out = np.clip(z, -Z_CLIP, Z_CLIP)
+    out[..., -1] = z[..., -1]
+    return out
+
+
+@dataclass(frozen=True)
+class GeneralizeConfig:
+    """One cross-program fitting experiment, reproducible end to end."""
+
+    corpus_seed: int = 0
+    corpus_size: int = 64
+    families: Tuple[str, ...] = ()
+    include_seed_workloads: bool = True
+    #: Design points drawn (and measured) per workload.
+    points_per_workload: int = 48
+    design_seed: int = 0
+    #: Fraction of each workload's points used to train the per-program
+    #: baseline; the rest are the held-out test rows for both models.
+    train_frac: float = 2.0 / 3.0
+    #: Measurement mode: "static" (analytical oracle, microseconds per
+    #: point) or "accurate" (SMARTS-sampled cycle simulation).
+    oracle: str = "static"
+    jobs: Optional[int] = None
+    #: Pooled model structure.  Interactions are off by default: the
+    #: two-factor expansion over 25+24 variables has ~1200 terms, more
+    #: than the rows a 64-program corpus yields, and the ridge-resolved
+    #: fit extrapolates wildly on held-out programs.
+    interactions: bool = False
+    ridge: float = 1e-6
+
+
+@dataclass
+class WorkloadEval:
+    """LOWO pooled error vs the per-program baseline for one workload."""
+
+    workload: str
+    origin: str
+    pooled_mape: float
+    baseline_mape: float
+    n_train: int
+    n_test: int
+
+
+@dataclass
+class GeneralizeReport:
+    config: GeneralizeConfig
+    workloads: List[str]
+    evals: List[WorkloadEval]
+    pooled_mape: float
+    baseline_mape: float
+    n_rows: int
+    feature_names: List[str] = field(default_factory=list)
+    feature_mean: List[float] = field(default_factory=list)
+    feature_std: List[float] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "config": {
+                "corpus_seed": self.config.corpus_seed,
+                "corpus_size": self.config.corpus_size,
+                "families": list(self.config.families),
+                "include_seed_workloads": self.config.include_seed_workloads,
+                "points_per_workload": self.config.points_per_workload,
+                "design_seed": self.config.design_seed,
+                "oracle": self.config.oracle,
+            },
+            "n_workloads": len(self.workloads),
+            "n_rows": self.n_rows,
+            "pooled_mape": self.pooled_mape,
+            "baseline_mape": self.baseline_mape,
+            "per_workload": [
+                {
+                    "workload": e.workload,
+                    "origin": e.origin,
+                    "pooled_mape": e.pooled_mape,
+                    "baseline_mape": e.baseline_mape,
+                    "n_train": e.n_train,
+                    "n_test": e.n_test,
+                }
+                for e in self.evals
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# Dataset assembly
+# ----------------------------------------------------------------------
+@dataclass
+class PooledDataset:
+    """Measured rows for every workload, ready for pooled fitting."""
+
+    workloads: List[str]
+    origins: Dict[str, str]
+    #: workload -> (coded design (n,k), cycles (n,))
+    rows: Dict[str, Tuple[np.ndarray, np.ndarray]]
+    #: workload -> raw (unnormalized) program feature vector.
+    features: Dict[str, np.ndarray]
+    feature_mean: np.ndarray
+    feature_std: np.ndarray
+
+    def normalized_features(self, workload: str) -> np.ndarray:
+        z = (self.features[workload] - self.feature_mean) / self.feature_std
+        return _clip_summary(z)
+
+
+def corpus_workload_names(config: GeneralizeConfig) -> List[str]:
+    """The workload list for one experiment: generated corpus first
+    (regenerated from the corpus seed), then the seed workloads."""
+    spec = CorpusSpec(
+        seed=config.corpus_seed,
+        count=config.corpus_size,
+        families=tuple(config.families),
+    )
+    names = [p.name for p in generate_corpus(spec)]
+    if config.include_seed_workloads:
+        from repro.workloads import workload_names
+
+        names.extend(workload_names())
+    return names
+
+
+def _engine(config: GeneralizeConfig):
+    from repro.harness.measure import MeasurementEngine, default_engine
+
+    if config.oracle == "static":
+        return MeasurementEngine(mode="static", jobs=config.jobs)
+    if config.oracle == "accurate":
+        return default_engine()
+    raise ValueError(f"unknown oracle {config.oracle!r} (static|accurate)")
+
+
+def build_dataset(
+    config: GeneralizeConfig, engine=None
+) -> PooledDataset:
+    """Measure ``points_per_workload`` design points for every workload
+    and extract program features.  Designs are per-workload seeded from
+    ``(design_seed, workload name)``, so the whole dataset is pure in
+    the config."""
+    from repro.workloads import get_workload
+
+    space = full_space()
+    engine = engine if engine is not None else _engine(config)
+    names = corpus_workload_names(config)
+    rows: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    feats: Dict[str, np.ndarray] = {}
+    origins: Dict[str, str] = {}
+    with span("workgen.build_dataset", n_workloads=len(names)):
+        for name in names:
+            origins[name] = get_workload(name).origin
+            rng = np.random.default_rng(
+                [config.design_seed, _stable_hash(name)]
+            )
+            points = [
+                space.random_point(rng)
+                for _ in range(config.points_per_workload)
+            ]
+            cycles = np.array(
+                [
+                    m.cycles
+                    for m in engine.measure_batch(
+                        name, points, "train", jobs=config.jobs
+                    )
+                ],
+                dtype=float,
+            )
+            rows[name] = (space.encode_matrix(points), cycles)
+            anchor = math.log(
+                max(engine.measure(name, reference_point(), "train").cycles, 1.0)
+            )
+            feats[name] = np.append(
+                program_feature_vector(name, "train"), anchor
+            )
+    mat = np.stack([feats[n] for n in names])
+    mean = mat.mean(axis=0)
+    std = mat.std(axis=0)
+    std[std == 0.0] = 1.0
+    return PooledDataset(
+        workloads=names,
+        origins=origins,
+        rows=rows,
+        features=feats,
+        feature_mean=mean,
+        feature_std=std,
+    )
+
+
+def _pooled_matrix(
+    dataset: PooledDataset, workloads: Sequence[str]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stack ``[coded design | z-scored program features]`` rows and the
+    log-cycle response for the given workloads."""
+    xs, ys = [], []
+    for name in workloads:
+        coded, cycles = dataset.rows[name]
+        z = dataset.normalized_features(name)
+        xs.append(np.hstack([coded, np.tile(z, (coded.shape[0], 1))]))
+        ys.append(np.log(np.maximum(cycles, 1.0)))
+    return np.vstack(xs), np.concatenate(ys)
+
+
+def _mape(predicted_cycles: np.ndarray, cycles: np.ndarray) -> float:
+    return float(
+        np.mean(np.abs(predicted_cycles - cycles) / np.maximum(cycles, 1.0))
+        * 100.0
+    )
+
+
+def _pooled_model(config: GeneralizeConfig, n_vars: int) -> LinearModel:
+    names = full_space().names + POOLED_FEATURE_NAMES
+    assert len(names) == n_vars
+    return LinearModel(
+        variable_names=names,
+        interactions=config.interactions,
+        selection="none",
+        ridge=config.ridge,
+    )
+
+
+def _split(n: int, train_frac: float) -> Tuple[np.ndarray, np.ndarray]:
+    n_train = max(1, min(n - 1, int(round(n * train_frac))))
+    idx = np.arange(n)
+    return idx[:n_train], idx[n_train:]
+
+
+# ----------------------------------------------------------------------
+# LOWO evaluation
+# ----------------------------------------------------------------------
+def evaluate_lowo(
+    config: GeneralizeConfig, dataset: Optional[PooledDataset] = None
+) -> GeneralizeReport:
+    """Leave-one-workload-out evaluation of the pooled model against
+    per-program baselines, on shared held-out test rows."""
+    dataset = dataset if dataset is not None else build_dataset(config)
+    n_design = full_space().dim
+    n_vars = n_design + len(POOLED_FEATURE_NAMES)
+    evals: List[WorkloadEval] = []
+    with span("workgen.evaluate_lowo", n_workloads=len(dataset.workloads)):
+        for held_out in dataset.workloads:
+            train_wl = [w for w in dataset.workloads if w != held_out]
+            x_pool, y_pool = _pooled_matrix(dataset, train_wl)
+            pooled = _pooled_model(config, n_vars).fit(x_pool, y_pool)
+
+            coded, cycles = dataset.rows[held_out]
+            tr, te = _split(len(cycles), config.train_frac)
+            z = dataset.normalized_features(held_out)
+            x_test = np.hstack([coded[te], np.tile(z, (len(te), 1))])
+            pooled_cycles = np.exp(pooled.predict(x_test))
+
+            baseline = LinearModel(
+                variable_names=full_space().names,
+                interactions=False,
+                selection="none",
+            ).fit(coded[tr], cycles[tr])
+            baseline_cycles = baseline.predict(coded[te])
+
+            evals.append(
+                WorkloadEval(
+                    workload=held_out,
+                    origin=dataset.origins[held_out],
+                    pooled_mape=_mape(pooled_cycles, cycles[te]),
+                    baseline_mape=_mape(baseline_cycles, cycles[te]),
+                    n_train=len(tr),
+                    n_test=len(te),
+                )
+            )
+    report = GeneralizeReport(
+        config=config,
+        workloads=list(dataset.workloads),
+        evals=evals,
+        pooled_mape=float(np.mean([e.pooled_mape for e in evals])),
+        baseline_mape=float(np.mean([e.baseline_mape for e in evals])),
+        n_rows=sum(len(c) for _, c in dataset.rows.values()),
+        feature_names=list(POOLED_FEATURE_NAMES),
+        feature_mean=[float(v) for v in dataset.feature_mean],
+        feature_std=[float(v) for v in dataset.feature_std],
+    )
+    record_event(
+        "workgen_generalize",
+        attrs={
+            "corpus_seed": config.corpus_seed,
+            "corpus_size": config.corpus_size,
+            "points_per_workload": config.points_per_workload,
+            "oracle": config.oracle,
+            "grammar_version": GRAMMAR_VERSION,
+            "n_workloads": len(dataset.workloads),
+            "pooled_mape": report.pooled_mape,
+            "baseline_mape": report.baseline_mape,
+        },
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Publishing and program-aware prediction
+# ----------------------------------------------------------------------
+def publish_pooled(
+    registry,
+    name: str,
+    config: GeneralizeConfig,
+    dataset: PooledDataset,
+    report: Optional[GeneralizeReport] = None,
+):
+    """Fit the pooled model on the FULL dataset and store it with the
+    feature schema, so clients can build prediction rows from a design
+    point plus a workload name alone."""
+    n_vars = full_space().dim + len(POOLED_FEATURE_NAMES)
+    x, y = _pooled_matrix(dataset, dataset.workloads)
+    model = _pooled_model(config, n_vars).fit(x, y)
+    fit_metrics = None
+    if report is not None:
+        fit_metrics = {
+            "lowo_pooled_mape": report.pooled_mape,
+            "lowo_baseline_mape": report.baseline_mape,
+        }
+    extra = {
+        MANIFEST_KEY: {
+            "grammar_version": GRAMMAR_VERSION,
+            "oracle": config.oracle,
+            "design_variables": full_space().names,
+            "program_features": list(POOLED_FEATURE_NAMES),
+            "feature_mean": [float(v) for v in dataset.feature_mean],
+            "feature_std": [float(v) for v in dataset.feature_std],
+            "response_transform": "log",
+            "workload_features": {
+                w: [float(v) for v in dataset.features[w]]
+                for w in dataset.workloads
+            },
+        }
+    }
+    entry = registry.save(
+        model, name, space=None, fit_metrics=fit_metrics, extra_manifest=extra
+    )
+    record_event(
+        "workgen_publish",
+        attrs={"name": name, "n_rows": len(y)},
+        refs={"model_id": entry.id},
+    )
+    return entry
+
+
+def live_features(workload: str, oracle: str = "static") -> np.ndarray:
+    """Full pooled feature vector (summaries + anchor) for a workload
+    that was NOT in a model's training corpus, extracted on the spot."""
+    from repro.harness.measure import MeasurementEngine, default_engine
+
+    engine = (
+        MeasurementEngine(mode="static", jobs=1)
+        if oracle == "static"
+        else default_engine()
+    )
+    anchor = math.log(
+        max(engine.measure(workload, reference_point(), "train").cycles, 1.0)
+    )
+    return np.append(program_feature_vector(workload, "train"), anchor)
+
+
+def pooled_schema(manifest: Mapping[str, object]) -> Optional[Mapping[str, object]]:
+    """The ``workgen`` schema block of a stored model, or None."""
+    block = manifest.get(MANIFEST_KEY)
+    return block if isinstance(block, Mapping) else None
+
+
+def pooled_row(
+    schema: Mapping[str, object],
+    coded_point: Sequence[float],
+    workload: str,
+) -> np.ndarray:
+    """Build one prediction row ``[coded design | z-scored features]``.
+
+    The workload's features come from the schema when it was part of
+    the training corpus, and are extracted live otherwise -- any
+    program the registry can resolve is predictable.
+    """
+    stored = schema.get("workload_features", {})
+    if workload in stored:
+        raw = np.asarray(stored[workload], dtype=float)
+    else:
+        raw = live_features(workload, schema.get("oracle", "static"))
+    mean = np.asarray(schema["feature_mean"], dtype=float)
+    std = np.asarray(schema["feature_std"], dtype=float)
+    z = (raw - mean) / np.where(std == 0.0, 1.0, std)
+    z = _clip_summary(z)
+    return np.concatenate([np.asarray(coded_point, dtype=float), z])
+
+
+def pooled_response(
+    schema: Mapping[str, object], raw_prediction: np.ndarray
+) -> np.ndarray:
+    """Invert the training response transform (log -> cycles)."""
+    if schema.get("response_transform") == "log":
+        return np.exp(np.asarray(raw_prediction, dtype=float))
+    return np.asarray(raw_prediction, dtype=float)

@@ -1,0 +1,370 @@
+"""The stock skeleton families of the workload grammar.
+
+Six kernel shapes spanning the behaviors the seven SPEC stand-ins
+exhibit (and the gaps between them):
+
+=============  =======================================================
+``loopnest``   affine nested counted loops over two int arrays --
+               unrolling / LICM / scheduling-sensitive
+``chase``      pointer chasing through an index-linked permutation --
+               cache-latency-bound, mcf-like
+``calltree``   a randomly-shaped tree of small helper functions --
+               inlining-sensitive, vortex/mesa-like
+``reduce``     single-loop reductions (sum / dot / min) with 1..4
+               parallel accumulator lanes -- ILP and unroll-friendly
+``fppipe``     streaming FP multiply-add pipelines with configurable
+               dependence-chain depth -- FU-latency-sensitive, art-like
+``branchy``    LCG-driven data-dependent branch ladders with random
+               statement filler -- branch-predictor-hostile
+=============  =======================================================
+
+Every emitter obeys the termination contract of
+:mod:`repro.workgen.grammar`: counted ``for`` loops only, all array
+indices reduced modulo power-of-two array sizes, every computed value
+folded into the returned checksum.  Random *structure* comes from the
+drawn :class:`~repro.workgen.grammar.ParamSpec` values; random
+expression/statement *filler* comes from the promoted fuzz core via
+``ctx.fuzz`` so the two generators cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from repro.workgen.grammar import EmitContext, Grammar, ParamSpec, Skeleton
+
+#: All data arrays are this many elements (power of two: index masking
+#: and the chase permutation rely on it).
+ARRAY = 256
+
+#: Mask applied to int products so checksums stay machine-word-sized.
+MASK = 1048575
+
+
+# ----------------------------------------------------------------------
+# loopnest
+# ----------------------------------------------------------------------
+def _emit_loopnest(ctx: EmitContext) -> str:
+    depth = ctx["depth"]
+    trips = [ctx["n0"], ctx["n1"], ctx["n2"]][:depth]
+    strides = [ctx.odd(1, 7) for _ in range(depth)]
+    c_init = ctx.const(1, 9)
+    c_xor = ctx.const(1, 127)
+    op = ctx.pick(["+", "^", "&", "|"])
+    idx = " + ".join(f"i{d} * {strides[d]}" for d in range(depth))
+    open_loops = "".join(
+        f"for (int i{d} = 0; i{d} < {trips[d]}; i{d} = i{d} + 1) {{\n"
+        for d in range(depth)
+    )
+    close_loops = "}\n" * depth
+    return (
+        f"int A[{ARRAY}];\n"
+        f"int B[{ARRAY}];\n"
+        "int main() {\n"
+        "int chk = 0;\n"
+        "int t = 0;\n"
+        f"for (int i = 0; i < {ARRAY}; i = i + 1) {{\n"
+        f"A[i] = i * {c_init} + {ctx.const(0, 50)};\n"
+        f"B[i] = i ^ {c_xor};\n"
+        "}\n"
+        f"{open_loops}"
+        f"t = (A[({idx}) % {ARRAY}] {op} B[({idx}) % {ARRAY}]) & {MASK};\n"
+        f"A[({idx}) % {ARRAY}] = (t + i0) & {MASK};\n"
+        "chk = chk + t;\n"
+        f"{close_loops}"
+        f"for (int z = 0; z < {ARRAY}; z = z + 1) {{ chk = (chk + A[z]) & {MASK}; }}\n"
+        "return chk;\n"
+        "}\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# chase
+# ----------------------------------------------------------------------
+def _emit_chase(ctx: EmitContext) -> str:
+    n = 1 << ctx["logn"]  # 32..256, power of two
+    steps = ctx["steps"]
+    mult = ctx.odd(3, 61)  # odd multiplier mod 2^k is a bijection
+    offset = ctx.const(0, n - 1)
+    salt = ctx.const(1, 255)
+    chains = ctx["chains"]
+    chase_lines = ["chk = chk + val[cur0];", "val[cur0] = (val[cur0] + s) & 255;",
+                   "cur0 = nxt[cur0];"]
+    decls = ["int cur0 = 0;"]
+    if chains == 2:
+        decls.append(f"int cur1 = {n // 2};")
+        chase_lines += ["chk = chk ^ val[cur1];", "cur1 = nxt[cur1];"]
+    return (
+        f"int nxt[{ARRAY}];\n"
+        f"int val[{ARRAY}];\n"
+        f"int N = {n};\n"
+        "int main() {\n"
+        "int chk = 0;\n"
+        "for (int i = 0; i < N; i = i + 1) {\n"
+        f"nxt[i] = (i * {mult} + {offset}) % N;\n"
+        f"val[i] = (i * 7) ^ {salt};\n"
+        "}\n"
+        + "\n".join(decls)
+        + "\n"
+        f"for (int s = 0; s < {steps}; s = s + 1) {{\n"
+        + "\n".join(chase_lines)
+        + "\n}\n"
+        "for (int z = 0; z < N; z = z + 1) { chk = chk + val[z]; }\n"
+        "return chk;\n"
+        "}\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# calltree
+# ----------------------------------------------------------------------
+def _emit_calltree(ctx: EmitContext) -> str:
+    depth = ctx["depth"]
+    fan = ctx["fan"]
+    iters = ctx["iters"]
+    funcs = []
+    counter = [0]
+
+    def build(level: int) -> str:
+        name = f"f{counter[0]}"
+        counter[0] += 1
+        if level == 0:
+            # Leaf: random arithmetic over the parameters via the fuzz
+            # core (registered vars x, y), bounded by a prime modulus.
+            old = ctx.fuzz.int_vars
+            ctx.fuzz.int_vars = ["x", "y"]
+            cond = ctx.fuzz.cond_expr()
+            expr = ctx.fuzz.int_expr(1)
+            ctx.fuzz.int_vars = old
+            funcs.append(
+                f"int {name}(int x, int y) {{\n"
+                f"    if ({cond}) {{ return ({expr}) % 9973; }}\n"
+                f"    return (x * {ctx.const(2, 17)} + y) % 9973;\n"
+                f"}}\n"
+            )
+            return name
+        children = [build(level - 1) for _ in range(fan)]
+        calls = []
+        combine = []
+        for k, child in enumerate(children):
+            shift = ctx.const(0, 31)
+            calls.append(f"    int a{k} = {child}(x + {shift}, y - {k});")
+            combine.append(f"a{k} * {2 * k + 1}")
+        funcs.append(
+            f"int {name}(int x, int y) {{\n"
+            + "\n".join(calls)
+            + f"\n    return ({' + '.join(combine)}) % 9973;\n"
+            f"}}\n"
+        )
+        return name
+
+    root = build(depth)
+    return (
+        # The fuzz-core leaves reference the data[32] global.
+        "int data[32];\n"
+        + "".join(funcs)
+        + "int main() {\n"
+        "int chk = 0;\n"
+        f"for (int z = 0; z < 32; z = z + 1) {{ data[z] = (z * {ctx.odd(3, 61)}) & 255; }}\n"
+        f"for (int i = 0; i < {iters}; i = i + 1) {{\n"
+        f"chk = chk + {root}(i, chk % 251);\n"
+        "}\n"
+        "return chk;\n"
+        "}\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# reduce
+# ----------------------------------------------------------------------
+def _emit_reduce(ctx: EmitContext) -> str:
+    lanes = ctx["lanes"]
+    reps = ctx["reps"]
+    kind = ctx.pick(["sum", "dot", "min"])
+    fp = ctx["fp"] == 1 and kind != "min"
+    ty = "float" if fp else "int"
+    decls = []
+    body = []
+    folds = []
+    for l in range(lanes):
+        init = "1000000" if kind == "min" else ("0.0" if fp else "0")
+        decls.append(f"{ty} acc{l} = {init};")
+        x = f"X[(i * {lanes} + {l}) % {ARRAY}]"
+        y = f"Y[(i * {lanes} + {l}) % {ARRAY}]"
+        if kind == "sum":
+            body.append(f"acc{l} = acc{l} + {x};")
+        elif kind == "dot":
+            expr = f"{x} * {y}"
+            if not fp:
+                expr = f"({expr}) & {MASK}"
+            body.append(f"acc{l} = acc{l} + {expr};")
+        else:  # min
+            body.append(f"if ({x} < acc{l}) {{ acc{l} = {x}; }}")
+        folds.append(
+            f"chk = chk + (int)(acc{l});" if fp else f"chk = chk + acc{l};"
+        )
+    init_x = (
+        f"X[i] = (float)(i & 63) / 16.0 + 0.25;"
+        if fp
+        else f"X[i] = (i * {ctx.const(1, 9)}) ^ {ctx.const(1, 255)};"
+    )
+    init_y = (
+        f"Y[i] = (float)((i * 5) & 63) / 32.0 + 0.5;"
+        if fp
+        else f"Y[i] = (i ^ {ctx.const(1, 63)}) + {ctx.const(0, 100)};"
+    )
+    return (
+        f"{ty} X[{ARRAY}];\n"
+        f"{ty} Y[{ARRAY}];\n"
+        "int main() {\n"
+        "int chk = 0;\n"
+        + "\n".join(decls)
+        + "\n"
+        f"for (int i = 0; i < {ARRAY}; i = i + 1) {{\n{init_x}\n{init_y}\n}}\n"
+        f"for (int r = 0; r < {reps}; r = r + 1) {{\n"
+        f"for (int i = 0; i < {ARRAY // lanes}; i = i + 1) {{\n"
+        + "\n".join(body)
+        + "\n}\n}\n"
+        + "\n".join(folds)
+        + "\nreturn chk;\n"
+        "}\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# fppipe
+# ----------------------------------------------------------------------
+def _emit_fppipe(ctx: EmitContext) -> str:
+    chain = ctx["chain"]
+    reps = ctx["reps"]
+    coeffs = [ctx.pick(["0.25", "0.5", "0.75", "1.25"]) for _ in range(chain)]
+    adds = [ctx.pick(["0.125", "0.375", "0.625"]) for _ in range(chain)]
+    stages = ["float t0 = X[i];"]
+    for k in range(chain):
+        prev = f"t{k}"
+        extra = " + Y[i]" if k == chain - 1 else ""
+        stages.append(f"float t{k + 1} = {prev} * {coeffs[k]} + {adds[k]}{extra};")
+    return (
+        f"float X[{ARRAY}];\n"
+        f"float Y[{ARRAY}];\n"
+        "int main() {\n"
+        "int chk = 0;\n"
+        "float acc = 0.0;\n"
+        f"for (int i = 0; i < {ARRAY}; i = i + 1) {{\n"
+        f"X[i] = (float)(i & 31) / 8.0 + 0.5;\n"
+        f"Y[i] = (float)((i * 3) & 31) / 16.0;\n"
+        "}\n"
+        f"for (int r = 0; r < {reps}; r = r + 1) {{\n"
+        f"for (int i = 0; i < {ARRAY}; i = i + 1) {{\n"
+        + "\n".join(stages)
+        + f"\nY[i] = t{chain};\n"
+        f"acc = acc + t{chain};\n"
+        "}\n}\n"
+        "chk = chk + (int)(acc * 16.0);\n"
+        f"for (int z = 0; z < {ARRAY}; z = z + 1) {{ chk = chk + (int)(Y[z] * 8.0); }}\n"
+        "return chk;\n"
+        "}\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# branchy
+# ----------------------------------------------------------------------
+def _emit_branchy(ctx: EmitContext) -> str:
+    iters = ctx["iters"]
+    ladder = ctx["ladder"]
+    shift = ctx.const(3, 9)
+    arms = []
+    ctx.fuzz.int_vars = ["t"]
+    for k in range(ladder):
+        mod = ctx.pick([3, 5, 7, 11])
+        cut = ctx.const(0, mod - 1)
+        filler = ctx.fuzz.scoped_block(1, max_stmts=2)
+        keyword = "if" if k == 0 else "} else if"
+        arms.append(
+            f"{keyword} (t % {mod} <= {cut}) {{\n"
+            f"chk = chk + t * {2 * k + 1};\n{filler}\n"
+        )
+    arms.append("} else {\nchk = chk ^ t;\n}\n")
+    ctx.fuzz.int_vars = []
+    return (
+        "int data[32];\n"
+        "int main() {\n"
+        "int chk = 0;\n"
+        f"int state = {ctx.const(1, 10 ** 6)};\n"
+        f"for (int i = 0; i < {iters}; i = i + 1) {{\n"
+        "state = (state * 1103515245 + 12345) & 1073741823;\n"
+        f"int t = (state >> {shift}) & 1023;\n"
+        + "".join(arms)
+        + "}\n"
+        "for (int z = 0; z < 32; z = z + 1) { chk = chk + data[z]; }\n"
+        "return chk;\n"
+        "}\n"
+    )
+
+
+# ----------------------------------------------------------------------
+DEFAULT_SKELETONS = (
+    Skeleton(
+        family="loopnest",
+        description="affine nested counted loops over int arrays",
+        params=(
+            ParamSpec("depth", 2, 3),
+            ParamSpec("n0", 4, 12),
+            ParamSpec("n1", 4, 12),
+            ParamSpec("n2", 4, 12),
+        ),
+        emit=_emit_loopnest,
+    ),
+    Skeleton(
+        family="chase",
+        description="pointer chase through an index-linked permutation",
+        params=(
+            ParamSpec("logn", 5, 8),
+            ParamSpec("steps", 256, 2048),
+            ParamSpec("chains", 1, 2),
+        ),
+        emit=_emit_chase,
+    ),
+    Skeleton(
+        family="calltree",
+        description="random tree of small helper functions",
+        params=(
+            ParamSpec("depth", 1, 3),
+            ParamSpec("fan", 2, 3),
+            ParamSpec("iters", 40, 200),
+        ),
+        emit=_emit_calltree,
+    ),
+    Skeleton(
+        family="reduce",
+        description="reductions with parallel accumulator lanes",
+        params=(
+            ParamSpec("lanes", 1, 4),
+            ParamSpec("reps", 1, 4),
+            ParamSpec("fp", 0, 1),
+        ),
+        emit=_emit_reduce,
+    ),
+    Skeleton(
+        family="fppipe",
+        description="streaming FP multiply-add pipelines",
+        params=(
+            ParamSpec("chain", 2, 5),
+            ParamSpec("reps", 1, 3),
+        ),
+        emit=_emit_fppipe,
+    ),
+    Skeleton(
+        family="branchy",
+        description="LCG-driven data-dependent branch ladders",
+        params=(
+            ParamSpec("iters", 100, 400),
+            ParamSpec("ladder", 2, 4),
+        ),
+        emit=_emit_branchy,
+    ),
+)
+
+
+def default_grammar() -> Grammar:
+    """The stock grammar over all six skeleton families."""
+    return Grammar(DEFAULT_SKELETONS)

@@ -1,4 +1,12 @@
-"""Workload registry and the :class:`Workload` wrapper."""
+"""Workload registry and the :class:`Workload` wrapper.
+
+Besides the seven built-in SPEC stand-ins, the registry resolves
+*synthetic* workloads named ``gen-<family>-<seed>``: the program is
+regenerated on demand from the name alone via the workload grammar
+(:mod:`repro.workgen`), which is what lets measurement pool workers in
+other processes -- and future sessions -- materialize a generated
+workload without any shared state beyond the name.
+"""
 
 from __future__ import annotations
 
@@ -31,7 +39,20 @@ class Workload:
     description: str
     source_template: str
     inputs: Dict[str, Dict[str, int]]
+    #: "builtin" for the SPEC stand-ins, "generated" for grammar output.
+    origin: str = "builtin"
     _module_cache: Dict[str, Module] = field(default_factory=dict, repr=False)
+
+    def source_tag(self) -> str:
+        """Provenance tag shown by ``repro workloads``."""
+        if self.origin == "generated":
+            from repro.workgen.grammar import parse_name
+
+            parsed = parse_name(self.name)
+            if parsed is not None:
+                return f"generated(seed={parsed[1]})"
+            return "generated"
+        return "builtin"
 
     def input_names(self) -> List[str]:
         return list(self.inputs)
@@ -81,11 +102,56 @@ WORKLOADS: Dict[str, Workload] = {
 }
 
 
+#: Synthetic workloads regenerated from their names, cached per process.
+_SYNTHETIC: Dict[str, Workload] = {}
+
+
+def _synthesize(name: str) -> Optional[Workload]:
+    """Regenerate ``gen-<family>-<seed>`` as a Workload, or None."""
+    # Lazy import: the base registry must not depend on the generator
+    # package (workgen imports workloads for feature extraction).
+    from repro.workgen.grammar import parse_name
+
+    parsed = parse_name(name)
+    if parsed is None:
+        return None
+    family, seed = parsed
+    from repro.workgen.skeletons import default_grammar
+
+    grammar = default_grammar()
+    if family not in grammar.families:
+        return None
+    program = grammar.generate(family, seed)
+    return Workload(
+        name=program.name,
+        description=(
+            f"generated {family} kernel "
+            f"({grammar.skeleton(family).description})"
+        ),
+        # Generated sources have no $PARAM$ holes: both inputs map to
+        # the same program, keeping the train/ref measurement protocol
+        # uniform across built-in and synthetic workloads.
+        source_template=program.source,
+        inputs={"train": {}, "ref": {}},
+        origin="generated",
+    )
+
+
 def get_workload(name: str) -> Workload:
-    if name not in WORKLOADS:
-        raise KeyError(f"unknown workload {name!r} (have {sorted(WORKLOADS)})")
-    return WORKLOADS[name]
+    if name in WORKLOADS:
+        return WORKLOADS[name]
+    if name in _SYNTHETIC:
+        return _SYNTHETIC[name]
+    synthetic = _synthesize(name)
+    if synthetic is not None:
+        _SYNTHETIC[name] = synthetic
+        return synthetic
+    raise KeyError(
+        f"unknown workload {name!r} (have {sorted(WORKLOADS)}; synthetic "
+        f"workloads use gen-<family>-<seed> names)"
+    )
 
 
 def workload_names() -> List[str]:
+    """Built-in workload names (the synthetic space is unbounded)."""
     return list(WORKLOADS)

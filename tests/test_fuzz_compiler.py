@@ -1,6 +1,6 @@
 """Differential compiler fuzzing.
 
-Random MiniC programs (tests.fuzz_gen) are compiled at -O0 and at
+Random MiniC programs (repro.workgen.gen) are compiled at -O0 and at
 aggressive/random optimization settings; the checksums must agree.  This
 is the widest net for optimizer and backend miscompilations.
 """
@@ -10,7 +10,7 @@ import pytest
 
 from repro.opt import CompilerConfig, O2, O3
 from repro.space import compiler_space
-from tests.fuzz_gen import generate_program
+from repro.workgen.gen import generate_program
 from tests.util import run_program
 
 _SPACE = compiler_space()

@@ -1,0 +1,269 @@
+"""Tests for cross-program pooled models (repro.workgen.generalize).
+
+Small corpora with the static oracle keep these fast: the point is the
+protocol (LOWO held-out evaluation, schema round-trips, program-aware
+serving), not the headline accuracy numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import ModelRegistry, Predictor
+from repro.space import full_space
+from repro.workgen import (
+    POOLED_FEATURE_NAMES,
+    GeneralizeConfig,
+    build_dataset,
+    evaluate_lowo,
+    pooled_response,
+    pooled_row,
+    pooled_schema,
+    publish_pooled,
+)
+from repro.workgen.features import PROGRAM_FEATURE_NAMES
+from repro.workgen.generalize import ANCHOR_FEATURE, corpus_workload_names
+
+TINY = GeneralizeConfig(
+    corpus_seed=5,
+    corpus_size=3,
+    include_seed_workloads=False,
+    points_per_workload=10,
+    oracle="static",
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return build_dataset(TINY)
+
+
+class TestDataset:
+    def test_shapes(self, tiny_dataset):
+        space = full_space()
+        assert len(tiny_dataset.workloads) == TINY.corpus_size
+        for name in tiny_dataset.workloads:
+            coded, cycles = tiny_dataset.rows[name]
+            assert coded.shape == (TINY.points_per_workload, space.dim)
+            assert cycles.shape == (TINY.points_per_workload,)
+            assert (cycles > 0).all()
+            feats = tiny_dataset.features[name]
+            assert feats.shape == (len(POOLED_FEATURE_NAMES),)
+            assert np.isfinite(feats).all()
+            assert tiny_dataset.origins[name] == "generated"
+
+    def test_feature_order_ends_with_anchor(self):
+        assert POOLED_FEATURE_NAMES[:-1] == list(PROGRAM_FEATURE_NAMES)
+        assert POOLED_FEATURE_NAMES[-1] == ANCHOR_FEATURE
+
+    def test_normalization(self, tiny_dataset):
+        zs = np.stack(
+            [
+                tiny_dataset.normalized_features(w)
+                for w in tiny_dataset.workloads
+            ]
+        )
+        # Summary features are winsorized; the anchor column is not.
+        assert (np.abs(zs[:, :-1]) <= 3.0 + 1e-9).all()
+        assert np.allclose(zs.mean(axis=0), 0.0, atol=1.5)
+
+    def test_deterministic(self, tiny_dataset):
+        again = build_dataset(TINY)
+        assert again.workloads == tiny_dataset.workloads
+        for name in again.workloads:
+            np.testing.assert_array_equal(
+                again.rows[name][1], tiny_dataset.rows[name][1]
+            )
+            np.testing.assert_array_equal(
+                again.features[name], tiny_dataset.features[name]
+            )
+
+    def test_seed_workloads_appended(self):
+        from repro.workloads import workload_names
+
+        names = corpus_workload_names(
+            GeneralizeConfig(corpus_seed=5, corpus_size=2)
+        )
+        assert len(names) == 2 + len(workload_names())
+        assert names[-len(workload_names()) :] == workload_names()
+
+    def test_unknown_oracle_rejected(self):
+        with pytest.raises(ValueError, match="oracle"):
+            build_dataset(
+                GeneralizeConfig(
+                    corpus_size=1,
+                    include_seed_workloads=False,
+                    oracle="psychic",
+                )
+            )
+
+
+class TestLowo:
+    def test_report_structure(self, tiny_dataset):
+        report = evaluate_lowo(TINY, dataset=tiny_dataset)
+        assert len(report.evals) == len(tiny_dataset.workloads)
+        assert report.n_rows == TINY.corpus_size * TINY.points_per_workload
+        for e in report.evals:
+            assert e.workload in tiny_dataset.workloads
+            assert e.pooled_mape >= 0.0
+            assert e.baseline_mape >= 0.0
+            assert e.n_train + e.n_test == TINY.points_per_workload
+            assert e.n_test >= 1
+        assert report.pooled_mape == pytest.approx(
+            np.mean([e.pooled_mape for e in report.evals])
+        )
+        d = report.to_dict()
+        assert d["n_workloads"] == len(report.evals)
+        assert d["config"]["oracle"] == "static"
+
+    def test_schema_recorded(self, tiny_dataset):
+        report = evaluate_lowo(TINY, dataset=tiny_dataset)
+        assert report.feature_names == POOLED_FEATURE_NAMES
+        assert len(report.feature_mean) == len(POOLED_FEATURE_NAMES)
+        assert len(report.feature_std) == len(POOLED_FEATURE_NAMES)
+
+
+class TestPublishAndPredict:
+    def test_round_trip(self, tiny_dataset, tmp_path):
+        registry = ModelRegistry(str(tmp_path / "registry"))
+        entry = publish_pooled(registry, "pooled", TINY, tiny_dataset)
+        schema = pooled_schema(registry.load("pooled").manifest)
+        assert schema is not None
+        assert schema["response_transform"] == "log"
+        assert schema["program_features"] == POOLED_FEATURE_NAMES
+        assert set(schema["workload_features"]) == set(
+            tiny_dataset.workloads
+        )
+
+        # Client-side row assembly reproduces the training-side rows.
+        space = full_space()
+        workload = tiny_dataset.workloads[0]
+        coded = tiny_dataset.rows[workload][0][0]
+        row = pooled_row(schema, coded, workload)
+        expected = np.concatenate(
+            [coded, tiny_dataset.normalized_features(workload)]
+        )
+        np.testing.assert_allclose(row, expected)
+        assert row.shape == (space.dim + len(POOLED_FEATURE_NAMES),)
+
+        predictor = Predictor.from_registry("pooled", registry=registry)
+        # from_registry relaxes the coded-domain bound for pooled models.
+        assert predictor.input_bound is None
+        raw = predictor.predict(row.reshape(1, -1))
+        cycles = pooled_response(schema, raw)
+        assert cycles.shape == (1,)
+        assert cycles[0] > 0
+        assert entry.manifest["fit_metrics"] is None or isinstance(
+            entry.manifest["fit_metrics"], dict
+        )
+
+    def test_live_features_for_unseen_workload(self, tiny_dataset, tmp_path):
+        """A workload outside the training corpus gets its features
+        extracted on the spot; prediction still produces cycles."""
+        registry = ModelRegistry(str(tmp_path / "registry"))
+        publish_pooled(registry, "pooled", TINY, tiny_dataset)
+        schema = pooled_schema(registry.load("pooled").manifest)
+        assert "gzip" not in schema["workload_features"]
+        space = full_space()
+        coded = space.encode(space.decode([0.0] * space.dim))
+        row = pooled_row(schema, coded, "gzip")
+        predictor = Predictor.from_registry("pooled", registry=registry)
+        cycles = pooled_response(schema, predictor.predict(row.reshape(1, -1)))
+        assert cycles[0] > 0
+
+    def test_non_pooled_manifest_has_no_schema(self):
+        assert pooled_schema({"family": "rbf"}) is None
+
+    def test_response_transform_identity(self):
+        raw = np.array([123.0])
+        out = pooled_response({"response_transform": "none"}, raw)
+        np.testing.assert_array_equal(out, raw)
+
+
+class TestCli:
+    def test_generalize_smoke(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "generalize",
+                "--corpus-seed",
+                "5",
+                "--corpus-size",
+                "2",
+                "--points",
+                "8",
+                "--no-seed-workloads",
+                "--registry",
+                str(tmp_path / "registry"),
+                "--save",
+                "pooled-cli",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "LOWO over 2 workloads" in out
+        assert "saved pooled model as 'pooled-cli'" in out
+
+        rc = main(
+            [
+                "predict",
+                "pooled-cli",
+                "--registry",
+                str(tmp_path / "registry"),
+                "--workload",
+                "gen-loopnest-5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "features extracted live" in out
+        assert "predicted" in out
+
+    def test_generalize_json(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        rc = main(
+            [
+                "generalize",
+                "--corpus-seed",
+                "5",
+                "--corpus-size",
+                "2",
+                "--points",
+                "8",
+                "--no-seed-workloads",
+                "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        payload = json.loads(out[out.index("{") :])
+        assert payload["n_workloads"] == 2
+        assert len(payload["per_workload"]) == 2
+
+    def test_predict_workload_rejects_plain_model(self, tmp_path):
+        from repro.cli import main
+        from repro.models.linear import LinearModel
+
+        space = full_space()
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(40, space.dim))
+        y = np.abs(x @ rng.normal(size=space.dim)) + 10.0
+        model = LinearModel(
+            variable_names=space.names, interactions=False, selection="none"
+        ).fit(x, y)
+        registry = ModelRegistry(str(tmp_path / "registry"))
+        registry.save(model, "plain", space=space)
+        with pytest.raises(SystemExit, match="workgen"):
+            main(
+                [
+                    "predict",
+                    "plain",
+                    "--registry",
+                    str(tmp_path / "registry"),
+                    "--workload",
+                    "gzip",
+                ]
+            )

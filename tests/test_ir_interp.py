@@ -17,7 +17,7 @@ from repro.ir.interp import (
 from repro.minic import compile_source
 from repro.opt import CompilerConfig, O2, cleanup_module, optimize_module, reorder_blocks
 from repro.sim.func import execute
-from tests.fuzz_gen import generate_program
+from repro.workgen.gen import generate_program
 from tests.util import ALL_PROGRAMS
 
 

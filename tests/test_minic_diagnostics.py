@@ -1,0 +1,158 @@
+"""Tests for MiniC frontend diagnostics (line/column + source excerpt).
+
+Every stage -- lexer, parser, sema -- must raise a :class:`MiniCError`
+subclass carrying a structured location, and ``compile_source`` threads
+the program text through so ``str(err)`` shows the offending line (for
+the lexer and parser, with a caret under the offending column).
+"""
+
+import pytest
+
+from repro.minic import (
+    LexerError,
+    MiniCError,
+    ParseError,
+    SemanticError,
+    compile_source,
+    tokenize,
+)
+from repro.minic.diagnostics import MiniCError as DiagBase
+
+
+class TestLexerDiagnostics:
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError) as exc:
+            tokenize("int main() {\n  int x = @;\n}\n")
+        err = exc.value
+        assert err.line == 2
+        assert err.col == 11
+        rendered = str(err)
+        assert rendered.startswith("line 2, col 11: unexpected character")
+        assert "int x = @;" in rendered
+        # Caret points at the '@'.
+        lines = rendered.splitlines()
+        assert lines[-1].index("^") == lines[-2].index("@")
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError, match="unterminated"):
+            tokenize("int x = 1;\n/* no end\n")
+
+    def test_malformed_exponent(self):
+        with pytest.raises(LexerError) as exc:
+            tokenize("float f = 1.5e;\n")
+        assert exc.value.line == 1
+        assert "1.5e" in str(exc.value)
+
+
+class TestParserDiagnostics:
+    def test_missing_semicolon(self):
+        src = "int main() {\n  int x = 1\n  return x;\n}\n"
+        with pytest.raises(ParseError) as exc:
+            compile_source(src)
+        err = exc.value
+        # The parser points at the token where ';' was expected.
+        assert err.line == 3
+        assert err.col is not None
+        assert "return x;" in str(err)
+
+    def test_found_token_in_message(self):
+        with pytest.raises(ParseError) as exc:
+            compile_source("int main() { return 1 + ; }\n")
+        assert "';'" in str(exc.value) or "found" in str(exc.value)
+
+    def test_eof_reported_as_end_of_input(self):
+        with pytest.raises(ParseError) as exc:
+            compile_source("int main() { return 0;\n")
+        assert "end of input" in str(exc.value)
+
+    def test_excerpt_present(self):
+        with pytest.raises(ParseError) as exc:
+            compile_source("int main() {\n  if x { return 0; }\n}\n")
+        rendered = str(exc.value)
+        assert "if x" in rendered
+        assert "^" in rendered
+
+
+class TestSemaDiagnostics:
+    def assert_located(self, err: SemanticError, line: int, fragment: str):
+        assert err.line == line
+        rendered = str(err)
+        assert rendered.startswith(f"line {line}: ")
+        assert fragment in rendered
+
+    def test_undefined_variable(self):
+        src = "int main() {\n  return nope;\n}\n"
+        with pytest.raises(SemanticError) as exc:
+            compile_source(src)
+        self.assert_located(exc.value, 2, "return nope;")
+        assert "undefined variable 'nope'" in str(exc.value)
+
+    def test_condition_must_be_int(self):
+        src = "int main() {\n  float f = 1.0;\n  while (f) { f = 0.0; }\n  return 0;\n}\n"
+        with pytest.raises(SemanticError) as exc:
+            compile_source(src)
+        self.assert_located(exc.value, 3, "while (f)")
+        assert "condition must be int" in str(exc.value)
+
+    def test_narrowing_assignment_rejected(self):
+        src = "int main() {\n  int x = 1.5;\n  return x;\n}\n"
+        with pytest.raises(SemanticError) as exc:
+            compile_source(src)
+        self.assert_located(exc.value, 2, "int x = 1.5;")
+        assert "explicit cast" in str(exc.value)
+
+    def test_wrong_arity(self):
+        src = (
+            "int f(int a) { return a; }\n"
+            "int main() {\n  return f(1, 2);\n}\n"
+        )
+        with pytest.raises(SemanticError) as exc:
+            compile_source(src)
+        self.assert_located(exc.value, 3, "f(1, 2)")
+        assert "expects 1 arguments, got 2" in str(exc.value)
+
+    def test_redeclaration(self):
+        src = "int g = 1;\nfloat g = 2.0;\nint main() { return 0; }\n"
+        with pytest.raises(SemanticError) as exc:
+            compile_source(src)
+        self.assert_located(exc.value, 2, "float g")
+
+    def test_int_only_operator(self):
+        src = "int main() {\n  float f = 2.0;\n  return 1 % (int) f + (0 & (int) f);\n  }\n"
+        compile_source(src)  # casts make it legal
+        bad = "int main() {\n  float f = 2.0;\n  int x = 1 << 2;\n  x = x % 3;\n  return x | 0;\n}\n"
+        compile_source(bad)
+        with pytest.raises(SemanticError) as exc:
+            compile_source(
+                "int main() {\n  float f = 2.0;\n  return 1 % f;\n}\n"
+            )
+        assert "requires int operands" in str(exc.value)
+
+
+class TestErrorHierarchy:
+    def test_all_frontend_errors_share_the_base(self):
+        for cls in (LexerError, ParseError, SemanticError):
+            assert issubclass(cls, MiniCError)
+        assert MiniCError is DiagBase
+
+    def test_attach_source_idempotent(self):
+        err = MiniCError("boom", line=1, col=1)
+        err.attach_source("first line")
+        err.attach_source("second line")
+        assert err.source_text == "first line"
+        assert err.attach_source(None) is err
+
+    def test_no_location_renders_bare_message(self):
+        err = MiniCError("boom")
+        assert str(err) == "boom"
+        assert err.excerpt() is None
+
+    def test_excerpt_requires_valid_line(self):
+        err = MiniCError("boom", line=99)
+        err.attach_source("only one line\n")
+        assert err.excerpt() is None
+
+    def test_message_preserved_for_exception_matching(self):
+        err = MiniCError("some message", line=3, col=4)
+        assert err.message == "some message"
+        assert err.args == ("some message",)
